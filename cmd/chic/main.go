@@ -1,0 +1,65 @@
+// Chic is the IDL compiler of the COOL reproduction: it reads an IDL
+// subset (see package cool/internal/idl) and generates Go stubs and
+// skeletons, including the paper's QoS extension — every generated stub
+// carries a SetQoSParameter method (§4.1).
+//
+// Usage:
+//
+//	chic -pkg mediagen -out mediagen/media.gen.go media.idl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cool/internal/idl"
+	"cool/internal/idl/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chic:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chic", flag.ContinueOnError)
+	pkg := fs.String("pkg", "", "Go package name for the generated file (required)")
+	out := fs.String("out", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("exactly one input .idl file required")
+	}
+	if *pkg == "" {
+		return fmt.Errorf("-pkg is required")
+	}
+	input := fs.Arg(0)
+	src, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	spec, err := idl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	code, err := gen.Generate(spec, gen.Options{
+		Package: *pkg,
+		Source:  filepath.Base(input),
+	})
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(code)
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(*out, code, 0o644)
+}

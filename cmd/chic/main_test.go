@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesFile(t *testing.T) {
+	dir := t.TempDir()
+	idlPath := filepath.Join(dir, "svc.idl")
+	outPath := filepath.Join(dir, "gen", "svc.gen.go")
+	src := `
+module t {
+  interface Svc { long add(in long a, in long b); };
+};`
+	if err := os.WriteFile(idlPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-pkg", "svcgen", "-out", outPath, idlPath}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"package svcgen", "SvcStub", "SetQoSParameter"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "ok.idl")
+	os.WriteFile(good, []byte(`interface I { void f(); };`), 0o644)
+	bad := filepath.Join(dir, "bad.idl")
+	os.WriteFile(bad, []byte(`interface {`), 0o644)
+
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no input", []string{"-pkg", "p"}},
+		{"two inputs", []string{"-pkg", "p", good, good}},
+		{"missing pkg", []string{good}},
+		{"missing file", []string{"-pkg", "p", filepath.Join(dir, "absent.idl")}},
+		{"syntax error", []string{"-pkg", "p", bad}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Fatalf("run(%v) should fail", tt.args)
+			}
+		})
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	dir := t.TempDir()
+	idlPath := filepath.Join(dir, "s.idl")
+	os.WriteFile(idlPath, []byte(`interface S { void f(); };`), 0o644)
+	// No -out: writes to stdout; just assert it does not error.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := run([]string{"-pkg", "p", idlPath}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Multebench regenerates the paper's evaluation tables and figures plus the
+// ablations listed in DESIGN.md §4.
+//
+// Usage:
+//
+//	multebench                         # run everything
+//	multebench -experiment fig9        # one experiment: fig9 | giop |
+//	                                   # negotiation | transport | config |
+//	                                   # marshal
+//	multebench -quick                  # smaller sample counts
+//
+// Output is plain text tables, one per experiment, in the same arrangement
+// as the paper (Figure 9: configurations × packet sizes, throughput in
+// Mbit/s).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"cool/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "multebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("multebench", flag.ContinueOnError)
+	exp := fs.String("experiment", "all", "experiment to run: fig9|giop|negotiation|transport|config|marshal|all")
+	quick := fs.Bool("quick", false, "smaller sample counts (noisier, faster)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	n := 400
+	payload := 1024
+	if *quick {
+		n = 50
+	}
+
+	runs := map[string]func() error{
+		"fig9":        func() error { return runFig9(*quick) },
+		"giop":        func() error { return runGIOP(n, payload) },
+		"negotiation": func() error { return runNegotiation(n/4, payload) },
+		"transport":   func() error { return runTransport(n, payload) },
+		"config":      func() error { return runConfig() },
+		"marshal":     func() error { return runMarshal() },
+	}
+	if *exp != "all" {
+		fn, ok := runs[*exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		return fn()
+	}
+	for _, name := range []string{"fig9", "giop", "negotiation", "transport", "config", "marshal"} {
+		if err := runs[name](); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func header(title string) {
+	fmt.Printf("\n══ %s ══\n\n", title)
+}
+
+func runFig9(quick bool) error {
+	header("E1 / Figure 9 — Da CaPo throughput (Mbit/s) per packet size and protocol configuration")
+	fmt.Println("   (simulated 155 Mbit/s link; paper shape: bigger packets → higher throughput,")
+	fmt.Println("    0→40 dummy modules ≈ flat, IRQ collapses under stop-and-wait flow control)")
+	fmt.Println()
+	opts := experiments.DefaultFig9Options()
+	if quick {
+		opts = experiments.QuickFig9Options()
+	}
+	start := time.Now()
+	points, err := experiments.RunFig9(opts)
+	if err != nil {
+		return err
+	}
+	// Pivot: rows = configs, columns = packet sizes.
+	sizes := experiments.Fig9PacketSizes()
+	byConfig := map[string]map[int]float64{}
+	var order []string
+	for _, p := range points {
+		if byConfig[p.Config] == nil {
+			byConfig[p.Config] = map[int]float64{}
+			order = append(order, p.Config)
+		}
+		byConfig[p.Config][p.PacketSize] = p.Mbps
+	}
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(w, "config\\pkt")
+	for _, s := range sizes {
+		fmt.Fprintf(w, "\t%s", experiments.FormatSize(s))
+	}
+	fmt.Fprintln(w, "\t")
+	for _, cfg := range order {
+		fmt.Fprint(w, cfg)
+		for _, s := range sizes {
+			fmt.Fprintf(w, "\t%.1f", byConfig[cfg][s])
+		}
+		fmt.Fprintln(w, "\t")
+	}
+	w.Flush()
+	fmt.Printf("\n   (measured in %v)\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+func runGIOP(n, payload int) error {
+	header("E2 — response time: original GIOP 1.0 vs QoS-extended GIOP 9.9")
+	cmp, err := experiments.RunGIOPComparison(n, payload)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "version\tsamples\tmean\tp50\tp99\t")
+	fmt.Fprintf(w, "GIOP 1.0 (no QoS)\t%d\t%v\t%v\t%v\t\n", cmp.Plain.N, cmp.Plain.Mean, cmp.Plain.P50, cmp.Plain.P99)
+	fmt.Fprintf(w, "GIOP 9.9 (qos_params)\t%d\t%v\t%v\t%v\t\n", cmp.QoS.N, cmp.QoS.Mean, cmp.QoS.P50, cmp.QoS.P99)
+	w.Flush()
+	delta := float64(cmp.QoS.P50-cmp.Plain.P50) / float64(cmp.Plain.P50) * 100
+	fmt.Printf("\n   p50 delta: %+.1f%% (paper: \"no differences in response time\")\n", delta)
+	return nil
+}
+
+func runNegotiation(n, payload int) error {
+	header("E3 — negotiation scenarios of Figure 3")
+	points, err := experiments.RunNegotiationScenarios(n, payload)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "scenario\tsamples\tmean\tp50\tp99\t")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t\n", p.Scenario, p.Stats.N, p.Stats.Mean, p.Stats.P50, p.Stats.P99)
+	}
+	w.Flush()
+	return nil
+}
+
+func runTransport(n, payload int) error {
+	header("E4 — invocation latency per transport (1 KiB echo)")
+	points, err := experiments.RunTransportComparison(n, payload)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "transport\tsamples\tmean\tp50\tp99\t")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t\n", p.Transport, p.Stats.N, p.Stats.Mean, p.Stats.P50, p.Stats.P99)
+	}
+	w.Flush()
+	return nil
+}
+
+func runConfig() error {
+	header("E5 — QoS → protocol configuration mapping (3% lossy link)")
+	rows, err := experiments.RunConfigTable()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "requirements\tconfigured protocol\tdelivered loss\t")
+	for _, r := range rows {
+		loss := "n/a"
+		if r.Measured {
+			loss = fmt.Sprintf("%.1f%%", r.DeliveredLossPct)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t\n", r.Requirements, r.Spec, loss)
+	}
+	w.Flush()
+	return nil
+}
+
+func runMarshal() error {
+	header("E6 — Request wire size and codec cost of the qos_params extension")
+	rows, err := experiments.RunMarshalComparison(20000)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "version\tqos params\twire bytes\tencode ns\tdecode ns\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\t\n", r.Version, r.QoSParams, r.WireBytes, r.EncodeNs, r.DecodeNs)
+	}
+	w.Flush()
+	return nil
+}

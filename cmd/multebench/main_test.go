@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Only the cheap experiments; fig9 and the latency sweeps run in the
+	// experiments package's own tests.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	for _, exp := range []string{"marshal"} {
+		if err := run([]string{"-quick", "-experiment", exp}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "warp"}); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

@@ -1,0 +1,60 @@
+// Namesrv runs a standalone COOL naming service over TCP: clients resolve
+// its object reference from the printed IOR (or a file) and use it to
+// publish and look up other objects by name.
+//
+// Usage:
+//
+//	namesrv [-listen 127.0.0.1:4810] [-ior-file /tmp/ns.ior]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	cool "cool"
+	"cool/internal/naming"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "namesrv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("namesrv", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:4810", "TCP address to serve on")
+	iorFile := fs.String("ior-file", "", "write the stringified object reference to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := cool.NewORB(cool.WithName("namesrv"))
+	defer o.Shutdown()
+	addr, err := o.ListenOn("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	ref, err := o.RegisterServant(naming.NewServant())
+	if err != nil {
+		return err
+	}
+	iorStr := cool.RefString(ref)
+	fmt.Println("naming service on", addr)
+	fmt.Println(iorStr)
+	if *iorFile != "" {
+		if err := os.WriteFile(*iorFile, []byte(iorStr+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

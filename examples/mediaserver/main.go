@@ -1,0 +1,197 @@
+// Mediaserver: the distributed-multimedia scenario the paper's
+// introduction motivates, built on chic-generated stubs and skeletons
+// (see media.idl and mediagen/).
+//
+// A media server exports frames at three quality levels. The client uses
+// the generated stub's SetQoSParameter — the paper's extension — to
+// negotiate a binding per quality level: low quality flows over best-effort
+// GIOP, high quality demands reliable delivery and bandwidth from the
+// Da CaPo transport. A demand beyond the server's admission budget is
+// NACKed and the client falls back, exactly the adaptive behaviour QoS
+// ranges in the QoSParameter struct enable.
+//
+// Run with:
+//
+//	go run ./examples/mediaserver
+//
+//go:generate go run ../../cmd/chic -pkg mediagen -out mediagen/media.gen.go media.idl
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	cool "cool"
+	"cool/examples/mediaserver/mediagen"
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// mediaImpl implements the generated demo.MediaServer interface with
+// synthetic frames.
+type mediaImpl struct {
+	frames uint32
+}
+
+var _ mediagen.MediaServer = (*mediaImpl)(nil)
+
+func (m *mediaImpl) Describe(index uint32) (mediagen.FrameInfo, error) {
+	if index >= m.frames {
+		return mediagen.FrameInfo{}, &mediagen.OutOfRange{Requested: index, Limit: m.frames}
+	}
+	return mediagen.FrameInfo{
+		Index: index, Width: 1280, Height: 720,
+		Q: mediagen.QualityHIGH, SizeBytes: frameSize(mediagen.QualityHIGH),
+	}, nil
+}
+
+func frameSize(q mediagen.Quality) uint32 {
+	switch q {
+	case mediagen.QualityLOW:
+		return 4 << 10
+	case mediagen.QualityMEDIUM:
+		return 32 << 10
+	default:
+		return 128 << 10
+	}
+}
+
+func (m *mediaImpl) GetFrame(index uint32, q mediagen.Quality) ([]byte, error) {
+	if index >= m.frames {
+		return nil, &mediagen.OutOfRange{Requested: index, Limit: m.frames}
+	}
+	frame := make([]byte, frameSize(q))
+	for i := range frame {
+		frame[i] = byte(index + uint32(i))
+	}
+	return frame, nil
+}
+
+func (m *mediaImpl) Catalog(first, count uint32) (mediagen.FrameInfoList, error) {
+	if first+count > m.frames {
+		return nil, &mediagen.OutOfRange{Requested: first + count, Limit: m.frames}
+	}
+	list := make(mediagen.FrameInfoList, 0, count)
+	for i := first; i < first+count; i++ {
+		fi, err := m.Describe(i)
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, fi)
+	}
+	return list, nil
+}
+
+func (m *mediaImpl) FrameCount() (int32, error) { return int32(m.frames), nil }
+
+func (m *mediaImpl) Seek(index uint32) (uint32, error) {
+	if index >= m.frames {
+		return 0, &mediagen.OutOfRange{Requested: index, Limit: m.frames}
+	}
+	return index, nil
+}
+
+func (m *mediaImpl) Hint(uint32) {}
+
+// qosFor maps a quality level to the client's QoS requirements: the
+// request states the ideal, Min states the floor the client still accepts.
+func qosFor(q mediagen.Quality) cool.QoSSet {
+	switch q {
+	case mediagen.QualityLOW:
+		return nil // best effort, standard GIOP
+	case mediagen.QualityMEDIUM:
+		return cool.QoS(cool.MinThroughput(10_000, 2_000))
+	default:
+		return cool.QoS(append(cool.Reliable(), cool.MinThroughput(60_000, 20_000))...)
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	inner := transport.NewInprocManager()
+
+	server := cool.NewORB(cool.WithName("media-server"), cool.WithTransport(inner))
+	defer server.Shutdown()
+	// The server admits at most 100 Mbit/s of QoS traffic in total.
+	cool.EnableDaCaPo(server, cool.DaCaPoConfig{Inner: inner, BudgetKbps: 100_000})
+
+	client := cool.NewORB(cool.WithName("media-client"), cool.WithTransport(inner))
+	defer client.Shutdown()
+	cool.EnableDaCaPo(client, cool.DaCaPoConfig{Inner: inner})
+
+	if _, err := server.ListenOn("inproc", "media"); err != nil {
+		return err
+	}
+	if _, err := server.ListenOn("dacapo", "media-qos"); err != nil {
+		return err
+	}
+
+	// The object implementation itself can sustain 80 Mbit/s.
+	ref, err := server.RegisterServant(
+		mediagen.NewMediaServerSkeleton(&mediaImpl{frames: 64}),
+		cool.WithCapability(qos.Capability{
+			cool.Throughput:  {Best: 80_000, Supported: true},
+			cool.Reliability: {Best: 0, Supported: true},
+			cool.Ordering:    {Best: 1, Supported: true},
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	stub := mediagen.NewMediaServerStub(client.Resolve(ref))
+
+	n, err := stub.FrameCount()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("media server exports %d frames\n", n)
+
+	for _, q := range []mediagen.Quality{mediagen.QualityLOW, mediagen.QualityMEDIUM, mediagen.QualityHIGH} {
+		if err := stub.SetQoSParameter(qosFor(q)); err != nil {
+			return err
+		}
+		frame, err := stub.GetFrame(7, q)
+		if err != nil {
+			return fmt.Errorf("get frame at %v: %w", q, err)
+		}
+		granted := stub.Object().GrantedQoS()
+		mode := "GIOP 1.0 best effort"
+		if len(granted) > 0 {
+			mode = "GIOP 9.9, granted " + granted.String()
+		}
+		fmt.Printf("  %-6s: %6d bytes  [%s]\n", q, len(frame), mode)
+	}
+
+	// Demand beyond the object implementation's 80 Mbit/s: the bilateral
+	// negotiation NACKs; the client adapts by lowering its floor.
+	fmt.Println("requesting 200 Mbit/s (beyond the server's capability)…")
+	if err := stub.SetQoSParameter(cool.QoS(cool.MinThroughput(200_000, 150_000))); err != nil {
+		return err
+	}
+	if _, err := stub.GetFrame(7, mediagen.QualityHIGH); err != nil {
+		fmt.Println("  server NACKed:", err)
+	}
+	fmt.Println("retrying with an acceptable floor of 20 Mbit/s…")
+	if err := stub.SetQoSParameter(cool.QoS(cool.MinThroughput(200_000, 20_000))); err != nil {
+		return err
+	}
+	if _, err := stub.GetFrame(7, mediagen.QualityHIGH); err != nil {
+		return err
+	}
+	fmt.Println("  degraded gracefully to", stub.Object().GrantedQoS())
+
+	// Exception mapping end to end.
+	if _, err := stub.Describe(9999); err != nil {
+		var oor *mediagen.OutOfRange
+		if errors.As(err, &oor) {
+			fmt.Printf("typed exception works: requested %d, limit %d\n", oor.Requested, oor.Limit)
+		}
+	}
+	return nil
+}

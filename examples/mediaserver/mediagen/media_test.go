@@ -1,0 +1,212 @@
+package mediagen_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	cool "cool"
+	"cool/examples/mediaserver/mediagen"
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// impl is a test implementation of the generated demo.MediaServer
+// interface.
+type impl struct {
+	frames int
+	hints  chan uint32
+}
+
+var _ mediagen.MediaServer = (*impl)(nil)
+
+func (m *impl) Describe(index uint32) (mediagen.FrameInfo, error) {
+	if index >= uint32(m.frames) {
+		return mediagen.FrameInfo{}, &mediagen.OutOfRange{Requested: index, Limit: uint32(m.frames)}
+	}
+	return mediagen.FrameInfo{
+		Index: index, Width: 640, Height: 480,
+		Q: mediagen.QualityMEDIUM, SizeBytes: 640 * 480,
+	}, nil
+}
+
+func (m *impl) GetFrame(index uint32, q mediagen.Quality) ([]byte, error) {
+	if index >= uint32(m.frames) {
+		return nil, &mediagen.OutOfRange{Requested: index, Limit: uint32(m.frames)}
+	}
+	size := 16 << uint(q)
+	return bytes.Repeat([]byte{byte(index)}, size), nil
+}
+
+func (m *impl) Catalog(first, count uint32) (mediagen.FrameInfoList, error) {
+	if first+count > uint32(m.frames) {
+		return nil, &mediagen.OutOfRange{Requested: first + count, Limit: uint32(m.frames)}
+	}
+	var out mediagen.FrameInfoList
+	for i := first; i < first+count; i++ {
+		fi, _ := m.Describe(i)
+		out = append(out, fi)
+	}
+	return out, nil
+}
+
+func (m *impl) FrameCount() (int32, error) { return int32(m.frames), nil }
+
+func (m *impl) Seek(index uint32) (uint32, error) {
+	if index >= uint32(m.frames) {
+		return 0, &mediagen.OutOfRange{Requested: index, Limit: uint32(m.frames)}
+	}
+	return index, nil
+}
+
+func (m *impl) Hint(nextIndex uint32) {
+	select {
+	case m.hints <- nextIndex:
+	default:
+	}
+}
+
+func newStub(t *testing.T) (*mediagen.MediaServerStub, *impl) {
+	t.Helper()
+	inner := transport.NewInprocManager()
+	server := cool.NewORB(cool.WithName("media-server"), cool.WithTransport(inner))
+	client := cool.NewORB(cool.WithName("media-client"), cool.WithTransport(inner))
+	cool.EnableDaCaPo(server, cool.DaCaPoConfig{Inner: inner})
+	cool.EnableDaCaPo(client, cool.DaCaPoConfig{Inner: inner})
+	t.Cleanup(func() { client.Shutdown(); server.Shutdown() })
+	for _, scheme := range []string{"inproc", "dacapo"} {
+		if _, err := server.ListenOn(scheme, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := &impl{frames: 32, hints: make(chan uint32, 8)}
+	ref, err := server.RegisterServant(
+		mediagen.NewMediaServerSkeleton(m),
+		cool.WithCapability(qos.Unconstrained()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mediagen.NewMediaServerStub(client.Resolve(ref)), m
+}
+
+func TestGeneratedStubRoundTrip(t *testing.T) {
+	stub, _ := newStub(t)
+
+	fi, err := stub.Describe(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Index != 3 || fi.Width != 640 || fi.Q != mediagen.QualityMEDIUM {
+		t.Fatalf("fi = %+v", fi)
+	}
+
+	n, err := stub.FrameCount()
+	if err != nil || n != 32 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+
+	frame, err := stub.GetFrame(5, mediagen.QualityHIGH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != 16<<2 || frame[0] != 5 {
+		t.Fatalf("frame = %d bytes, first %d", len(frame), frame[0])
+	}
+
+	list, err := stub.Catalog(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 4 || list[0].Index != 2 || list[3].Index != 5 {
+		t.Fatalf("catalog = %+v", list)
+	}
+
+	landed, err := stub.Seek(7)
+	if err != nil || landed != 7 {
+		t.Fatalf("seek = %d, %v", landed, err)
+	}
+}
+
+func TestGeneratedExceptionMapping(t *testing.T) {
+	stub, _ := newStub(t)
+	_, err := stub.Describe(999)
+	if err == nil {
+		t.Fatal("expected OutOfRange")
+	}
+	var oor *mediagen.OutOfRange
+	if !errors.As(err, &oor) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if oor.Requested != 999 || oor.Limit != 32 {
+		t.Fatalf("exception = %+v", oor)
+	}
+}
+
+func TestGeneratedOneway(t *testing.T) {
+	stub, m := newStub(t)
+	if err := stub.Hint(11); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-m.hints; got != 11 {
+		t.Fatalf("hint = %d", got)
+	}
+}
+
+func TestGeneratedStubWithQoS(t *testing.T) {
+	stub, _ := newStub(t)
+	// The paper's headline API: setQoSParameter on the generated stub.
+	err := stub.SetQoSParameter(cool.QoS(
+		append(cool.Reliable(), cool.MinThroughput(5000, 1000))...,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := stub.GetFrame(1, mediagen.QualityLOW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != 16 {
+		t.Fatalf("frame = %d bytes", len(frame))
+	}
+	granted := stub.Object().GrantedQoS()
+	if granted.Value(cool.Throughput, 0) != 5000 {
+		t.Fatalf("granted = %v", granted)
+	}
+}
+
+func TestGeneratedEnumBounds(t *testing.T) {
+	if mediagen.QualityHIGH.String() != "HIGH" {
+		t.Fatal("enum String broken")
+	}
+	if mediagen.Quality(9).String() != "Quality(9)" {
+		t.Fatal("unknown enumerant String broken")
+	}
+}
+
+func TestConcurrentGeneratedCalls(t *testing.T) {
+	stub, _ := newStub(t)
+	done := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		go func(w int) {
+			for i := 0; i < 10; i++ {
+				fi, err := stub.Describe(uint32(w % 32))
+				if err != nil {
+					done <- fmt.Errorf("w%d: %w", w, err)
+					return
+				}
+				if fi.Index != uint32(w%32) {
+					done <- fmt.Errorf("w%d: wrong frame %d", w, fi.Index)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 16; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module cool
+
+go 1.22

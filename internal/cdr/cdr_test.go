@@ -1,0 +1,407 @@
+package cdr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignmentPadding(t *testing.T) {
+	enc := NewEncoder(BigEndian)
+	enc.WriteOctet(0xAA)
+	enc.WriteULong(1) // should pad 3 octets to offset 4
+	if got, want := enc.Len(), 8; got != want {
+		t.Fatalf("len = %d, want %d", got, want)
+	}
+	want := []byte{0xAA, 0, 0, 0, 0, 0, 0, 1}
+	if !bytes.Equal(enc.Bytes(), want) {
+		t.Fatalf("bytes = %x, want %x", enc.Bytes(), want)
+	}
+}
+
+func TestAlignmentAllPrimitives(t *testing.T) {
+	tests := []struct {
+		name    string
+		write   func(*Encoder)
+		wantLen int
+	}{
+		{"short after octet", func(e *Encoder) { e.WriteOctet(1); e.WriteShort(2) }, 4},
+		{"long after octet", func(e *Encoder) { e.WriteOctet(1); e.WriteLong(2) }, 8},
+		{"longlong after octet", func(e *Encoder) { e.WriteOctet(1); e.WriteLongLong(2) }, 16},
+		{"double after long", func(e *Encoder) { e.WriteLong(1); e.WriteDouble(2) }, 16},
+		{"float after short", func(e *Encoder) { e.WriteShort(1); e.WriteFloat(2) }, 8},
+		{"no padding when aligned", func(e *Encoder) { e.WriteULong(1); e.WriteULong(2) }, 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			enc := NewEncoder(BigEndian)
+			tt.write(enc)
+			if enc.Len() != tt.wantLen {
+				t.Errorf("len = %d, want %d", enc.Len(), tt.wantLen)
+			}
+		})
+	}
+}
+
+func TestDecoderAlignmentMatchesEncoder(t *testing.T) {
+	for _, little := range []bool{false, true} {
+		enc := NewEncoder(little)
+		enc.WriteOctet(7)
+		enc.WriteDouble(3.25)
+		enc.WriteBoolean(true)
+		enc.WriteULongLong(1 << 40)
+		enc.WriteChar('x')
+		enc.WriteUShort(513)
+
+		dec := NewDecoder(enc.Bytes(), little)
+		if v, err := dec.ReadOctet(); err != nil || v != 7 {
+			t.Fatalf("octet = %v, %v", v, err)
+		}
+		if v, err := dec.ReadDouble(); err != nil || v != 3.25 {
+			t.Fatalf("double = %v, %v", v, err)
+		}
+		if v, err := dec.ReadBoolean(); err != nil || !v {
+			t.Fatalf("bool = %v, %v", v, err)
+		}
+		if v, err := dec.ReadULongLong(); err != nil || v != 1<<40 {
+			t.Fatalf("ulonglong = %v, %v", v, err)
+		}
+		if v, err := dec.ReadChar(); err != nil || v != 'x' {
+			t.Fatalf("char = %v, %v", v, err)
+		}
+		if v, err := dec.ReadUShort(); err != nil || v != 513 {
+			t.Fatalf("ushort = %v, %v", v, err)
+		}
+		if dec.Remaining() != 0 {
+			t.Fatalf("remaining = %d, want 0", dec.Remaining())
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	tests := []string{"", "a", "hello world", "méthode", string([]byte{0x01, 0x7F})}
+	for _, s := range tests {
+		enc := NewEncoder(LittleEndian)
+		enc.WriteString(s)
+		dec := NewDecoder(enc.Bytes(), LittleEndian)
+		got, err := dec.ReadString()
+		if err != nil {
+			t.Fatalf("ReadString(%q): %v", s, err)
+		}
+		if got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestStringWireFormat(t *testing.T) {
+	enc := NewEncoder(BigEndian)
+	enc.WriteString("ab")
+	want := []byte{0, 0, 0, 3, 'a', 'b', 0}
+	if !bytes.Equal(enc.Bytes(), want) {
+		t.Fatalf("bytes = %x, want %x", enc.Bytes(), want)
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	t.Run("zero length", func(t *testing.T) {
+		dec := NewDecoder([]byte{0, 0, 0, 0}, BigEndian)
+		if _, err := dec.ReadString(); !errors.Is(err, ErrInvalidString) {
+			t.Fatalf("err = %v, want ErrInvalidString", err)
+		}
+	})
+	t.Run("missing NUL", func(t *testing.T) {
+		dec := NewDecoder([]byte{0, 0, 0, 2, 'a', 'b'}, BigEndian)
+		if _, err := dec.ReadString(); !errors.Is(err, ErrInvalidString) {
+			t.Fatalf("err = %v, want ErrInvalidString", err)
+		}
+	})
+	t.Run("length past end", func(t *testing.T) {
+		dec := NewDecoder([]byte{0, 0, 0, 200, 'a', 0}, BigEndian)
+		if _, err := dec.ReadString(); !errors.Is(err, ErrLengthOverflow) {
+			t.Fatalf("err = %v, want ErrLengthOverflow", err)
+		}
+	})
+}
+
+func TestShortBufferErrors(t *testing.T) {
+	reads := []struct {
+		name string
+		fn   func(*Decoder) error
+	}{
+		{"octet", func(d *Decoder) error { _, err := d.ReadOctet(); return err }},
+		{"ushort", func(d *Decoder) error { _, err := d.ReadUShort(); return err }},
+		{"ulong", func(d *Decoder) error { _, err := d.ReadULong(); return err }},
+		{"ulonglong", func(d *Decoder) error { _, err := d.ReadULongLong(); return err }},
+		{"double", func(d *Decoder) error { _, err := d.ReadDouble(); return err }},
+		{"string", func(d *Decoder) error { _, err := d.ReadString(); return err }},
+		{"octetseq", func(d *Decoder) error { _, err := d.ReadOctetSeq(); return err }},
+	}
+	for _, tt := range reads {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.fn(NewDecoder(nil, BigEndian)); !errors.Is(err, ErrShortBuffer) {
+				t.Fatalf("err = %v, want ErrShortBuffer", err)
+			}
+		})
+	}
+}
+
+func TestOctetSeqRoundTrip(t *testing.T) {
+	for _, p := range [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 1000)} {
+		enc := NewEncoder(BigEndian)
+		enc.WriteOctetSeq(p)
+		dec := NewDecoder(enc.Bytes(), BigEndian)
+		got, err := dec.ReadOctetSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("round trip %d bytes -> %d bytes", len(p), len(got))
+		}
+	}
+}
+
+func TestSeqLengthOverflowRejected(t *testing.T) {
+	// A hostile length of 0xFFFFFFFF must not cause a huge allocation.
+	dec := NewDecoder([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}, BigEndian)
+	if _, err := dec.ReadOctetSeq(); !errors.Is(err, ErrLengthOverflow) {
+		t.Fatalf("octetseq err = %v, want ErrLengthOverflow", err)
+	}
+	dec = NewDecoder([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}, BigEndian)
+	if _, err := dec.ReadULongSeq(); !errors.Is(err, ErrLengthOverflow) {
+		t.Fatalf("ulongseq err = %v, want ErrLengthOverflow", err)
+	}
+	dec = NewDecoder([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}, BigEndian)
+	if _, err := dec.ReadStringSeq(); !errors.Is(err, ErrLengthOverflow) {
+		t.Fatalf("stringseq err = %v, want ErrLengthOverflow", err)
+	}
+}
+
+func TestULongSeqRoundTrip(t *testing.T) {
+	vs := []uint32{0, 1, math.MaxUint32, 42}
+	enc := NewEncoder(LittleEndian)
+	enc.WriteULongSeq(vs)
+	dec := NewDecoder(enc.Bytes(), LittleEndian)
+	got, err := dec.ReadULongSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vs) {
+		t.Fatalf("len = %d, want %d", len(got), len(vs))
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Errorf("got[%d] = %d, want %d", i, got[i], vs[i])
+		}
+	}
+}
+
+func TestStringSeqRoundTrip(t *testing.T) {
+	vs := []string{"alpha", "", "omega"}
+	enc := NewEncoder(BigEndian)
+	enc.WriteStringSeq(vs)
+	dec := NewDecoder(enc.Bytes(), BigEndian)
+	got, err := dec.ReadStringSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "alpha" || got[1] != "" || got[2] != "omega" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEncapsulationRoundTrip(t *testing.T) {
+	body := EncodeEncapsulation(LittleEndian, func(e *Encoder) {
+		e.WriteULong(99)
+		e.WriteString("inner")
+	})
+	// Embed in an outer big-endian stream.
+	outer := NewEncoder(BigEndian)
+	outer.WriteULong(7)
+	outer.WriteEncapsulation(body)
+
+	dec := NewDecoder(outer.Bytes(), BigEndian)
+	if v, _ := dec.ReadULong(); v != 7 {
+		t.Fatalf("outer ulong = %d", v)
+	}
+	inner, err := dec.ReadEncapsulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inner.LittleEndian() {
+		t.Fatal("inner decoder should be little-endian")
+	}
+	if v, _ := inner.ReadULong(); v != 99 {
+		t.Fatalf("inner ulong = %d", v)
+	}
+	if s, _ := inner.ReadString(); s != "inner" {
+		t.Fatalf("inner string = %q", s)
+	}
+}
+
+func TestEmptyEncapsulationRejected(t *testing.T) {
+	if _, err := DecodeEncapsulation(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestEncoderBufContinuesAlignmentOrigin(t *testing.T) {
+	// Emulate a 12-octet GIOP header followed by body encoding: the body's
+	// alignment must count from the start of the whole message.
+	header := make([]byte, 12)
+	enc := NewEncoderBuf(header, BigEndian)
+	enc.WriteOctet(1)    // offset 12
+	enc.WriteULong(0xFF) // pads to offset 16
+	if got := enc.Len(); got != 20 {
+		t.Fatalf("len = %d, want 20", got)
+	}
+	if enc.Bytes()[13] != 0 || enc.Bytes()[14] != 0 || enc.Bytes()[15] != 0 {
+		t.Fatal("expected padding at offsets 13..15")
+	}
+}
+
+// quickValue is the composite payload for the property-based round trip.
+type quickValue struct {
+	B   bool
+	O   byte
+	S   int16
+	US  uint16
+	L   int32
+	UL  uint32
+	LL  int64
+	ULL uint64
+	F   float32
+	D   float64
+	Str string
+	Seq []byte
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	for _, little := range []bool{false, true} {
+		f := func(v quickValue) bool {
+			// CDR strings cannot carry NUL octets.
+			clean := make([]byte, 0, len(v.Str))
+			for _, c := range []byte(v.Str) {
+				if c != 0 {
+					clean = append(clean, c)
+				}
+			}
+			v.Str = string(clean)
+
+			enc := NewEncoder(little)
+			enc.WriteBoolean(v.B)
+			enc.WriteOctet(v.O)
+			enc.WriteShort(v.S)
+			enc.WriteUShort(v.US)
+			enc.WriteLong(v.L)
+			enc.WriteULong(v.UL)
+			enc.WriteLongLong(v.LL)
+			enc.WriteULongLong(v.ULL)
+			enc.WriteFloat(v.F)
+			enc.WriteDouble(v.D)
+			enc.WriteString(v.Str)
+			enc.WriteOctetSeq(v.Seq)
+
+			dec := NewDecoder(enc.Bytes(), little)
+			var got quickValue
+			var err error
+			step := func(e error) {
+				if err == nil {
+					err = e
+				}
+			}
+			var e error
+			got.B, e = dec.ReadBoolean()
+			step(e)
+			got.O, e = dec.ReadOctet()
+			step(e)
+			got.S, e = dec.ReadShort()
+			step(e)
+			got.US, e = dec.ReadUShort()
+			step(e)
+			got.L, e = dec.ReadLong()
+			step(e)
+			got.UL, e = dec.ReadULong()
+			step(e)
+			got.LL, e = dec.ReadLongLong()
+			step(e)
+			got.ULL, e = dec.ReadULongLong()
+			step(e)
+			got.F, e = dec.ReadFloat()
+			step(e)
+			got.D, e = dec.ReadDouble()
+			step(e)
+			got.Str, e = dec.ReadString()
+			step(e)
+			got.Seq, e = dec.ReadOctetSeq()
+			step(e)
+			if err != nil {
+				t.Logf("decode error: %v", err)
+				return false
+			}
+			if dec.Remaining() != 0 {
+				return false
+			}
+			floatEq := func(a, b float64) bool {
+				return a == b || (math.IsNaN(a) && math.IsNaN(b))
+			}
+			return got.B == v.B && got.O == v.O && got.S == v.S && got.US == v.US &&
+				got.L == v.L && got.UL == v.UL && got.LL == v.LL && got.ULL == v.ULL &&
+				floatEq(float64(got.F), float64(v.F)) && floatEq(got.D, v.D) &&
+				got.Str == v.Str && bytes.Equal(got.Seq, v.Seq)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("little=%v: %v", little, err)
+		}
+	}
+}
+
+func TestQuickDecoderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(data []byte, little bool) bool {
+		dec := NewDecoder(data, little)
+		// Exercise every reader; only errors are acceptable, never panics.
+		dec.ReadOctet()
+		dec.ReadUShort()
+		dec.ReadULong()
+		dec.ReadString()
+		dec.ReadOctetSeq()
+		dec.ReadULongSeq()
+		dec.ReadStringSeq()
+		dec.ReadEncapsulation()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodePrimitives(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := NewEncoder(BigEndian)
+		enc.WriteULong(42)
+		enc.WriteDouble(3.14)
+		enc.WriteString("operation")
+		enc.WriteOctetSeq([]byte{1, 2, 3, 4})
+	}
+}
+
+func BenchmarkDecodePrimitives(b *testing.B) {
+	enc := NewEncoder(BigEndian)
+	enc.WriteULong(42)
+	enc.WriteDouble(3.14)
+	enc.WriteString("operation")
+	enc.WriteOctetSeq([]byte{1, 2, 3, 4})
+	data := enc.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := NewDecoder(data, BigEndian)
+		dec.ReadULong()
+		dec.ReadDouble()
+		dec.ReadString()
+		dec.ReadOctetSeq()
+	}
+}

@@ -1,0 +1,124 @@
+package dacapo
+
+import (
+	"fmt"
+	"strconv"
+
+	"cool/internal/qos"
+)
+
+// Configuration management: the mapping from application QoS requirements
+// to a concrete protocol configuration — "Da CaPo configures in real-time
+// layer C protocols that are optimally adapted to application requirements,
+// network services, and available resources" (§5.1).
+//
+// The mapping is rule-based over the protocol functions of the module
+// library:
+//
+//	reliability/ordering  -> sliding-window ARQ ("window") + CRC-32 error
+//	                         detection near the wire
+//	confidentiality       -> "xorcipher" encryption at the top of the stack
+//	jitter                -> "ratelimit" traffic shaping (smooths bursts)
+//	throughput            -> admission against the link capability and the
+//	                         endpoint's resource budget; no module needed
+//
+// Names reference mechanisms registered by the standard module library
+// (internal/dacapo/modules).
+
+// Module mechanism names used by the configuration manager.
+const (
+	mechWindow    = "window"
+	mechCRC32     = "crc32"
+	mechCipher    = "xorcipher"
+	mechRateLimit = "ratelimit"
+)
+
+// Configure derives the protocol configuration and the grantable QoS for a
+// request over a link with the given raw capability. It returns the spec
+// (A-side first), the stack's effective capability, and the granted set, or
+// a *qos.NegotiationError when even the best configuration cannot satisfy
+// the request.
+func Configure(request qos.Set, link qos.Capability) (Spec, qos.Set, error) {
+	if err := request.Validate(); err != nil {
+		return Spec{}, nil, err
+	}
+	var spec Spec
+	// Effective capability starts from the raw link and is upgraded by
+	// each protocol function the configuration adds.
+	eff := make(qos.Capability, len(link)+4)
+	for t, l := range link {
+		eff[t] = l
+	}
+
+	// Confidentiality: add encryption when the request demands it.
+	if p, ok := request.Get(qos.Confidentiality); ok && p.Request > 0 {
+		spec.Modules = append(spec.Modules, ModuleSpec{Name: mechCipher})
+		eff[qos.Confidentiality] = qos.Limit{Best: 1, Supported: true}
+	}
+
+	// Jitter: shape traffic when a jitter bound is requested together with
+	// a throughput target; the shaper runs at the requested rate.
+	if j, ok := request.Get(qos.Jitter); ok {
+		if rate := request.Value(qos.Throughput, 0); rate > 0 {
+			spec.Modules = append(spec.Modules, ModuleSpec{
+				Name: mechRateLimit,
+				Args: Args{"kbps": strconv.FormatUint(uint64(rate), 10)},
+			})
+			// Shaping bounds queueing-induced variation to the link's own
+			// jitter (the shaper cannot remove physical jitter).
+			eff[qos.Jitter] = link[qos.Jitter]
+			_ = j
+		}
+	}
+
+	// Reliability and ordering: ARQ when the link's residual loss exceeds
+	// the requested tolerance, or when ordered delivery is demanded on a
+	// link that does not guarantee it.
+	linkLoss := uint32(0)
+	if l, ok := link[qos.Reliability]; ok {
+		linkLoss = l.Best
+	}
+	needARQ := false
+	if p, ok := request.Get(qos.Reliability); ok && p.Request < linkLoss {
+		needARQ = true
+	}
+	if p, ok := request.Get(qos.Ordering); ok && p.Request > 0 {
+		if l, ok := link[qos.Ordering]; !ok || !l.Supported || l.Best == 0 {
+			needARQ = true
+		}
+	}
+	if needARQ {
+		spec.Modules = append(spec.Modules,
+			ModuleSpec{Name: mechWindow, Args: Args{"window": "16"}},
+			ModuleSpec{Name: mechCRC32},
+		)
+		// Retransmission drives residual loss to zero and delivers in
+		// order; it costs latency on loss, which the raw link capability
+		// already bounds only on the loss-free path. We keep the link's
+		// latency figure: the negotiation is about bounds the network can
+		// hold on the common path, as in the paper's prototype.
+		eff[qos.Reliability] = qos.Limit{Best: 0, Supported: true}
+		eff[qos.Ordering] = qos.Limit{Best: 1, Supported: true}
+	}
+
+	granted, err := qos.Negotiate(request, eff)
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	return spec, granted, nil
+}
+
+// ConfigureWithResources runs Configure and then admits the granted QoS
+// against the endpoint's resource budget, returning the reservation that
+// must be released when the connection ends.
+func ConfigureWithResources(request qos.Set, link qos.Capability, rm *ResourceManager) (Spec, qos.Set, *Reservation, error) {
+	spec, granted, err := Configure(request, link)
+	if err != nil {
+		return Spec{}, nil, nil, err
+	}
+	res, err := rm.Reserve(granted)
+	if err != nil {
+		return Spec{}, nil, nil, fmt.Errorf("dacapo: admission: %w", err)
+	}
+	return spec, granted, res, nil
+}

@@ -1,0 +1,548 @@
+package dacapo_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"cool/internal/cdr"
+	"cool/internal/dacapo"
+	"cool/internal/dacapo/modules"
+	"cool/internal/netsim"
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// pipePair returns two connected inproc channels.
+func pipePair(t testing.TB) (transport.Channel, transport.Channel) {
+	t.Helper()
+	mgr := transport.NewInprocManager()
+	l, err := mgr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	type res struct {
+		ch  transport.Channel
+		err error
+	}
+	rc := make(chan res, 1)
+	go func() {
+		ch, err := l.Accept()
+		rc <- res{ch, err}
+	}()
+	a, err := mgr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-rc
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return a, r.ch
+}
+
+// startPair builds started runtimes with the same spec at both ends.
+func startPair(t testing.TB, spec dacapo.Spec) (*dacapo.Runtime, *dacapo.Runtime) {
+	t.Helper()
+	reg := modules.NewLibrary()
+	a, b := pipePair(t)
+	ra, err := dacapo.NewRuntime(spec, reg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := dacapo.NewRuntime(spec, reg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ra.Close(); rb.Close() })
+	return ra, rb
+}
+
+func dummies(n int) dacapo.Spec {
+	var s dacapo.Spec
+	for i := 0; i < n; i++ {
+		s.Modules = append(s.Modules, dacapo.ModuleSpec{Name: "dummy"})
+	}
+	return s
+}
+
+func TestRuntimeEmptyStack(t *testing.T) {
+	ra, rb := startPair(t, dacapo.Spec{})
+	msg := []byte("through an empty stack")
+	if err := ra.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRuntimeDummyChains(t *testing.T) {
+	for _, n := range []int{1, 5, 40} {
+		t.Run(fmt.Sprintf("%d dummies", n), func(t *testing.T) {
+			ra, rb := startPair(t, dummies(n))
+			for i := 0; i < 20; i++ {
+				msg := bytes.Repeat([]byte{byte(i)}, 512)
+				if err := ra.Send(msg); err != nil {
+					t.Fatal(err)
+				}
+				got, err := rb.Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, msg) {
+					t.Fatalf("round %d corrupted", i)
+				}
+			}
+			// Every module saw every packet exactly once, unchanged.
+			for i, st := range ra.Stats() {
+				if st.DownPackets != 20 {
+					t.Errorf("module %d: down packets = %d", i, st.DownPackets)
+				}
+			}
+			for i, st := range rb.Stats() {
+				if st.UpPackets != 20 {
+					t.Errorf("module %d: up packets = %d", i, st.UpPackets)
+				}
+			}
+		})
+	}
+}
+
+func TestRuntimeBidirectional(t *testing.T) {
+	ra, rb := startPair(t, dummies(3))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := ra.Send([]byte{byte(i)}); err != nil {
+				t.Errorf("a send: %v", err)
+				return
+			}
+			if _, err := ra.Recv(); err != nil {
+				t.Errorf("a recv: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := rb.Recv(); err != nil {
+				t.Errorf("b recv: %v", err)
+				return
+			}
+			if err := rb.Send([]byte{byte(i)}); err != nil {
+				t.Errorf("b send: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestRuntimeRecvAfterPeerClose(t *testing.T) {
+	ra, rb := startPair(t, dummies(1))
+	if err := ra.Send([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rb.Recv()
+	if err != nil || string(got) != "last words" {
+		t.Fatalf("recv: %q, %v", got, err)
+	}
+	ra.Close()
+	if _, err := rb.Recv(); !errors.Is(err, io.EOF) && !errors.Is(err, dacapo.ErrStopped) {
+		t.Fatalf("err = %v, want EOF/stopped", err)
+	}
+}
+
+func TestRuntimeDoubleStartRejected(t *testing.T) {
+	reg := modules.NewLibrary()
+	a, b := pipePair(t)
+	defer b.Close()
+	rt, err := dacapo.NewRuntime(dacapo.Spec{}, reg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Start(); err == nil {
+		t.Fatal("second Start must fail")
+	}
+}
+
+func TestRuntimeUnknownModule(t *testing.T) {
+	reg := modules.NewLibrary()
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	spec := dacapo.Spec{Modules: []dacapo.ModuleSpec{{Name: "warp-drive"}}}
+	if _, err := dacapo.NewRuntime(spec, reg, a); err == nil {
+		t.Fatal("unknown mechanism must fail")
+	}
+}
+
+func TestSpecEncodeDecodeRoundTrip(t *testing.T) {
+	spec := dacapo.Spec{Modules: []dacapo.ModuleSpec{
+		{Name: "window", Args: dacapo.Args{"window": "8", "rto": "50ms"}},
+		{Name: "crc32"},
+		{Name: "fragment", Args: dacapo.Args{"mtu": "1400"}},
+	}}
+	enc := cdr.NewEncoder(cdr.BigEndian)
+	spec.Encode(enc)
+	got, err := dacapo.DecodeSpec(cdr.NewDecoder(enc.Bytes(), cdr.BigEndian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(spec) {
+		t.Fatalf("got %v, want %v", got, spec)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	reg := modules.NewLibrary()
+	good := dacapo.Spec{Modules: []dacapo.ModuleSpec{{Name: "crc32"}, {Name: "dummy"}}}
+	if err := good.Validate(reg); err != nil {
+		t.Fatal(err)
+	}
+	bad := dacapo.Spec{Modules: []dacapo.ModuleSpec{{Name: "nope"}}}
+	if err := bad.Validate(reg); err == nil {
+		t.Fatal("unknown mechanism must fail validation")
+	}
+	badArgs := dacapo.Spec{Modules: []dacapo.ModuleSpec{{Name: "window", Args: dacapo.Args{"window": "x"}}}}
+	if err := badArgs.Validate(reg); err == nil {
+		t.Fatal("bad args must fail validation")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if got := (dacapo.Spec{}).String(); got != "A|T (empty stack)" {
+		t.Errorf("empty = %q", got)
+	}
+	s := dacapo.Spec{Modules: []dacapo.ModuleSpec{
+		{Name: "window", Args: dacapo.Args{"window": "8"}},
+		{Name: "crc32"},
+	}}
+	if got := s.String(); got != "A|window(window=8)|crc32|T" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestConnectAcceptHandshake(t *testing.T) {
+	reg := modules.NewLibrary()
+	a, b := pipePair(t)
+	spec := dacapo.Spec{Modules: []dacapo.ModuleSpec{{Name: "crc32"}}}
+	req := qos.Set{{Type: qos.Throughput, Request: 1000, Max: qos.NoLimit, Min: 100}}
+
+	type acceptRes struct {
+		rt      *dacapo.Runtime
+		granted qos.Set
+		err     error
+	}
+	rc := make(chan acceptRes, 1)
+	go func() {
+		rt, granted, err := dacapo.Accept(b, reg, nil)
+		rc <- acceptRes{rt, granted, err}
+	}()
+
+	rt, granted, err := dacapo.Connect(a, reg, spec, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ar := <-rc
+	if ar.err != nil {
+		t.Fatal(ar.err)
+	}
+	defer ar.rt.Close()
+
+	if !granted.Equal(req) || !ar.granted.Equal(req) {
+		t.Fatalf("granted %v / %v, want %v", granted, ar.granted, req)
+	}
+	if !ar.rt.Spec().Equal(spec) {
+		t.Fatalf("responder spec %v", ar.rt.Spec())
+	}
+
+	// Data flows through the negotiated stacks.
+	if err := rt.Send([]byte("negotiated")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ar.rt.Recv()
+	if err != nil || string(got) != "negotiated" {
+		t.Fatalf("recv %q, %v", got, err)
+	}
+}
+
+func TestConnectRejectedByPolicy(t *testing.T) {
+	reg := modules.NewLibrary()
+	a, b := pipePair(t)
+	go func() {
+		dacapo.Accept(b, reg, func(spec dacapo.Spec, req qos.Set) (qos.Set, error) {
+			return nil, errors.New("budget exhausted")
+		})
+	}()
+	_, _, err := dacapo.Connect(a, reg, dacapo.Spec{}, nil)
+	if !errors.Is(err, dacapo.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("budget exhausted")) {
+		t.Fatalf("reason not propagated: %v", err)
+	}
+}
+
+func TestConnectRejectedUnknownModuleAtResponder(t *testing.T) {
+	full := modules.NewLibrary()
+	bare := dacapo.NewRegistry() // responder has an empty library
+	a, b := pipePair(t)
+	go func() {
+		dacapo.Accept(b, bare, nil)
+	}()
+	spec := dacapo.Spec{Modules: []dacapo.ModuleSpec{{Name: "crc32"}}}
+	_, _, err := dacapo.Connect(a, full, spec, nil)
+	if !errors.Is(err, dacapo.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+}
+
+func TestAcceptRejectsGarbage(t *testing.T) {
+	reg := modules.NewLibrary()
+	a, b := pipePair(t)
+	go a.WriteMessage([]byte("not a signalling message"))
+	if _, _, err := dacapo.Accept(b, reg, nil); !errors.Is(err, dacapo.ErrBadSignal) {
+		t.Fatalf("err = %v, want ErrBadSignal", err)
+	}
+}
+
+func TestResourceManagerBudget(t *testing.T) {
+	rm := dacapo.NewResourceManager(1000, 2)
+	set := func(kbps uint32) qos.Set {
+		return qos.Set{{Type: qos.Throughput, Request: kbps, Max: qos.NoLimit, Min: 0}}
+	}
+	r1, err := rm.Reserve(set(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avail, limited := rm.Available(); !limited || avail != 400 {
+		t.Fatalf("available = %d, %v", avail, limited)
+	}
+	// Over budget -> negotiation error with remaining capacity as offer.
+	_, err = rm.Reserve(set(500))
+	var ne *qos.NegotiationError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v, want NegotiationError", err)
+	}
+	if ne.Failed[0].Offer != 400 {
+		t.Fatalf("offer = %d, want 400", ne.Failed[0].Offer)
+	}
+	r2, err := rm.Reserve(set(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connection limit.
+	if _, err = rm.Reserve(set(0)); err == nil {
+		t.Fatal("connection limit not enforced")
+	}
+	r1.Release()
+	r1.Release() // idempotent
+	if got := rm.Connections(); got != 1 {
+		t.Fatalf("connections = %d", got)
+	}
+	if avail, _ := rm.Available(); avail != 600 {
+		t.Fatalf("available after release = %d", avail)
+	}
+	r2.Release()
+}
+
+func TestResourceManagerUnlimited(t *testing.T) {
+	rm := dacapo.NewResourceManager(0, 0)
+	for i := 0; i < 100; i++ {
+		if _, err := rm.Reserve(qos.Set{{Type: qos.Throughput, Request: 1 << 20, Max: qos.NoLimit}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, limited := rm.Available(); limited {
+		t.Fatal("unlimited budget reported as limited")
+	}
+}
+
+func TestConfigureMapsQoSToModules(t *testing.T) {
+	link := netsim.WAN().Capability() // lossy, unordered? (ordered but lossy)
+	hasModule := func(s dacapo.Spec, name string) bool {
+		for _, m := range s.Modules {
+			if m.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	t.Run("reliability demands ARQ", func(t *testing.T) {
+		req := qos.Set{{Type: qos.Reliability, Request: 0, Max: 0, Min: 0}}
+		spec, granted, err := dacapo.Configure(req, link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasModule(spec, "window") || !hasModule(spec, "crc32") {
+			t.Fatalf("spec = %v", spec)
+		}
+		if granted.Value(qos.Reliability, 99) != 0 {
+			t.Fatalf("granted = %v", granted)
+		}
+	})
+
+	t.Run("confidentiality demands cipher", func(t *testing.T) {
+		req := qos.Set{{Type: qos.Confidentiality, Request: 1, Max: 1, Min: 1}}
+		spec, _, err := dacapo.Configure(req, link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasModule(spec, "xorcipher") {
+			t.Fatalf("spec = %v", spec)
+		}
+	})
+
+	t.Run("jitter with throughput demands shaping", func(t *testing.T) {
+		req := qos.Set{
+			{Type: qos.Throughput, Request: 5000, Max: qos.NoLimit, Min: 100},
+			{Type: qos.Jitter, Request: 3000, Max: 5000, Min: 0},
+		}
+		spec, _, err := dacapo.Configure(req, link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasModule(spec, "ratelimit") {
+			t.Fatalf("spec = %v", spec)
+		}
+	})
+
+	t.Run("loss-tolerant gets empty stack", func(t *testing.T) {
+		req := qos.Set{{Type: qos.Throughput, Request: 1000, Max: qos.NoLimit, Min: 0}}
+		spec, _, err := dacapo.Configure(req, link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(spec.Modules) != 0 {
+			t.Fatalf("spec = %v, want empty", spec)
+		}
+	})
+
+	t.Run("impossible throughput NACKs", func(t *testing.T) {
+		req := qos.Set{{Type: qos.Throughput, Request: 1 << 30, Max: qos.NoLimit, Min: 1 << 29}}
+		_, _, err := dacapo.Configure(req, link)
+		var ne *qos.NegotiationError
+		if !errors.As(err, &ne) {
+			t.Fatalf("err = %v, want NegotiationError", err)
+		}
+	})
+}
+
+func TestConfigureWithResources(t *testing.T) {
+	link := netsim.LAN().Capability()
+	rm := dacapo.NewResourceManager(10_000, 0)
+	req := qos.Set{{Type: qos.Throughput, Request: 8000, Max: qos.NoLimit, Min: 1000}}
+	_, granted, res, err := dacapo.ConfigureWithResources(req, link, rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	if granted.Value(qos.Throughput, 0) != 8000 {
+		t.Fatalf("granted = %v", granted)
+	}
+	// Second identical demand exceeds the remaining 2000.
+	if _, _, _, err := dacapo.ConfigureWithResources(req, link, rm); err == nil {
+		t.Fatal("admission should fail")
+	}
+	res.Release()
+	if _, _, res2, err := dacapo.ConfigureWithResources(req, link, rm); err != nil {
+		t.Fatal(err)
+	} else {
+		res2.Release()
+	}
+}
+
+func TestEndToEndConfiguredStackOverLossyLink(t *testing.T) {
+	// The full §4.3 path: requirements -> configuration -> reliable
+	// delivery over a lossy simulated link.
+	link := netsim.NewLink(netsim.Params{
+		LossRate:  0.05,
+		PropDelay: 200 * time.Microsecond,
+		Seed:      42,
+		QueueLen:  256,
+	})
+	defer link.Close()
+	a, b := link.Endpoints()
+
+	req := qos.Set{
+		{Type: qos.Reliability, Request: 0, Max: 0, Min: 0},
+		{Type: qos.Ordering, Request: 1, Max: 1, Min: 1},
+	}
+	spec, granted, err := dacapo.Configure(req, netsim.Params{LossRate: 0.05}.Capability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted.Value(qos.Reliability, 99) != 0 {
+		t.Fatalf("granted = %v", granted)
+	}
+	// Shorten the retransmission timeout for test speed.
+	for i := range spec.Modules {
+		if spec.Modules[i].Name == "window" {
+			spec.Modules[i].Args["rto"] = "20ms"
+		}
+	}
+
+	reg := modules.NewLibrary()
+	ra, err := dacapo.NewRuntime(spec, reg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := dacapo.NewRuntime(spec, reg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	defer rb.Close()
+
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			msg := []byte{byte(i), byte(i >> 8)}
+			if err := ra.Send(msg); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got, err := rb.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got[0] != byte(i) || got[1] != byte(i>>8) {
+			t.Fatalf("message %d out of order: % x", i, got)
+		}
+	}
+}

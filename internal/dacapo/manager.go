@@ -1,0 +1,294 @@
+package dacapo
+
+import (
+	"fmt"
+	"sync"
+
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// Manager plugs Da CaPo into COOL's generic transport layer as the third
+// transport alternative (paper Figure 7, alternative (i)): GIOP-formatted
+// messages from the message layer are carried through a dynamically
+// configured module stack over an underlying T service.
+//
+// The T service is any other transport.Manager (tcp, inproc, or a
+// netsim-backed one); Da CaPo runs its protocol configuration on top of the
+// channels that manager provides.
+type Manager struct {
+	inner transport.Manager
+	reg   *Registry
+	rm    *ResourceManager
+	// linkCap is the raw capability of the underlying T service used for
+	// configuration and admission decisions.
+	linkCap qos.Capability
+}
+
+var _ transport.Manager = (*Manager)(nil)
+
+// NewManager wraps the inner transport with Da CaPo. reg is the module
+// library, rm the endpoint's resource budget (may be shared between
+// listeners and dialers), linkCap the raw capability of the network the
+// inner transport traverses.
+func NewManager(inner transport.Manager, reg *Registry, rm *ResourceManager, linkCap qos.Capability) *Manager {
+	return &Manager{inner: inner, reg: reg, rm: rm, linkCap: linkCap}
+}
+
+// Scheme returns "dacapo".
+func (m *Manager) Scheme() string { return "dacapo" }
+
+// Capability reports what a configured Da CaPo stack can deliver over this
+// manager's link: the link's raw throughput/latency/jitter plus the
+// protocol functions the module library can add (reliability, ordering,
+// confidentiality).
+func (m *Manager) Capability() qos.Capability {
+	c := make(qos.Capability, len(m.linkCap)+3)
+	for t, l := range m.linkCap {
+		c[t] = l
+	}
+	c[qos.Reliability] = qos.Limit{Best: 0, Supported: true}
+	c[qos.Ordering] = qos.Limit{Best: 1, Supported: true}
+	c[qos.Confidentiality] = qos.Limit{Best: 1, Supported: true}
+	if _, ok := c[qos.Priority]; !ok {
+		c[qos.Priority] = qos.Limit{Best: 255, Supported: true}
+	}
+	return c
+}
+
+// Dial connects to a Da CaPo listener. The returned channel starts
+// unconfigured: the first SetQoSParameter (or the first write, with an
+// empty requirement) performs configuration and peer signalling. A later
+// SetQoSParameter with different requirements reconfigures by establishing
+// a fresh connection — the paper's "changes in QoS requirements have to be
+// reflected in reconfigurations of the transport connection" (§4.1).
+func (m *Manager) Dial(addr string) (transport.Channel, error) {
+	return &qchannel{mgr: m, addr: addr}, nil
+}
+
+// Listen binds a listener on the inner transport; each accepted connection
+// performs the responder side of configuration signalling before it is
+// returned.
+func (m *Manager) Listen(addr string) (transport.Listener, error) {
+	inner, err := m.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &qlistener{mgr: m, inner: inner}, nil
+}
+
+type qlistener struct {
+	mgr   *Manager
+	inner transport.Listener
+}
+
+func (l *qlistener) Accept() (transport.Channel, error) {
+	ch, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	rt, granted, res, err := l.acceptOne(ch)
+	if err != nil {
+		// A single bad handshake must not kill the accept loop; report it
+		// as a channel-level error by retrying is the server loop's call.
+		return nil, err
+	}
+	return &qchannel{mgr: l.mgr, rt: rt, granted: granted, res: res}, nil
+}
+
+func (l *qlistener) acceptOne(ch transport.Channel) (*Runtime, qos.Set, *Reservation, error) {
+	var reservation *Reservation
+	policy := func(spec Spec, requested qos.Set) (qos.Set, error) {
+		// Unilateral transport-level admission: grant what the link plus
+		// the proposed protocol can deliver — degraded to the remaining
+		// resource budget when the requester's range allows — then
+		// reserve.
+		capability := l.mgr.Capability()
+		if l.mgr.rm != nil {
+			if avail, limited := l.mgr.rm.Available(); limited {
+				tl := capability[qos.Throughput]
+				if !tl.Supported || tl.Best > avail {
+					capability[qos.Throughput] = qos.Limit{Best: avail, Supported: true}
+				}
+			}
+		}
+		granted, err := qos.Negotiate(requested, capability)
+		if err != nil {
+			return nil, err
+		}
+		if l.mgr.rm != nil {
+			res, err := l.mgr.rm.Reserve(granted)
+			if err != nil {
+				return nil, err
+			}
+			reservation = res
+		}
+		return granted, nil
+	}
+	rt, granted, err := Accept(ch, l.mgr.reg, policy)
+	if err != nil {
+		if reservation != nil {
+			reservation.Release()
+		}
+		return nil, nil, nil, err
+	}
+	return rt, granted, reservation, nil
+}
+
+func (l *qlistener) Addr() string { return l.inner.Addr() }
+func (l *qlistener) Close() error { return l.inner.Close() }
+
+// qchannel is a Da CaPo-backed transport.Channel. On the dial side it is
+// lazily configured; on the accept side it arrives configured.
+type qchannel struct {
+	mgr  *Manager
+	addr string // dial side only
+
+	mu      sync.Mutex
+	rt      *Runtime
+	granted qos.Set
+	applied qos.Set
+	res     *Reservation
+	closed  bool
+}
+
+// configureLocked (re)establishes the connection for the given requirements.
+func (c *qchannel) configureLocked(params qos.Set) error {
+	if c.addr == "" {
+		// Accept-side channels cannot redial; reconfiguration happens by
+		// the client opening a new connection.
+		return fmt.Errorf("dacapo: cannot reconfigure an accepted connection")
+	}
+	spec, granted, err := Configure(params, c.mgr.linkCap)
+	if err != nil {
+		return err
+	}
+	var res *Reservation
+	if c.mgr.rm != nil {
+		res, err = c.mgr.rm.Reserve(granted)
+		if err != nil {
+			return err
+		}
+	}
+	inner, err := c.mgr.inner.Dial(c.addr)
+	if err != nil {
+		if res != nil {
+			res.Release()
+		}
+		return err
+	}
+	rt, remoteGranted, err := Connect(inner, c.mgr.reg, spec, granted)
+	if err != nil {
+		if res != nil {
+			res.Release()
+		}
+		return err
+	}
+	// Tear down the previous configuration, if any.
+	if c.rt != nil {
+		c.rt.Close()
+	}
+	if c.res != nil {
+		c.res.Release()
+	}
+	c.rt = rt
+	c.granted = remoteGranted
+	c.applied = params.Clone()
+	c.res = res
+	return nil
+}
+
+func (c *qchannel) ensureLocked() error {
+	if c.closed {
+		return transport.ErrClosed
+	}
+	if c.rt == nil {
+		return c.configureLocked(nil)
+	}
+	return nil
+}
+
+// SetQoSParameter performs Da CaPo's part of the unilateral negotiation:
+// map the requirements to a protocol configuration and resources, or fail.
+// It returns the granted set.
+func (c *qchannel) SetQoSParameter(params qos.Set) (qos.Set, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, transport.ErrClosed
+	}
+	if c.rt != nil && c.applied.Equal(params) {
+		return c.granted.Clone(), nil // unchanged: keep the connection
+	}
+	if err := c.configureLocked(params); err != nil {
+		return nil, err
+	}
+	return c.granted.Clone(), nil
+}
+
+// Granted returns the QoS granted at the last (re)configuration.
+func (c *qchannel) Granted() qos.Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.granted.Clone()
+}
+
+// Spec returns the active protocol configuration (empty until configured).
+func (c *qchannel) Spec() Spec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rt == nil {
+		return Spec{}
+	}
+	return c.rt.Spec()
+}
+
+func (c *qchannel) runtime() (*Runtime, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return nil, err
+	}
+	return c.rt, nil
+}
+
+func (c *qchannel) WriteMessage(p []byte) error {
+	rt, err := c.runtime()
+	if err != nil {
+		return err
+	}
+	return rt.Send(p)
+}
+
+func (c *qchannel) ReadMessage() ([]byte, error) {
+	rt, err := c.runtime()
+	if err != nil {
+		return nil, err
+	}
+	return rt.Recv()
+}
+
+func (c *qchannel) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.rt != nil {
+		c.rt.Close()
+	}
+	if c.res != nil {
+		c.res.Release()
+	}
+	return nil
+}
+
+func (c *qchannel) LocalAddr() string { return "dacapo:local" }
+
+func (c *qchannel) RemoteAddr() string {
+	if c.addr != "" {
+		return "dacapo:" + c.addr
+	}
+	return "dacapo:accepted"
+}

@@ -1,0 +1,251 @@
+package dacapo_test
+
+import (
+	"errors"
+	"testing"
+
+	"cool/internal/dacapo"
+	"cool/internal/dacapo/modules"
+	"cool/internal/netsim"
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// newManagerPair returns a client and a server Da CaPo manager sharing one
+// in-process T service but owning separate resource budgets, like two real
+// endsystems. serverBudgetKbps of 0 means unlimited.
+func newManagerPair(t *testing.T, serverBudgetKbps uint32, link qos.Capability) (client, server *dacapo.Manager) {
+	t.Helper()
+	inner := transport.NewInprocManager()
+	lib := modules.NewLibrary()
+	client = dacapo.NewManager(inner, lib, dacapo.NewResourceManager(0, 0), link)
+	server = dacapo.NewManager(inner, lib, dacapo.NewResourceManager(serverBudgetKbps, 0), link)
+	return client, server
+}
+
+// dialAccept establishes a configured pair through the managers.
+func dialAccept(t *testing.T, cm, sm *dacapo.Manager, params qos.Set) (client, server transport.Channel, granted qos.Set) {
+	t.Helper()
+	l, err := sm.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	type res struct {
+		ch  transport.Channel
+		err error
+	}
+	rc := make(chan res, 1)
+	go func() {
+		ch, err := l.Accept()
+		rc <- res{ch, err}
+	}()
+	client, err = cm.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted, err = client.SetQoSParameter(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-rc
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.ch.Close() })
+	return client, r.ch, granted
+}
+
+func TestManagerSchemeAndCapability(t *testing.T) {
+	m, _ := newManagerPair(t, 0, netsim.LAN().Capability())
+	if m.Scheme() != "dacapo" {
+		t.Fatalf("scheme = %q", m.Scheme())
+	}
+	c := m.Capability()
+	if l := c[qos.Reliability]; !l.Supported || l.Best != 0 {
+		t.Errorf("reliability = %+v", l)
+	}
+	if l := c[qos.Confidentiality]; !l.Supported || l.Best != 1 {
+		t.Errorf("confidentiality = %+v", l)
+	}
+	if l := c[qos.Throughput]; l.Best != 155_000 {
+		t.Errorf("throughput = %+v", l)
+	}
+}
+
+func TestManagerPlainConnection(t *testing.T) {
+	cm, sm := newManagerPair(t, 0, netsim.LAN().Capability())
+	client, server, granted := dialAccept(t, cm, sm, nil)
+	if len(granted) != 0 {
+		t.Fatalf("granted = %v, want empty", granted)
+	}
+	if err := client.WriteMessage([]byte("giop frame")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.ReadMessage()
+	if err != nil || string(got) != "giop frame" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	// Reply direction.
+	if err := server.WriteMessage([]byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = client.ReadMessage(); err != nil || string(got) != "reply" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestManagerQoSConfiguredConnection(t *testing.T) {
+	// A lossy WAN link: full reliability requires the ARQ configuration.
+	cm, sm := newManagerPair(t, 0, netsim.WAN().Capability())
+	req := qos.Set{
+		{Type: qos.Reliability, Request: 0, Max: 0, Min: 0},
+		{Type: qos.Confidentiality, Request: 1, Max: 1, Min: 1},
+	}
+	client, server, granted := dialAccept(t, cm, sm, req)
+	if granted.Value(qos.Reliability, 99) != 0 || granted.Value(qos.Confidentiality, 0) != 1 {
+		t.Fatalf("granted = %v", granted)
+	}
+	qc := client.(interface{ Spec() dacapo.Spec })
+	spec := qc.Spec()
+	found := map[string]bool{}
+	for _, ms := range spec.Modules {
+		found[ms.Name] = true
+	}
+	if !found["window"] || !found["xorcipher"] || !found["crc32"] {
+		t.Fatalf("spec = %v", spec)
+	}
+	if err := client.WriteMessage([]byte("secure reliable frame")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.ReadMessage()
+	if err != nil || string(got) != "secure reliable frame" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestManagerAdmissionControl(t *testing.T) {
+	cm, sm := newManagerPair(t, 1000, netsim.LAN().Capability())
+	// First connection takes 800 kbps of the server's 1000 kbps budget.
+	req := qos.Set{{Type: qos.Throughput, Request: 800, Max: qos.NoLimit, Min: 500}}
+	dialAccept(t, cm, sm, req)
+
+	// Second identical demand must be refused: only 200 kbps left.
+	l, err := sm.Listen("srv2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	client, err := cm.Dial("srv2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.SetQoSParameter(req); err == nil {
+		t.Fatal("admission should fail on exhausted budget")
+	}
+}
+
+func TestManagerReconfiguration(t *testing.T) {
+	cm, sm := newManagerPair(t, 0, netsim.LAN().Capability())
+	l, err := sm.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Serve accepted connections forever (reconfiguration redials).
+	go func() {
+		for {
+			ch, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(ch transport.Channel) {
+				for {
+					msg, err := ch.ReadMessage()
+					if err != nil {
+						return
+					}
+					if err := ch.WriteMessage(msg); err != nil {
+						return
+					}
+				}
+			}(ch)
+		}
+	}()
+
+	client, err := cm.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// First configuration: plain.
+	if _, err := client.SetQoSParameter(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WriteMessage([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := client.ReadMessage(); err != nil || string(got) != "one" {
+		t.Fatalf("echo 1: %q, %v", got, err)
+	}
+
+	// Same QoS again: must not reconnect (idempotent).
+	if _, err := client.SetQoSParameter(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconfigure to a reliable connection.
+	req := qos.Set{{Type: qos.Reliability, Request: 0, Max: 0, Min: 0}}
+	granted, err := client.SetQoSParameter(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted.Value(qos.Reliability, 99) != 0 {
+		t.Fatalf("granted = %v", granted)
+	}
+	if err := client.WriteMessage([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := client.ReadMessage(); err != nil || string(got) != "two" {
+		t.Fatalf("echo 2: %q, %v", got, err)
+	}
+}
+
+func TestManagerUnsatisfiableQoS(t *testing.T) {
+	cm, sm := newManagerPair(t, 0, netsim.LAN().Capability())
+	l, err := sm.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := cm.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Demand more throughput than the 155 Mbit/s link offers.
+	req := qos.Set{{Type: qos.Throughput, Request: 1 << 30, Max: qos.NoLimit, Min: 1 << 29}}
+	_, err = client.SetQoSParameter(req)
+	var ne *qos.NegotiationError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v, want NegotiationError", err)
+	}
+}
+
+func TestAcceptedChannelCannotReconfigure(t *testing.T) {
+	cm, sm := newManagerPair(t, 0, netsim.LAN().Capability())
+	_, server, _ := dialAccept(t, cm, sm, nil)
+	req := qos.Set{{Type: qos.Reliability, Request: 0, Max: 0, Min: 0}}
+	if _, err := server.SetQoSParameter(req); err == nil {
+		t.Fatal("accept-side reconfiguration should fail")
+	}
+}

@@ -1,0 +1,222 @@
+package dacapo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Direction of a packet through the stack.
+type Direction int
+
+// Packet directions.
+const (
+	// Down moves from the application (A) toward the transport (T):
+	// modules add their protocol headers.
+	Down Direction = iota + 1
+	// Up moves from the transport toward the application: modules parse
+	// and strip their headers.
+	Up
+)
+
+func (d Direction) String() string {
+	if d == Down {
+		return "down"
+	}
+	return "up"
+}
+
+// Module is one protocol mechanism in a module graph: the unified module
+// interface that "allows free and unconstrained combination of modules to
+// protocols" (§5.1). Implementations run on a single goroutine owned by the
+// runtime; handlers never run concurrently with each other, so modules need
+// no internal locking.
+//
+// Handlers receive packets and either forward them (ctx.EmitDown/EmitUp),
+// absorb them (ACKs, duplicates), or emit additional ones (retransmissions,
+// fragments). Modules exchange timer and local control events through
+// HandleEvent.
+type Module interface {
+	// Name returns the mechanism name this instance was built from.
+	Name() string
+	// Start runs on the module goroutine before any packet is handled.
+	Start(ctx *Context) error
+	// HandleDown processes a packet moving toward the transport.
+	HandleDown(ctx *Context, p *Packet) error
+	// HandleUp processes a packet moving toward the application.
+	HandleUp(ctx *Context, p *Packet) error
+	// HandleEvent processes a timer or control event posted via
+	// ctx.After or ctx.Post.
+	HandleEvent(ctx *Context, ev any) error
+	// Stop runs on the module goroutine during shutdown.
+	Stop(ctx *Context) error
+}
+
+// BaseModule provides no-op implementations of the optional Module methods;
+// embed it to implement only what a mechanism needs.
+type BaseModule struct{}
+
+// Start implements Module.
+func (BaseModule) Start(*Context) error { return nil }
+
+// HandleEvent implements Module.
+func (BaseModule) HandleEvent(*Context, any) error { return nil }
+
+// Stop implements Module.
+func (BaseModule) Stop(*Context) error { return nil }
+
+// ErrStopped is returned by Context emit functions once the runtime is
+// shutting down.
+var ErrStopped = errors.New("dacapo: runtime stopped")
+
+// Context is a module's interface to the runtime: its position in the
+// graph, its queues to the neighbour modules, and its timer facility.
+type Context struct {
+	rt  *Runtime
+	idx int
+
+	// downPaused suspends intake of packets from the module above; it is
+	// read and written only on the module goroutine.
+	downPaused bool
+
+	// stats are written by the module goroutine and snapshotted by
+	// Runtime.Stats from other goroutines, hence the atomics.
+	downPkts, downBytes uint64
+	upPkts, upBytes     uint64
+	drops               uint64
+}
+
+// PauseDown stops the runtime from delivering further down-direction
+// packets to this module until ResumeDown. Used by flow-control modules
+// whose send window is full. Must be called from a handler.
+func (c *Context) PauseDown() { c.downPaused = true }
+
+// ResumeDown re-enables down-direction intake. Must be called from a
+// handler.
+func (c *Context) ResumeDown() { c.downPaused = false }
+
+// EmitDown hands a packet to the next module toward the transport (or to
+// the transport itself from the lowest module). It blocks for backpressure
+// and fails with ErrStopped during shutdown.
+func (c *Context) EmitDown(p *Packet) error {
+	atomic.AddUint64(&c.downPkts, 1)
+	atomic.AddUint64(&c.downBytes, uint64(p.Len()))
+	return c.rt.emitDown(c.idx, p)
+}
+
+// EmitUp hands a packet to the next module toward the application (or to
+// the application's receive queue from the topmost module).
+func (c *Context) EmitUp(p *Packet) error {
+	atomic.AddUint64(&c.upPkts, 1)
+	atomic.AddUint64(&c.upBytes, uint64(p.Len()))
+	return c.rt.emitUp(c.idx, p)
+}
+
+// Drop records an absorbed packet (failed checksum, duplicate, ACK).
+func (c *Context) Drop(p *Packet) {
+	atomic.AddUint64(&c.drops, 1)
+	c.rt.pool.Put(p)
+}
+
+// After schedules ev for delivery to this module's HandleEvent after d.
+// The returned stop function cancels the timer (best effort).
+func (c *Context) After(d time.Duration, ev any) (stop func()) {
+	t := time.AfterFunc(d, func() { c.rt.postEvent(c.idx, ev) })
+	return func() { t.Stop() }
+}
+
+// Post delivers ev to this module's HandleEvent asynchronously.
+func (c *Context) Post(ev any) { c.rt.postEvent(c.idx, ev) }
+
+// Pool returns the runtime's shared packet pool.
+func (c *Context) Pool() *Pool { return c.rt.pool }
+
+// Factory builds a module instance from its spec arguments.
+type Factory func(args Args) (Module, error)
+
+// Args carries the string key/value arguments of a ModuleSpec.
+type Args map[string]string
+
+// Int returns the integer argument for key, or def when absent.
+func (a Args) Int(key string, def int) (int, error) {
+	s, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("dacapo: argument %q: %w", key, err)
+	}
+	return v, nil
+}
+
+// Duration returns the duration argument for key, or def when absent.
+func (a Args) Duration(key string, def time.Duration) (time.Duration, error) {
+	s, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("dacapo: argument %q: %w", key, err)
+	}
+	return v, nil
+}
+
+// Registry maps mechanism names to factories — the module library the
+// configuration manager draws from.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds a mechanism; it panics on duplicates, which indicate a
+// programming error during library assembly.
+func (r *Registry) Register(name string, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		panic("dacapo: duplicate module mechanism " + name)
+	}
+	r.factories[name] = f
+}
+
+// Build instantiates a mechanism by name.
+func (r *Registry) Build(name string, args Args) (Module, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dacapo: unknown module mechanism %q", name)
+	}
+	return f(args)
+}
+
+// Has reports whether a mechanism is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.factories[name]
+	return ok
+}
+
+// Names lists registered mechanisms, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

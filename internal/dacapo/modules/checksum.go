@@ -1,0 +1,147 @@
+package modules
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"cool/internal/dacapo"
+)
+
+// Error-detection mechanisms: each appends its check value to the packet on
+// the way down and verifies + strips it on the way up, dropping corrupted
+// packets (an ARQ module above then recovers them). The three mechanisms
+// realise the same protocol function at different strengths — the paper's
+// example of "parity bit, CRC16, CRC32" (§5.1).
+
+// parity appends a single XOR-parity octet.
+type parity struct {
+	dacapo.BaseModule
+}
+
+func newParity(dacapo.Args) (dacapo.Module, error) { return &parity{}, nil }
+
+func (m *parity) Name() string { return "parity" }
+
+func xorSum(b []byte) byte {
+	var s byte
+	for _, c := range b {
+		s ^= c
+	}
+	return s
+}
+
+func (m *parity) HandleDown(ctx *dacapo.Context, p *dacapo.Packet) error {
+	p.Append([]byte{xorSum(p.Bytes())})
+	return ctx.EmitDown(p)
+}
+
+func (m *parity) HandleUp(ctx *dacapo.Context, p *dacapo.Packet) error {
+	n := p.Len()
+	if n < 1 {
+		ctx.Drop(p)
+		return nil
+	}
+	data := p.Bytes()
+	if xorSum(data[:n-1]) != data[n-1] {
+		ctx.Drop(p)
+		return nil
+	}
+	if err := p.TrimBack(1); err != nil {
+		return err
+	}
+	return ctx.EmitUp(p)
+}
+
+// crc16 appends a CRC-16/CCITT check value (poly 0x1021, init 0xFFFF).
+type crc16 struct {
+	dacapo.BaseModule
+}
+
+func newCRC16(dacapo.Args) (dacapo.Module, error) { return &crc16{}, nil }
+
+func (m *crc16) Name() string { return "crc16" }
+
+var crc16Table = makeCRC16Table()
+
+func makeCRC16Table() *[256]uint16 {
+	var t [256]uint16
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return &t
+}
+
+func crc16Sum(b []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, c := range b {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^c]
+	}
+	return crc
+}
+
+func (m *crc16) HandleDown(ctx *dacapo.Context, p *dacapo.Packet) error {
+	var sum [2]byte
+	binary.BigEndian.PutUint16(sum[:], crc16Sum(p.Bytes()))
+	p.Append(sum[:])
+	return ctx.EmitDown(p)
+}
+
+func (m *crc16) HandleUp(ctx *dacapo.Context, p *dacapo.Packet) error {
+	n := p.Len()
+	if n < 2 {
+		ctx.Drop(p)
+		return nil
+	}
+	data := p.Bytes()
+	want := binary.BigEndian.Uint16(data[n-2:])
+	if crc16Sum(data[:n-2]) != want {
+		ctx.Drop(p)
+		return nil
+	}
+	if err := p.TrimBack(2); err != nil {
+		return err
+	}
+	return ctx.EmitUp(p)
+}
+
+// crc32m appends a CRC-32/IEEE check value.
+type crc32m struct {
+	dacapo.BaseModule
+}
+
+func newCRC32(dacapo.Args) (dacapo.Module, error) { return &crc32m{}, nil }
+
+func (m *crc32m) Name() string { return "crc32" }
+
+func (m *crc32m) HandleDown(ctx *dacapo.Context, p *dacapo.Packet) error {
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(p.Bytes()))
+	p.Append(sum[:])
+	return ctx.EmitDown(p)
+}
+
+func (m *crc32m) HandleUp(ctx *dacapo.Context, p *dacapo.Packet) error {
+	n := p.Len()
+	if n < 4 {
+		ctx.Drop(p)
+		return nil
+	}
+	data := p.Bytes()
+	want := binary.BigEndian.Uint32(data[n-4:])
+	if crc32.ChecksumIEEE(data[:n-4]) != want {
+		ctx.Drop(p)
+		return nil
+	}
+	if err := p.TrimBack(4); err != nil {
+		return err
+	}
+	return ctx.EmitUp(p)
+}

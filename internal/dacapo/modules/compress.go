@@ -1,0 +1,103 @@
+package modules
+
+import (
+	"errors"
+
+	"cool/internal/dacapo"
+)
+
+// rle realises the compression protocol function with PackBits run-length
+// coding: worst-case expansion is 1/128 of the payload, so arbitrary data
+// is safe. Down compresses, up decompresses.
+type rle struct {
+	dacapo.BaseModule
+}
+
+func newRLE(dacapo.Args) (dacapo.Module, error) { return &rle{}, nil }
+
+func (m *rle) Name() string { return "rle" }
+
+var errRLECorrupt = errors.New("modules: corrupt rle stream")
+
+// packBits encodes src. Control byte h: 0..127 = literal run of h+1 octets;
+// 129..255 = the next octet repeated 257-h times; 128 unused.
+func packBits(src []byte) []byte {
+	out := make([]byte, 0, len(src)+len(src)/128+1)
+	i := 0
+	for i < len(src) {
+		// Find run length at i.
+		run := 1
+		for i+run < len(src) && src[i+run] == src[i] && run < 128 {
+			run++
+		}
+		if run >= 3 {
+			out = append(out, byte(257-run), src[i])
+			i += run
+			continue
+		}
+		// Literal: collect until the next run of >= 3 or 128 octets.
+		start := i
+		i += run
+		for i < len(src) && i-start < 128 {
+			run = 1
+			for i+run < len(src) && src[i+run] == src[i] && run < 128 {
+				run++
+			}
+			if run >= 3 {
+				break
+			}
+			i += run
+		}
+		if i-start > 128 {
+			i = start + 128
+		}
+		out = append(out, byte(i-start-1))
+		out = append(out, src[start:i]...)
+	}
+	return out
+}
+
+// unpackBits decodes a packBits stream.
+func unpackBits(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)*2)
+	i := 0
+	for i < len(src) {
+		h := src[i]
+		i++
+		switch {
+		case h <= 127:
+			n := int(h) + 1
+			if i+n > len(src) {
+				return nil, errRLECorrupt
+			}
+			out = append(out, src[i:i+n]...)
+			i += n
+		case h >= 129:
+			if i >= len(src) {
+				return nil, errRLECorrupt
+			}
+			n := 257 - int(h)
+			for j := 0; j < n; j++ {
+				out = append(out, src[i])
+			}
+			i++
+		default: // 128: no-op
+		}
+	}
+	return out, nil
+}
+
+func (m *rle) HandleDown(ctx *dacapo.Context, p *dacapo.Packet) error {
+	p.SetPayload(packBits(p.Bytes()))
+	return ctx.EmitDown(p)
+}
+
+func (m *rle) HandleUp(ctx *dacapo.Context, p *dacapo.Packet) error {
+	dec, err := unpackBits(p.Bytes())
+	if err != nil {
+		ctx.Drop(p)
+		return nil
+	}
+	p.SetPayload(dec)
+	return ctx.EmitUp(p)
+}

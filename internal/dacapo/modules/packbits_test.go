@@ -1,0 +1,99 @@
+package modules
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackBitsKnownVectors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"single", []byte{42}},
+		{"run", bytes.Repeat([]byte{7}, 100)},
+		{"literal", []byte{1, 2, 3, 4, 5}},
+		{"mixed", append(bytes.Repeat([]byte{0}, 50), []byte{1, 2, 3}...)},
+		{"long run", bytes.Repeat([]byte{9}, 1000)},
+		{"long literal", func() []byte {
+			b := make([]byte, 1000)
+			for i := range b {
+				b[i] = byte(i * 7)
+			}
+			return b
+		}()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			enc := packBits(tt.in)
+			dec, err := unpackBits(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dec, tt.in) {
+				t.Fatalf("round trip failed: %d -> %d -> %d octets", len(tt.in), len(enc), len(dec))
+			}
+		})
+	}
+}
+
+func TestPackBitsCompressesRuns(t *testing.T) {
+	in := bytes.Repeat([]byte{0xFF}, 4096)
+	enc := packBits(in)
+	if len(enc) >= len(in)/10 {
+		t.Fatalf("run of 4096 compressed to %d octets only", len(enc))
+	}
+}
+
+func TestPackBitsBoundedExpansion(t *testing.T) {
+	in := make([]byte, 4096)
+	for i := range in {
+		in[i] = byte(i*31 + i/7) // no runs
+	}
+	enc := packBits(in)
+	if len(enc) > len(in)+len(in)/128+1 {
+		t.Fatalf("expansion %d -> %d exceeds PackBits bound", len(in), len(enc))
+	}
+}
+
+func TestUnpackBitsCorruptInput(t *testing.T) {
+	// Literal header claiming more octets than present.
+	if _, err := unpackBits([]byte{10, 1, 2}); err == nil {
+		t.Fatal("truncated literal accepted")
+	}
+	// Run header with no value octet.
+	if _, err := unpackBits([]byte{200}); err == nil {
+		t.Fatal("truncated run accepted")
+	}
+}
+
+// Property: packBits/unpackBits is the identity for arbitrary data.
+func TestQuickPackBitsRoundTrip(t *testing.T) {
+	f := func(in []byte) bool {
+		dec, err := unpackBits(packBits(in))
+		return err == nil && bytes.Equal(dec, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unpackBits never panics on garbage.
+func TestQuickUnpackBitsNeverPanics(t *testing.T) {
+	f := func(in []byte) bool {
+		unpackBits(in)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC16KnownValue(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+	if got := crc16Sum([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("crc16 = %#04x, want 0x29B1", got)
+	}
+}

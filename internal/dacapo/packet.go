@@ -1,0 +1,169 @@
+// Package dacapo reimplements the Da CaPo (Dynamic Configuration of
+// Protocols) flexible protocol system integrated into COOL's transport
+// layer by the paper (§5).
+//
+// Da CaPo splits communication into three layers: T (transport
+// infrastructure, here a transport.Channel or a netsim link), C (end-to-end
+// protocol functionality) and A (the application). Layer C is decomposed
+// into protocol *functions* — error detection, acknowledgement, flow
+// control, encryption, … — each realised by exchangeable *modules*
+// (mechanisms). Modules are combined into a module graph (a stack in this
+// reproduction, matching the measured configurations); each module runs in
+// its own goroutine (the paper's one-thread-per-module design) and
+// exchanges packet pointers over message queues (Figure 6), with a data and
+// a control queue per module.
+//
+// The management component configures the module graph from the
+// application's QoS requirements (Config), performs admission control
+// (ResourceManager), signals the configuration to the peer so both ends
+// instantiate matching stacks (Connect/Accept), and monitors the running
+// protocol (Runtime.Stats).
+package dacapo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// defaultHeadroom is the spare space kept in front of every packet payload
+// so modules can prepend their protocol headers without copying the
+// payload — the pointer-passing shared-memory discipline of Figure 6.
+const defaultHeadroom = 64
+
+// ErrHeadroom reports a Prepend that exceeded the packet's headroom and
+// could not be satisfied in place.
+var ErrHeadroom = errors.New("dacapo: insufficient packet headroom")
+
+// Packet is the unit passed between modules. The payload lives inside a
+// backing buffer with headroom at the front, so protocol headers are
+// prepended in place on the way down and stripped in place on the way up.
+type Packet struct {
+	buf []byte
+	off int
+	end int
+}
+
+// NewPacket allocates a packet with the given payload copied in and the
+// default headroom in front of it.
+func NewPacket(payload []byte) *Packet {
+	p := &Packet{
+		buf: make([]byte, defaultHeadroom+len(payload)),
+		off: defaultHeadroom,
+		end: defaultHeadroom + len(payload),
+	}
+	copy(p.buf[p.off:], payload)
+	return p
+}
+
+// newPacketSized allocates an empty packet with headroom and capacity for
+// size payload octets.
+func newPacketSized(size int) *Packet {
+	return &Packet{
+		buf: make([]byte, defaultHeadroom+size),
+		off: defaultHeadroom,
+		end: defaultHeadroom,
+	}
+}
+
+// Bytes returns the current payload (headers included once prepended).
+func (p *Packet) Bytes() []byte { return p.buf[p.off:p.end] }
+
+// Len returns the current payload length.
+func (p *Packet) Len() int { return p.end - p.off }
+
+// Prepend makes room for n octets in front of the payload and returns the
+// slice covering them. It grows the buffer when headroom is exhausted.
+func (p *Packet) Prepend(n int) []byte {
+	if n <= p.off {
+		p.off -= n
+		return p.buf[p.off : p.off+n]
+	}
+	// Grow: new buffer with fresh headroom.
+	nbuf := make([]byte, defaultHeadroom+n+p.Len())
+	copy(nbuf[defaultHeadroom+n:], p.Bytes())
+	p.end = defaultHeadroom + n + p.Len()
+	p.buf = nbuf
+	p.off = defaultHeadroom
+	return p.buf[p.off : p.off+n]
+}
+
+// StripFront removes n octets from the front of the payload.
+func (p *Packet) StripFront(n int) error {
+	if n < 0 || n > p.Len() {
+		return fmt.Errorf("dacapo: strip %d of %d payload octets", n, p.Len())
+	}
+	p.off += n
+	return nil
+}
+
+// Append adds octets after the payload, growing the buffer as needed.
+func (p *Packet) Append(b []byte) {
+	need := p.end + len(b)
+	if need > len(p.buf) {
+		nbuf := make([]byte, need+defaultHeadroom)
+		copy(nbuf, p.buf[:p.end])
+		p.buf = nbuf
+	}
+	copy(p.buf[p.end:], b)
+	p.end += len(b)
+}
+
+// TrimBack removes n octets from the end of the payload.
+func (p *Packet) TrimBack(n int) error {
+	if n < 0 || n > p.Len() {
+		return fmt.Errorf("dacapo: trim %d of %d payload octets", n, p.Len())
+	}
+	p.end -= n
+	return nil
+}
+
+// SetPayload replaces the payload, reusing the buffer when possible.
+func (p *Packet) SetPayload(b []byte) {
+	p.off = defaultHeadroom
+	need := p.off + len(b)
+	if need > len(p.buf) {
+		p.buf = make([]byte, need)
+	}
+	copy(p.buf[p.off:], b)
+	p.end = p.off + len(b)
+}
+
+// Clone returns an independent copy of the packet.
+func (p *Packet) Clone() *Packet {
+	c := newPacketSized(p.Len())
+	c.Append(p.Bytes())
+	return c
+}
+
+// reset prepares the packet for reuse from the pool.
+func (p *Packet) reset() {
+	p.off = defaultHeadroom
+	p.end = defaultHeadroom
+}
+
+// Pool recycles packets — the shared-memory packet pool of the original
+// implementation. The zero value is ready to use.
+type Pool struct {
+	p sync.Pool
+}
+
+// Get returns a packet with the payload copied in.
+func (pl *Pool) Get(payload []byte) *Packet {
+	v := pl.p.Get()
+	if v == nil {
+		return NewPacket(payload)
+	}
+	p := v.(*Packet)
+	p.SetPayload(payload)
+	return p
+}
+
+// Put returns a packet to the pool.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	p.reset()
+	pl.p.Put(p)
+}

@@ -1,0 +1,97 @@
+package dacapo
+
+import (
+	"fmt"
+	"sync"
+
+	"cool/internal/qos"
+)
+
+// ResourceManager performs admission control for a Da CaPo endpoint: it
+// owns a bandwidth budget and a connection limit and reserves a share per
+// accepted connection. When a reservation cannot be made, the requesting
+// client is informed "with an exception that it cannot support the
+// requested QoS" (§4.3) — the unilateral negotiation failure.
+type ResourceManager struct {
+	mu sync.Mutex
+	// budget
+	totalKbps uint32
+	maxConns  int
+	// allocated
+	usedKbps uint32
+	conns    int
+}
+
+// NewResourceManager returns a manager with the given bandwidth budget
+// (kbit/s; 0 means unlimited) and connection limit (0 means unlimited).
+func NewResourceManager(totalKbps uint32, maxConns int) *ResourceManager {
+	return &ResourceManager{totalKbps: totalKbps, maxConns: maxConns}
+}
+
+// Reservation is an admitted share of the budget; Release returns it.
+type Reservation struct {
+	rm       *ResourceManager
+	kbps     uint32
+	released bool
+	mu       sync.Mutex
+}
+
+// Kbps returns the reserved bandwidth.
+func (r *Reservation) Kbps() uint32 { return r.kbps }
+
+// Release returns the reservation to the budget. It is idempotent.
+func (r *Reservation) Release() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.released {
+		return
+	}
+	r.released = true
+	r.rm.mu.Lock()
+	r.rm.usedKbps -= r.kbps
+	r.rm.conns--
+	r.rm.mu.Unlock()
+}
+
+// Reserve admits a connection with the throughput demanded by the granted
+// QoS set (its Throughput request value; 0 when absent). It fails with a
+// *qos.NegotiationError carrying the best remaining offer when the budget
+// is exhausted.
+func (rm *ResourceManager) Reserve(granted qos.Set) (*Reservation, error) {
+	kbps := granted.Value(qos.Throughput, 0)
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if rm.maxConns > 0 && rm.conns >= rm.maxConns {
+		return nil, fmt.Errorf("dacapo: connection limit %d reached", rm.maxConns)
+	}
+	if rm.totalKbps > 0 {
+		remaining := rm.totalKbps - rm.usedKbps
+		if kbps > remaining {
+			p, _ := granted.Get(qos.Throughput)
+			return nil, &qos.NegotiationError{Failed: []qos.FailedParam{{
+				Param: p, Offer: remaining,
+			}}}
+		}
+	}
+	rm.usedKbps += kbps
+	rm.conns++
+	return &Reservation{rm: rm, kbps: kbps}, nil
+}
+
+// Available reports the unreserved bandwidth (kbit/s); the second result is
+// false when the budget is unlimited.
+func (rm *ResourceManager) Available() (uint32, bool) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if rm.totalKbps == 0 {
+		return 0, false
+	}
+	return rm.totalKbps - rm.usedKbps, true
+}
+
+// Connections reports the number of live reservations.
+func (rm *ResourceManager) Connections() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return rm.conns
+}

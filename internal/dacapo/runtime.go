@@ -1,0 +1,326 @@
+package dacapo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"cool/internal/transport"
+)
+
+// queueDepth is the capacity of each inter-module message queue. Bounded
+// queues give backpressure from the transport up to the application.
+const queueDepth = 64
+
+// Runtime executes a module graph between an application endpoint (Send /
+// Recv) and a transport channel: the Da CaPo runtime environment of
+// Figure 5. One goroutine per module plus a transport reader and writer.
+type Runtime struct {
+	spec    Spec
+	modules []Module
+	ctxs    []*Context
+	// downQ[i] feeds module i with packets moving toward T; downQ[n]
+	// feeds the transport writer. upQ[i] feeds module i with packets
+	// moving toward A.
+	downQ  []chan *Packet
+	upQ    []chan *Packet
+	events []chan any
+	recvQ  chan *Packet
+
+	tch  transport.Channel
+	pool *Pool
+
+	stop      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+	started   atomic.Bool
+	firstErr  atomic.Pointer[error]
+	statsLock sync.Mutex
+}
+
+// NewRuntime builds (but does not start) a runtime for spec over the given
+// transport channel.
+func NewRuntime(spec Spec, reg *Registry, tch transport.Channel) (*Runtime, error) {
+	modules, err := spec.build(reg)
+	if err != nil {
+		return nil, err
+	}
+	n := len(modules)
+	r := &Runtime{
+		spec:    spec,
+		modules: modules,
+		tch:     tch,
+		pool:    &Pool{},
+		recvQ:   make(chan *Packet, queueDepth),
+		stop:    make(chan struct{}),
+	}
+	r.ctxs = make([]*Context, n)
+	r.downQ = make([]chan *Packet, n+1)
+	r.upQ = make([]chan *Packet, n)
+	r.events = make([]chan any, n)
+	for i := 0; i < n; i++ {
+		r.ctxs[i] = &Context{rt: r, idx: i}
+		r.downQ[i] = make(chan *Packet, queueDepth)
+		r.upQ[i] = make(chan *Packet, queueDepth)
+		r.events[i] = make(chan any, queueDepth)
+	}
+	r.downQ[n] = make(chan *Packet, queueDepth)
+	return r, nil
+}
+
+// Spec returns the protocol configuration the runtime executes.
+func (r *Runtime) Spec() Spec { return r.spec }
+
+// Start launches the module goroutines and the transport pump.
+func (r *Runtime) Start() error {
+	if r.started.Swap(true) {
+		return errors.New("dacapo: runtime already started")
+	}
+	// Run Start hooks on the module goroutines for the no-locking
+	// guarantee; a hook failure aborts the whole runtime.
+	for i, m := range r.modules {
+		r.wg.Add(1)
+		go r.runModule(i, m)
+	}
+	r.wg.Add(2)
+	go r.runWriter()
+	go r.runReader()
+	return nil
+}
+
+func (r *Runtime) runModule(i int, m Module) {
+	defer r.wg.Done()
+	ctx := r.ctxs[i]
+	if err := m.Start(ctx); err != nil {
+		r.fail(fmt.Errorf("dacapo: start %s: %w", m.Name(), err))
+		return
+	}
+	defer func() {
+		if err := m.Stop(ctx); err != nil {
+			r.recordErr(fmt.Errorf("dacapo: stop %s: %w", m.Name(), err))
+		}
+	}()
+	for {
+		// A module that has exhausted its send window pauses intake from
+		// above (flow control); a nil channel is never selected.
+		dq := r.downQ[i]
+		if ctx.downPaused {
+			dq = nil
+		}
+		select {
+		case p := <-dq:
+			r.dispatch(ctx, m, func() error { return m.HandleDown(ctx, p) })
+		case p := <-r.upQ[i]:
+			r.dispatch(ctx, m, func() error { return m.HandleUp(ctx, p) })
+		case ev := <-r.events[i]:
+			r.dispatch(ctx, m, func() error { return m.HandleEvent(ctx, ev) })
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+func (r *Runtime) dispatch(ctx *Context, m Module, fn func() error) {
+	if err := fn(); err != nil && !errors.Is(err, ErrStopped) {
+		r.fail(fmt.Errorf("dacapo: module %s: %w", m.Name(), err))
+	}
+}
+
+// runWriter drains the bottom queue into the transport.
+func (r *Runtime) runWriter() {
+	defer r.wg.Done()
+	out := r.downQ[len(r.modules)]
+	for {
+		select {
+		case p := <-out:
+			err := r.tch.WriteMessage(p.Bytes())
+			r.pool.Put(p)
+			if err != nil {
+				r.fail(fmt.Errorf("dacapo: transport write: %w", err))
+				return
+			}
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// runReader pumps inbound transport messages into the bottom module.
+func (r *Runtime) runReader() {
+	defer r.wg.Done()
+	for {
+		msg, err := r.tch.ReadMessage()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, transport.ErrClosed) {
+				r.shutdown(io.EOF)
+			} else {
+				r.fail(fmt.Errorf("dacapo: transport read: %w", err))
+			}
+			return
+		}
+		p := r.pool.Get(msg)
+		if err := r.injectUp(p); err != nil {
+			return
+		}
+	}
+}
+
+func (r *Runtime) injectUp(p *Packet) error {
+	n := len(r.modules)
+	var q chan *Packet
+	if n == 0 {
+		q = r.recvQ
+	} else {
+		q = r.upQ[n-1]
+	}
+	select {
+	case q <- p:
+		return nil
+	case <-r.stop:
+		return ErrStopped
+	}
+}
+
+func (r *Runtime) emitDown(idx int, p *Packet) error {
+	select {
+	case r.downQ[idx+1] <- p:
+		return nil
+	case <-r.stop:
+		return ErrStopped
+	}
+}
+
+func (r *Runtime) emitUp(idx int, p *Packet) error {
+	var q chan *Packet
+	if idx == 0 {
+		q = r.recvQ
+	} else {
+		q = r.upQ[idx-1]
+	}
+	select {
+	case q <- p:
+		return nil
+	case <-r.stop:
+		return ErrStopped
+	}
+}
+
+func (r *Runtime) postEvent(idx int, ev any) {
+	select {
+	case r.events[idx] <- ev:
+	case <-r.stop:
+	}
+}
+
+// Send injects application data at the top of the stack (the A interface).
+func (r *Runtime) Send(data []byte) error {
+	p := r.pool.Get(data)
+	select {
+	case r.downQ[0] <- p:
+		return nil
+	case <-r.stop:
+		r.pool.Put(p)
+		return r.closeErr()
+	}
+}
+
+// Recv returns the next application payload delivered by the stack. After
+// shutdown it drains pending packets, then returns io.EOF (peer closed) or
+// the runtime's first error.
+func (r *Runtime) Recv() ([]byte, error) {
+	select {
+	case p := <-r.recvQ:
+		return r.take(p), nil
+	case <-r.stop:
+		select {
+		case p := <-r.recvQ:
+			return r.take(p), nil
+		default:
+			return nil, r.closeErr()
+		}
+	}
+}
+
+func (r *Runtime) take(p *Packet) []byte {
+	out := make([]byte, p.Len())
+	copy(out, p.Bytes())
+	r.pool.Put(p)
+	return out
+}
+
+func (r *Runtime) recordErr(err error) {
+	e := err
+	r.firstErr.CompareAndSwap(nil, &e)
+}
+
+func (r *Runtime) fail(err error) {
+	r.recordErr(err)
+	r.shutdownLocked()
+}
+
+func (r *Runtime) shutdown(err error) {
+	r.recordErr(err)
+	r.shutdownLocked()
+}
+
+func (r *Runtime) shutdownLocked() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		r.tch.Close()
+	})
+}
+
+func (r *Runtime) closeErr() error {
+	if e := r.firstErr.Load(); e != nil {
+		return *e
+	}
+	return ErrStopped
+}
+
+// Close stops the runtime, closes the transport channel and waits for all
+// module goroutines to exit.
+func (r *Runtime) Close() error {
+	r.shutdown(ErrStopped)
+	r.wg.Wait()
+	return nil
+}
+
+// Err returns the first fatal error observed by the runtime, if any.
+func (r *Runtime) Err() error {
+	if e := r.firstErr.Load(); e != nil && !errors.Is(*e, ErrStopped) && !errors.Is(*e, io.EOF) {
+		return *e
+	}
+	return nil
+}
+
+// ModuleStats is a monitoring snapshot for one module (the management
+// component's monitoring duty).
+type ModuleStats struct {
+	Name        string
+	DownPackets uint64
+	DownBytes   uint64
+	UpPackets   uint64
+	UpBytes     uint64
+	Drops       uint64
+}
+
+// Stats snapshots per-module counters, ordered from A side to T side.
+func (r *Runtime) Stats() []ModuleStats {
+	r.statsLock.Lock()
+	defer r.statsLock.Unlock()
+	out := make([]ModuleStats, len(r.modules))
+	for i, m := range r.modules {
+		c := r.ctxs[i]
+		out[i] = ModuleStats{
+			Name:        m.Name(),
+			DownPackets: atomic.LoadUint64(&c.downPkts),
+			DownBytes:   atomic.LoadUint64(&c.downBytes),
+			UpPackets:   atomic.LoadUint64(&c.upPkts),
+			UpBytes:     atomic.LoadUint64(&c.upBytes),
+			Drops:       atomic.LoadUint64(&c.drops),
+		}
+	}
+	return out
+}

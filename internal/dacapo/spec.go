@@ -1,0 +1,156 @@
+package dacapo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cool/internal/cdr"
+)
+
+// ModuleSpec names one mechanism and its arguments inside a protocol
+// configuration.
+type ModuleSpec struct {
+	Name string
+	Args Args
+}
+
+func (m ModuleSpec) String() string {
+	if len(m.Args) == 0 {
+		return m.Name
+	}
+	keys := make([]string, 0, len(m.Args))
+	for k := range m.Args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m.Args[k]
+	}
+	return m.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Spec is a protocol configuration: the serialisable description of a
+// module graph, listed from the A side down to the T side. Both peers must
+// instantiate the same spec (with mirrored roles) for the protocol to work;
+// the connection manager ships the spec during connection setup.
+type Spec struct {
+	Modules []ModuleSpec
+}
+
+func (s Spec) String() string {
+	if len(s.Modules) == 0 {
+		return "A|T (empty stack)"
+	}
+	parts := make([]string, len(s.Modules))
+	for i, m := range s.Modules {
+		parts[i] = m.String()
+	}
+	return "A|" + strings.Join(parts, "|") + "|T"
+}
+
+// Validate checks that every mechanism exists in the registry and can be
+// instantiated with its arguments.
+func (s Spec) Validate(reg *Registry) error {
+	for i, m := range s.Modules {
+		if !reg.Has(m.Name) {
+			return fmt.Errorf("dacapo: spec module %d: unknown mechanism %q", i, m.Name)
+		}
+		if _, err := reg.Build(m.Name, m.Args); err != nil {
+			return fmt.Errorf("dacapo: spec module %d (%s): %w", i, m.Name, err)
+		}
+	}
+	return nil
+}
+
+// build instantiates all modules of the spec.
+func (s Spec) build(reg *Registry) ([]Module, error) {
+	mods := make([]Module, len(s.Modules))
+	for i, m := range s.Modules {
+		mod, err := reg.Build(m.Name, m.Args)
+		if err != nil {
+			return nil, err
+		}
+		mods[i] = mod
+	}
+	return mods, nil
+}
+
+// Encode writes the spec into a CDR stream (used by connection signalling).
+func (s Spec) Encode(enc *cdr.Encoder) {
+	enc.WriteULong(uint32(len(s.Modules)))
+	for _, m := range s.Modules {
+		enc.WriteString(m.Name)
+		keys := make([]string, 0, len(m.Args))
+		for k := range m.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		enc.WriteULong(uint32(len(keys)))
+		for _, k := range keys {
+			enc.WriteString(k)
+			enc.WriteString(m.Args[k])
+		}
+	}
+}
+
+// DecodeSpec reads a spec from a CDR stream.
+func DecodeSpec(dec *cdr.Decoder) (Spec, error) {
+	var s Spec
+	n, err := dec.ReadULong()
+	if err != nil {
+		return s, fmt.Errorf("dacapo: spec module count: %w", err)
+	}
+	if int64(n)*5 > int64(dec.Remaining()) {
+		return s, fmt.Errorf("dacapo: spec module count %d too large", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var m ModuleSpec
+		if m.Name, err = dec.ReadString(); err != nil {
+			return s, fmt.Errorf("dacapo: spec module name: %w", err)
+		}
+		var na uint32
+		if na, err = dec.ReadULong(); err != nil {
+			return s, fmt.Errorf("dacapo: spec arg count: %w", err)
+		}
+		if int64(na)*10 > int64(dec.Remaining()) {
+			return s, fmt.Errorf("dacapo: spec arg count %d too large", na)
+		}
+		if na > 0 {
+			m.Args = make(Args, na)
+		}
+		for j := uint32(0); j < na; j++ {
+			k, err := dec.ReadString()
+			if err != nil {
+				return s, fmt.Errorf("dacapo: spec arg key: %w", err)
+			}
+			v, err := dec.ReadString()
+			if err != nil {
+				return s, fmt.Errorf("dacapo: spec arg value: %w", err)
+			}
+			m.Args[k] = v
+		}
+		s.Modules = append(s.Modules, m)
+	}
+	return s, nil
+}
+
+// Equal reports whether two specs describe the same configuration.
+func (s Spec) Equal(o Spec) bool {
+	if len(s.Modules) != len(o.Modules) {
+		return false
+	}
+	for i := range s.Modules {
+		a, b := s.Modules[i], o.Modules[i]
+		if a.Name != b.Name || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for k, v := range a.Args {
+			if b.Args[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+package dacapo_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cool/internal/cdr"
+	"cool/internal/dacapo"
+)
+
+// Property: any spec survives the signalling encoding — the guarantee the
+// connection manager relies on when shipping configurations to the peer.
+func TestQuickSpecRoundTrip(t *testing.T) {
+	clean := func(s string) string { return strings.ReplaceAll(s, "\x00", "") }
+	f := func(raw []struct {
+		Name string
+		K, V string
+	}) bool {
+		var spec dacapo.Spec
+		for _, r := range raw {
+			m := dacapo.ModuleSpec{Name: clean(r.Name)}
+			if r.K != "" {
+				m.Args = dacapo.Args{clean(r.K): clean(r.V)}
+			}
+			spec.Modules = append(spec.Modules, m)
+		}
+		enc := cdr.NewEncoder(cdr.BigEndian)
+		spec.Encode(enc)
+		got, err := dacapo.DecodeSpec(cdr.NewDecoder(enc.Bytes(), cdr.BigEndian))
+		return err == nil && got.Equal(spec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DecodeSpec never panics on garbage.
+func TestQuickDecodeSpecNeverPanics(t *testing.T) {
+	f := func(data []byte, little bool) bool {
+		dacapo.DecodeSpec(cdr.NewDecoder(data, little))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

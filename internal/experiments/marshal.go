@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cool/internal/cdr"
+	"cool/internal/giop"
+	"cool/internal/qos"
+)
+
+// MarshalRow is one row of the E6 table: the wire cost of the qos_params
+// extension.
+type MarshalRow struct {
+	Version   string
+	QoSParams int
+	WireBytes int
+	EncodeNs  float64
+	DecodeNs  float64
+}
+
+// RunMarshalComparison measures Request frame sizes and codec time for
+// GIOP 1.0 and for GIOP 9.9 with 0..4 QoS parameters.
+func RunMarshalComparison(iters int) ([]MarshalRow, error) {
+	mkQoS := func(n int) qos.Set {
+		var s qos.Set
+		types := []qos.ParamType{qos.Throughput, qos.Latency, qos.Jitter, qos.Reliability}
+		for i := 0; i < n; i++ {
+			s = append(s, qos.Parameter{
+				Type: types[i%len(types)], Request: uint32(1000 * (i + 1)), Max: qos.NoLimit,
+			})
+		}
+		return s
+	}
+	mkHeader := func(set qos.Set) *giop.RequestHeader {
+		return &giop.RequestHeader{
+			RequestID:        42,
+			ResponseExpected: true,
+			ObjectKey:        []byte("object-key-0001"),
+			Operation:        "getFrame",
+			QoS:              set,
+			Principal:        []byte("client"),
+		}
+	}
+
+	type variant struct {
+		name    string
+		version giop.Version
+		nqos    int
+	}
+	variants := []variant{
+		{"GIOP 1.0", giop.V1_0, 0},
+		{"GIOP 9.9", giop.VQoS, 0},
+		{"GIOP 9.9", giop.VQoS, 1},
+		{"GIOP 9.9", giop.VQoS, 2},
+		{"GIOP 9.9", giop.VQoS, 4},
+	}
+	var out []MarshalRow
+	for _, v := range variants {
+		hdr := mkHeader(mkQoS(v.nqos))
+		frame, err := giop.MarshalRequest(v.version, cdr.BigEndian, hdr, func(enc *cdr.Encoder) {
+			enc.WriteULong(7)
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := giop.MarshalRequest(v.version, cdr.BigEndian, hdr, func(enc *cdr.Encoder) {
+				enc.WriteULong(7)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		encodeNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := giop.Unmarshal(frame); err != nil {
+				return nil, err
+			}
+		}
+		decodeNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+		out = append(out, MarshalRow{
+			Version:   v.name,
+			QoSParams: v.nqos,
+			WireBytes: len(frame),
+			EncodeNs:  encodeNs,
+			DecodeNs:  decodeNs,
+		})
+	}
+	return out, nil
+}
+
+// FormatSize renders an octet count compactly (e.g. "16K").
+func FormatSize(n int) string {
+	if n >= 1<<10 && n%(1<<10) == 0 {
+		return fmt.Sprintf("%dK", n>>10)
+	}
+	return fmt.Sprintf("%d", n)
+}

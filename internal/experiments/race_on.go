@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active; timing-shape
+// assertions are skipped because instrumentation skews latencies by an
+// order of magnitude.
+const raceEnabled = true

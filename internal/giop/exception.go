@@ -1,0 +1,148 @@
+package giop
+
+import (
+	"fmt"
+	"strings"
+
+	"cool/internal/cdr"
+)
+
+// CompletionStatus tells the client how far the operation got before the
+// exception was raised.
+type CompletionStatus uint32
+
+// Completion statuses (CORBA 2.0 §4.11).
+const (
+	CompletedYes CompletionStatus = iota
+	CompletedNo
+	CompletedMaybe
+)
+
+func (s CompletionStatus) String() string {
+	switch s {
+	case CompletedYes:
+		return "COMPLETED_YES"
+	case CompletedNo:
+		return "COMPLETED_NO"
+	case CompletedMaybe:
+		return "COMPLETED_MAYBE"
+	}
+	return fmt.Sprintf("CompletionStatus(%d)", uint32(s))
+}
+
+// Repository IDs of the CORBA system exceptions this ORB raises.
+// RepoIDNoResources is the paper's NACK: the server (or the transport, via
+// the unilateral negotiation) cannot provide the requested QoS.
+const (
+	RepoIDUnknown        = "IDL:omg.org/CORBA/UNKNOWN:1.0"
+	RepoIDBadOperation   = "IDL:omg.org/CORBA/BAD_OPERATION:1.0"
+	RepoIDBadParam       = "IDL:omg.org/CORBA/BAD_PARAM:1.0"
+	RepoIDNoResources    = "IDL:omg.org/CORBA/NO_RESOURCES:1.0"
+	RepoIDCommFailure    = "IDL:omg.org/CORBA/COMM_FAILURE:1.0"
+	RepoIDObjectNotExist = "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0"
+	RepoIDNoImplement    = "IDL:omg.org/CORBA/NO_IMPLEMENT:1.0"
+	RepoIDMarshal        = "IDL:omg.org/CORBA/MARSHAL:1.0"
+	RepoIDTransient      = "IDL:omg.org/CORBA/TRANSIENT:1.0"
+	RepoIDInvObjref      = "IDL:omg.org/CORBA/INV_OBJREF:1.0"
+)
+
+// SystemException is a CORBA system exception as carried in a Reply with
+// status SYSTEM_EXCEPTION: repository id, minor code, completion status.
+type SystemException struct {
+	ID        string
+	Minor     uint32
+	Completed CompletionStatus
+}
+
+// Error implements the error interface.
+func (e *SystemException) Error() string {
+	return fmt.Sprintf("%s (minor %d, %s)", e.Name(), e.Minor, e.Completed)
+}
+
+// Name returns the short exception name (e.g. "NO_RESOURCES") extracted
+// from the repository id.
+func (e *SystemException) Name() string {
+	s := e.ID
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return strings.TrimSuffix(s, ":1.0")
+}
+
+// IsNACK reports whether the exception is the paper's QoS negative
+// acknowledgement.
+func (e *SystemException) IsNACK() bool { return e.ID == RepoIDNoResources }
+
+// Encode writes the exception body in CDR form (as the body of a
+// SYSTEM_EXCEPTION Reply).
+func (e *SystemException) Encode(enc *cdr.Encoder) {
+	enc.WriteString(e.ID)
+	enc.WriteULong(e.Minor)
+	enc.WriteULong(uint32(e.Completed))
+}
+
+// DecodeSystemException reads a system exception body.
+func DecodeSystemException(dec *cdr.Decoder) (*SystemException, error) {
+	var e SystemException
+	var err error
+	if e.ID, err = dec.ReadString(); err != nil {
+		return nil, fmt.Errorf("giop: system exception id: %w", err)
+	}
+	if e.Minor, err = dec.ReadULong(); err != nil {
+		return nil, fmt.Errorf("giop: system exception minor: %w", err)
+	}
+	var c uint32
+	if c, err = dec.ReadULong(); err != nil {
+		return nil, fmt.Errorf("giop: system exception completed: %w", err)
+	}
+	e.Completed = CompletionStatus(c)
+	return &e, nil
+}
+
+// NoResources builds the QoS NACK exception.
+func NoResources(minor uint32) *SystemException {
+	return &SystemException{ID: RepoIDNoResources, Minor: minor, Completed: CompletedNo}
+}
+
+// BadOperation reports an unknown operation name.
+func BadOperation() *SystemException {
+	return &SystemException{ID: RepoIDBadOperation, Completed: CompletedNo}
+}
+
+// ObjectNotExist reports an unknown object key.
+func ObjectNotExist() *SystemException {
+	return &SystemException{ID: RepoIDObjectNotExist, Completed: CompletedNo}
+}
+
+// CommFailure reports a transport-level failure.
+func CommFailure(minor uint32) *SystemException {
+	return &SystemException{ID: RepoIDCommFailure, Minor: minor, Completed: CompletedMaybe}
+}
+
+// MarshalException reports a CDR encoding/decoding failure.
+func MarshalException() *SystemException {
+	return &SystemException{ID: RepoIDMarshal, Completed: CompletedNo}
+}
+
+// Transient reports a temporary failure the client may retry.
+func Transient(minor uint32) *SystemException {
+	return &SystemException{ID: RepoIDTransient, Minor: minor, Completed: CompletedNo}
+}
+
+// UnknownException wraps a servant-side failure with no better mapping.
+func UnknownException() *SystemException {
+	return &SystemException{ID: RepoIDUnknown, Completed: CompletedMaybe}
+}
+
+// UserException is an application-defined exception declared in IDL,
+// carried in a Reply with status USER_EXCEPTION: repository id followed by
+// the exception members.
+type UserException struct {
+	ID string
+	// Data is the CDR-encoded exception members (starting right after the
+	// repository id string in the Reply body).
+	Data []byte
+}
+
+// Error implements the error interface.
+func (e *UserException) Error() string { return "user exception " + e.ID }

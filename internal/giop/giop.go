@@ -1,0 +1,532 @@
+// Package giop implements the General Inter-ORB Protocol message layer of
+// the COOL reproduction: the seven GIOP 1.0 messages (Request, Reply,
+// CancelRequest, LocateRequest, LocateReply, CloseConnection, MessageError)
+// plus the paper's QoS extension.
+//
+// The extension follows §4.2 of the paper exactly:
+//
+//   - The version field of the 12-octet GIOP message header distinguishes
+//     standard GIOP (major 1, minor 0) from the QoS extension (major 9,
+//     minor 9).
+//   - Only the Request message is modified: the RequestHeader gains a
+//     qos_params field (sequence<QoSParameter>) between operation and
+//     requesting_principal.
+//   - A server that cannot provide the requested QoS NACKs via the standard
+//     CORBA exception mechanism: a Reply with reply_status SYSTEM_EXCEPTION
+//     carrying NO_RESOURCES.
+//
+// All other messages are byte-identical in both versions, preserving the
+// paper's backwards-compatibility goal: a client that never sets QoS speaks
+// plain GIOP 1.0.
+package giop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"cool/internal/cdr"
+	"cool/internal/qos"
+)
+
+// Version is the GIOP protocol version in the message header.
+type Version struct {
+	Major uint8
+	Minor uint8
+}
+
+// Protocol versions understood by this implementation.
+var (
+	// V1_0 is standard GIOP 1.0 (CORBA 2.0).
+	V1_0 = Version{Major: 1, Minor: 0}
+	// VQoS is the paper's QoS-extended GIOP, flagged as version 9.9.
+	VQoS = Version{Major: 9, Minor: 9}
+)
+
+func (v Version) String() string { return fmt.Sprintf("GIOP %d.%d", v.Major, v.Minor) }
+
+// QoSExtended reports whether the version carries qos_params in Request
+// headers.
+func (v Version) QoSExtended() bool { return v == VQoS }
+
+// Supported reports whether this implementation can decode the version.
+func (v Version) Supported() bool { return v == V1_0 || v == VQoS }
+
+// MsgType enumerates the GIOP message kinds (CORBA 2.0 §12.2.1).
+type MsgType uint8
+
+// GIOP message types.
+const (
+	MsgRequest MsgType = iota
+	MsgReply
+	MsgCancelRequest
+	MsgLocateRequest
+	MsgLocateReply
+	MsgCloseConnection
+	MsgMessageError
+)
+
+var msgNames = [...]string{
+	"Request", "Reply", "CancelRequest", "LocateRequest",
+	"LocateReply", "CloseConnection", "MessageError",
+}
+
+func (t MsgType) String() string {
+	if int(t) < len(msgNames) {
+		return msgNames[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// HeaderSize is the fixed size of the GIOP message header in octets.
+const HeaderSize = 12
+
+var magic = [4]byte{'G', 'I', 'O', 'P'}
+
+// Codec errors.
+var (
+	ErrBadMagic           = errors.New("giop: bad magic")
+	ErrUnsupportedVersion = errors.New("giop: unsupported version")
+	ErrBadMessageType     = errors.New("giop: unknown message type")
+	ErrTruncated          = errors.New("giop: truncated message")
+	ErrTooLarge           = errors.New("giop: message exceeds size limit")
+)
+
+// MaxMessageSize bounds accepted message bodies; hostile message_size
+// values beyond this are rejected before allocation.
+const MaxMessageSize = 64 << 20
+
+// Header is the GIOP message header common to all seven messages.
+type Header struct {
+	Version Version
+	// LittleEndian is the byte_order flag: the sender's native order.
+	LittleEndian bool
+	Type         MsgType
+	// Size is the body length in octets (excluding the header).
+	Size uint32
+}
+
+// ReplyStatus enumerates the outcome field of a Reply message.
+type ReplyStatus uint32
+
+// Reply statuses (CORBA 2.0 §12.4.2).
+const (
+	ReplyNoException ReplyStatus = iota
+	ReplyUserException
+	ReplySystemException
+	ReplyLocationForward
+)
+
+func (s ReplyStatus) String() string {
+	switch s {
+	case ReplyNoException:
+		return "NO_EXCEPTION"
+	case ReplyUserException:
+		return "USER_EXCEPTION"
+	case ReplySystemException:
+		return "SYSTEM_EXCEPTION"
+	case ReplyLocationForward:
+		return "LOCATION_FORWARD"
+	}
+	return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+}
+
+// LocateStatus enumerates the outcome field of a LocateReply message.
+type LocateStatus uint32
+
+// Locate statuses.
+const (
+	LocateUnknownObject LocateStatus = iota
+	LocateObjectHere
+	LocateObjectForward
+)
+
+// ServiceContext is one IOP service context entry (id + encapsulated data).
+type ServiceContext struct {
+	ID   uint32
+	Data []byte
+}
+
+// RequestHeader is the header of a Request message. In VQoS streams it
+// carries the paper's added qos_params field; in V1_0 streams QoS must be
+// empty and is not encoded.
+type RequestHeader struct {
+	ServiceContext   []ServiceContext
+	RequestID        uint32
+	ResponseExpected bool
+	ObjectKey        []byte
+	Operation        string
+	// QoS is the qos_params field of the extended RequestHeader
+	// (paper Figure 2-ii). Only encoded when the message version is VQoS.
+	QoS qos.Set
+	// Principal is the requesting_principal identity blob.
+	Principal []byte
+}
+
+// ReplyHeader is the header of a Reply message.
+type ReplyHeader struct {
+	ServiceContext []ServiceContext
+	RequestID      uint32
+	Status         ReplyStatus
+}
+
+// CancelRequestHeader identifies the pending request to abandon.
+type CancelRequestHeader struct {
+	RequestID uint32
+}
+
+// LocateRequestHeader asks whether the peer can serve an object key.
+type LocateRequestHeader struct {
+	RequestID uint32
+	ObjectKey []byte
+}
+
+// LocateReplyHeader answers a LocateRequest.
+type LocateReplyHeader struct {
+	RequestID uint32
+	Status    LocateStatus
+}
+
+// Message is a decoded GIOP message.
+type Message struct {
+	Header Header
+	// Exactly one of the following is set, according to Header.Type.
+	Request       *RequestHeader
+	Reply         *ReplyHeader
+	CancelRequest *CancelRequestHeader
+	LocateRequest *LocateRequestHeader
+	LocateReply   *LocateReplyHeader
+	// Body is the CDR-encoded payload following the message header:
+	// operation parameters for Request, results or exception for Reply,
+	// an IOR for LocateReply forwards. For decoded messages it aliases
+	// the frame and is positioned via BodyDecoder.
+	Body []byte
+	// bodyOffset is the offset of Body within the full message, needed to
+	// resume CDR alignment correctly when decoding.
+	bodyOffset int
+}
+
+// BodyDecoder returns a CDR decoder positioned at the message body with the
+// alignment origin of the full GIOP stream preserved.
+func (m *Message) BodyDecoder() *cdr.Decoder {
+	// Re-create the full-stream view so alignment offsets match encoding.
+	full := make([]byte, m.bodyOffset+len(m.Body))
+	copy(full[m.bodyOffset:], m.Body)
+	dec := cdr.NewDecoder(full, m.Header.LittleEndian)
+	dec.ReadOctets(m.bodyOffset) // skip to body
+	return dec
+}
+
+// encodeHeaderPlaceholder appends a 12-octet header with a zero size field;
+// patchSize fixes the size once the body is known.
+func encodeHeaderPlaceholder(enc *cdr.Encoder, v Version, t MsgType) {
+	enc.WriteOctets(magic[:])
+	enc.WriteOctet(v.Major)
+	enc.WriteOctet(v.Minor)
+	enc.WriteBoolean(enc.LittleEndian())
+	enc.WriteOctet(uint8(t))
+	enc.WriteULong(0)
+}
+
+func patchSize(frame []byte, littleEndian bool) {
+	size := uint32(len(frame) - HeaderSize)
+	b := frame[8:12]
+	if littleEndian {
+		b[0], b[1], b[2], b[3] = byte(size), byte(size>>8), byte(size>>16), byte(size>>24)
+	} else {
+		b[0], b[1], b[2], b[3] = byte(size>>24), byte(size>>16), byte(size>>8), byte(size)
+	}
+}
+
+func encodeServiceContexts(enc *cdr.Encoder, scs []ServiceContext) {
+	enc.WriteULong(uint32(len(scs)))
+	for _, sc := range scs {
+		enc.WriteULong(sc.ID)
+		enc.WriteOctetSeq(sc.Data)
+	}
+}
+
+func decodeServiceContexts(dec *cdr.Decoder) ([]ServiceContext, error) {
+	n, err := dec.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n)*8 > int64(dec.Remaining()) {
+		return nil, fmt.Errorf("giop: service context count %d too large", n)
+	}
+	var scs []ServiceContext
+	for i := uint32(0); i < n; i++ {
+		var sc ServiceContext
+		if sc.ID, err = dec.ReadULong(); err != nil {
+			return nil, err
+		}
+		if sc.Data, err = dec.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		scs = append(scs, sc)
+	}
+	return scs, nil
+}
+
+// MarshalRequest encodes a Request message. The version selects the header
+// layout: qos_params is emitted only for VQoS; passing QoS parameters with
+// V1_0 is an error (standard GIOP cannot carry them).
+func MarshalRequest(v Version, littleEndian bool, hdr *RequestHeader, body func(*cdr.Encoder)) ([]byte, error) {
+	if !v.Supported() {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
+	}
+	if len(hdr.QoS) > 0 && !v.QoSExtended() {
+		return nil, fmt.Errorf("giop: %v cannot carry qos_params; use VQoS", v)
+	}
+	enc := cdr.NewEncoder(littleEndian)
+	encodeHeaderPlaceholder(enc, v, MsgRequest)
+	encodeServiceContexts(enc, hdr.ServiceContext)
+	enc.WriteULong(hdr.RequestID)
+	enc.WriteBoolean(hdr.ResponseExpected)
+	enc.WriteOctetSeq(hdr.ObjectKey)
+	enc.WriteString(hdr.Operation)
+	if v.QoSExtended() {
+		qos.EncodeSet(enc, hdr.QoS)
+	}
+	enc.WriteOctetSeq(hdr.Principal)
+	if body != nil {
+		body(enc)
+	}
+	frame := enc.Bytes()
+	patchSize(frame, littleEndian)
+	return frame, nil
+}
+
+// MarshalReply encodes a Reply message. Replies are version-independent;
+// the version is echoed so a QoS-aware exchange stays self-describing.
+func MarshalReply(v Version, littleEndian bool, hdr *ReplyHeader, body func(*cdr.Encoder)) ([]byte, error) {
+	if !v.Supported() {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
+	}
+	enc := cdr.NewEncoder(littleEndian)
+	encodeHeaderPlaceholder(enc, v, MsgReply)
+	encodeServiceContexts(enc, hdr.ServiceContext)
+	enc.WriteULong(hdr.RequestID)
+	enc.WriteULong(uint32(hdr.Status))
+	if body != nil {
+		body(enc)
+	}
+	frame := enc.Bytes()
+	patchSize(frame, littleEndian)
+	return frame, nil
+}
+
+// MarshalCancelRequest encodes a CancelRequest message.
+func MarshalCancelRequest(v Version, littleEndian bool, requestID uint32) ([]byte, error) {
+	if !v.Supported() {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
+	}
+	enc := cdr.NewEncoder(littleEndian)
+	encodeHeaderPlaceholder(enc, v, MsgCancelRequest)
+	enc.WriteULong(requestID)
+	frame := enc.Bytes()
+	patchSize(frame, littleEndian)
+	return frame, nil
+}
+
+// MarshalLocateRequest encodes a LocateRequest message.
+func MarshalLocateRequest(v Version, littleEndian bool, requestID uint32, objectKey []byte) ([]byte, error) {
+	if !v.Supported() {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
+	}
+	enc := cdr.NewEncoder(littleEndian)
+	encodeHeaderPlaceholder(enc, v, MsgLocateRequest)
+	enc.WriteULong(requestID)
+	enc.WriteOctetSeq(objectKey)
+	frame := enc.Bytes()
+	patchSize(frame, littleEndian)
+	return frame, nil
+}
+
+// MarshalLocateReply encodes a LocateReply message. body (an IOR) is only
+// present for LocateObjectForward.
+func MarshalLocateReply(v Version, littleEndian bool, requestID uint32, status LocateStatus, body func(*cdr.Encoder)) ([]byte, error) {
+	if !v.Supported() {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
+	}
+	enc := cdr.NewEncoder(littleEndian)
+	encodeHeaderPlaceholder(enc, v, MsgLocateReply)
+	enc.WriteULong(requestID)
+	enc.WriteULong(uint32(status))
+	if body != nil {
+		body(enc)
+	}
+	frame := enc.Bytes()
+	patchSize(frame, littleEndian)
+	return frame, nil
+}
+
+// MarshalCloseConnection encodes a CloseConnection message (no body).
+func MarshalCloseConnection(v Version, littleEndian bool) ([]byte, error) {
+	return marshalBodyless(v, littleEndian, MsgCloseConnection)
+}
+
+// MarshalMessageError encodes a MessageError message (no body).
+func MarshalMessageError(v Version, littleEndian bool) ([]byte, error) {
+	return marshalBodyless(v, littleEndian, MsgMessageError)
+}
+
+func marshalBodyless(v Version, littleEndian bool, t MsgType) ([]byte, error) {
+	if !v.Supported() {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
+	}
+	enc := cdr.NewEncoder(littleEndian)
+	encodeHeaderPlaceholder(enc, v, t)
+	frame := enc.Bytes()
+	patchSize(frame, littleEndian)
+	return frame, nil
+}
+
+// DecodeHeader decodes the 12-octet GIOP header. The remaining Size octets
+// form the body.
+func DecodeHeader(frame []byte) (Header, error) {
+	var h Header
+	if len(frame) < HeaderSize {
+		return h, fmt.Errorf("%w: %d octets", ErrTruncated, len(frame))
+	}
+	if [4]byte(frame[:4]) != magic {
+		return h, fmt.Errorf("%w: % x", ErrBadMagic, frame[:4])
+	}
+	h.Version = Version{Major: frame[4], Minor: frame[5]}
+	if !h.Version.Supported() {
+		return h, fmt.Errorf("%w: %v", ErrUnsupportedVersion, h.Version)
+	}
+	h.LittleEndian = frame[6] != 0
+	h.Type = MsgType(frame[7])
+	if h.Type > MsgMessageError {
+		return h, fmt.Errorf("%w: %d", ErrBadMessageType, frame[7])
+	}
+	if h.LittleEndian {
+		h.Size = uint32(frame[8]) | uint32(frame[9])<<8 | uint32(frame[10])<<16 | uint32(frame[11])<<24
+	} else {
+		h.Size = uint32(frame[8])<<24 | uint32(frame[9])<<16 | uint32(frame[10])<<8 | uint32(frame[11])
+	}
+	if h.Size > MaxMessageSize {
+		return h, fmt.Errorf("%w: %d octets", ErrTooLarge, h.Size)
+	}
+	return h, nil
+}
+
+// Unmarshal decodes a complete GIOP message frame (header + body).
+func Unmarshal(frame []byte) (*Message, error) {
+	h, err := DecodeHeader(frame)
+	if err != nil {
+		return nil, err
+	}
+	if len(frame) != HeaderSize+int(h.Size) {
+		return nil, fmt.Errorf("%w: header says %d body octets, frame has %d",
+			ErrTruncated, h.Size, len(frame)-HeaderSize)
+	}
+	m := &Message{Header: h}
+	dec := cdr.NewDecoder(frame, h.LittleEndian)
+	if _, err := dec.ReadOctets(HeaderSize); err != nil {
+		return nil, err
+	}
+
+	fail := func(err error) (*Message, error) {
+		return nil, fmt.Errorf("giop: decode %v: %w", h.Type, err)
+	}
+	switch h.Type {
+	case MsgRequest:
+		var rh RequestHeader
+		if rh.ServiceContext, err = decodeServiceContexts(dec); err != nil {
+			return fail(err)
+		}
+		if rh.RequestID, err = dec.ReadULong(); err != nil {
+			return fail(err)
+		}
+		if rh.ResponseExpected, err = dec.ReadBoolean(); err != nil {
+			return fail(err)
+		}
+		if rh.ObjectKey, err = dec.ReadOctetSeq(); err != nil {
+			return fail(err)
+		}
+		if rh.Operation, err = dec.ReadString(); err != nil {
+			return fail(err)
+		}
+		if h.Version.QoSExtended() {
+			if rh.QoS, err = qos.DecodeSet(dec); err != nil {
+				return fail(err)
+			}
+		}
+		if rh.Principal, err = dec.ReadOctetSeq(); err != nil {
+			return fail(err)
+		}
+		m.Request = &rh
+	case MsgReply:
+		var rh ReplyHeader
+		if rh.ServiceContext, err = decodeServiceContexts(dec); err != nil {
+			return fail(err)
+		}
+		if rh.RequestID, err = dec.ReadULong(); err != nil {
+			return fail(err)
+		}
+		var st uint32
+		if st, err = dec.ReadULong(); err != nil {
+			return fail(err)
+		}
+		rh.Status = ReplyStatus(st)
+		m.Reply = &rh
+	case MsgCancelRequest:
+		var ch CancelRequestHeader
+		if ch.RequestID, err = dec.ReadULong(); err != nil {
+			return fail(err)
+		}
+		m.CancelRequest = &ch
+	case MsgLocateRequest:
+		var lh LocateRequestHeader
+		if lh.RequestID, err = dec.ReadULong(); err != nil {
+			return fail(err)
+		}
+		if lh.ObjectKey, err = dec.ReadOctetSeq(); err != nil {
+			return fail(err)
+		}
+		m.LocateRequest = &lh
+	case MsgLocateReply:
+		var lh LocateReplyHeader
+		if lh.RequestID, err = dec.ReadULong(); err != nil {
+			return fail(err)
+		}
+		var st uint32
+		if st, err = dec.ReadULong(); err != nil {
+			return fail(err)
+		}
+		lh.Status = LocateStatus(st)
+		m.LocateReply = &lh
+	case MsgCloseConnection, MsgMessageError:
+		// No body.
+	}
+	m.bodyOffset = dec.Pos()
+	m.Body = frame[dec.Pos():]
+	return m, nil
+}
+
+// WriteFrame writes a complete marshalled frame to w.
+func WriteFrame(w io.Writer, frame []byte) error {
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one GIOP message from a byte stream using the
+// message_size header field for framing, as IIOP does over TCP.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	h, err := DecodeHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, HeaderSize+int(h.Size))
+	copy(frame, hdr)
+	if _, err := io.ReadFull(r, frame[HeaderSize:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return frame, nil
+}

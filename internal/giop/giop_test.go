@@ -1,0 +1,468 @@
+package giop
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cool/internal/cdr"
+	"cool/internal/qos"
+)
+
+func TestHeaderWireFormat(t *testing.T) {
+	frame, err := MarshalCancelRequest(V1_0, cdr.BigEndian, 0x01020304)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		'G', 'I', 'O', 'P', // magic
+		1, 0, // version 1.0
+		0,                      // big-endian
+		byte(MsgCancelRequest), // type
+		0, 0, 0, 4,             // size
+		1, 2, 3, 4, // request id
+	}
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("frame = % x\nwant    % x", frame, want)
+	}
+}
+
+func TestVersionPredicates(t *testing.T) {
+	if V1_0.QoSExtended() {
+		t.Error("1.0 must not be QoS-extended")
+	}
+	if !VQoS.QoSExtended() {
+		t.Error("9.9 must be QoS-extended")
+	}
+	if !V1_0.Supported() || !VQoS.Supported() {
+		t.Error("both versions must be supported")
+	}
+	if (Version{2, 0}).Supported() {
+		t.Error("GIOP 2.0 is not supported")
+	}
+	if got := VQoS.String(); got != "GIOP 9.9" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func requestHeader(withQoS bool) *RequestHeader {
+	h := &RequestHeader{
+		ServiceContext:   []ServiceContext{{ID: 7, Data: []byte{0, 1, 2}}},
+		RequestID:        42,
+		ResponseExpected: true,
+		ObjectKey:        []byte("object-key-1"),
+		Operation:        "getFrame",
+		Principal:        []byte("client-a"),
+	}
+	if withQoS {
+		h.QoS = qos.Set{
+			{Type: qos.Throughput, Request: 2048, Max: qos.NoLimit, Min: 512},
+			{Type: qos.Latency, Request: 5000, Max: 20000, Min: 0},
+		}
+	}
+	return h
+}
+
+func TestRequestRoundTripBothVersions(t *testing.T) {
+	for _, tt := range []struct {
+		name    string
+		version Version
+		withQoS bool
+	}{
+		{"GIOP 1.0", V1_0, false},
+		{"GIOP 9.9 no qos", VQoS, false},
+		{"GIOP 9.9 with qos", VQoS, true},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			for _, little := range []bool{false, true} {
+				hdr := requestHeader(tt.withQoS)
+				frame, err := MarshalRequest(tt.version, little, hdr, func(e *cdr.Encoder) {
+					e.WriteULong(99)
+					e.WriteString("arg")
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := Unmarshal(frame)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Header.Type != MsgRequest || m.Header.Version != tt.version {
+					t.Fatalf("header = %+v", m.Header)
+				}
+				got := m.Request
+				if got == nil {
+					t.Fatal("no request header")
+				}
+				if got.RequestID != 42 || !got.ResponseExpected ||
+					string(got.ObjectKey) != "object-key-1" || got.Operation != "getFrame" ||
+					string(got.Principal) != "client-a" {
+					t.Fatalf("request = %+v", got)
+				}
+				if len(got.ServiceContext) != 1 || got.ServiceContext[0].ID != 7 {
+					t.Fatalf("service contexts = %+v", got.ServiceContext)
+				}
+				if !got.QoS.Equal(hdr.QoS) {
+					t.Fatalf("qos = %v, want %v", got.QoS, hdr.QoS)
+				}
+				dec := m.BodyDecoder()
+				if v, err := dec.ReadULong(); err != nil || v != 99 {
+					t.Fatalf("body ulong = %d, %v", v, err)
+				}
+				if s, err := dec.ReadString(); err != nil || s != "arg" {
+					t.Fatalf("body string = %q, %v", s, err)
+				}
+			}
+		})
+	}
+}
+
+func TestQoSParamsRejectedOnGIOP10(t *testing.T) {
+	hdr := requestHeader(true)
+	if _, err := MarshalRequest(V1_0, cdr.BigEndian, hdr, nil); err == nil {
+		t.Fatal("GIOP 1.0 must refuse qos_params")
+	}
+}
+
+func TestGIOP10And99RequestsDifferOnlyInQoSField(t *testing.T) {
+	// Backwards-compatibility check: a 9.9 Request without QoS is the 1.0
+	// encoding plus an empty sequence in the header, nothing else.
+	hdr := requestHeader(false)
+	f10, err := MarshalRequest(V1_0, cdr.BigEndian, hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f99, err := MarshalRequest(VQoS, cdr.BigEndian, hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f99) != len(f10)+4 {
+		t.Errorf("size delta = %d, want exactly 4 (empty qos_params count)", len(f99)-len(f10))
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	hdr := &ReplyHeader{RequestID: 42, Status: ReplyNoException}
+	frame, err := MarshalReply(VQoS, cdr.LittleEndian, hdr, func(e *cdr.Encoder) {
+		e.WriteDouble(2.5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reply == nil || m.Reply.RequestID != 42 || m.Reply.Status != ReplyNoException {
+		t.Fatalf("reply = %+v", m.Reply)
+	}
+	if v, err := m.BodyDecoder().ReadDouble(); err != nil || v != 2.5 {
+		t.Fatalf("body = %v, %v", v, err)
+	}
+}
+
+func TestNACKReplyRoundTrip(t *testing.T) {
+	// The paper's negative acknowledgement: SYSTEM_EXCEPTION/NO_RESOURCES.
+	nack := NoResources(3)
+	frame, err := MarshalReply(VQoS, cdr.BigEndian,
+		&ReplyHeader{RequestID: 7, Status: ReplySystemException}, nack.Encode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reply.Status != ReplySystemException {
+		t.Fatalf("status = %v", m.Reply.Status)
+	}
+	got, err := DecodeSystemException(m.BodyDecoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsNACK() || got.Minor != 3 || got.Completed != CompletedNo {
+		t.Fatalf("exception = %+v", got)
+	}
+	if got.Name() != "NO_RESOURCES" {
+		t.Fatalf("name = %q", got.Name())
+	}
+}
+
+func TestLocateRoundTrip(t *testing.T) {
+	frame, err := MarshalLocateRequest(V1_0, cdr.BigEndian, 5, []byte("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LocateRequest == nil || m.LocateRequest.RequestID != 5 || string(m.LocateRequest.ObjectKey) != "key" {
+		t.Fatalf("locate request = %+v", m.LocateRequest)
+	}
+
+	frame, err = MarshalLocateReply(V1_0, cdr.BigEndian, 5, LocateObjectHere, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LocateReply == nil || m.LocateReply.Status != LocateObjectHere {
+		t.Fatalf("locate reply = %+v", m.LocateReply)
+	}
+}
+
+func TestBodylessMessages(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		fn   func(Version, bool) ([]byte, error)
+		typ  MsgType
+	}{
+		{"close", MarshalCloseConnection, MsgCloseConnection},
+		{"error", MarshalMessageError, MsgMessageError},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			frame, err := tt.fn(V1_0, cdr.BigEndian)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(frame) != HeaderSize {
+				t.Fatalf("len = %d", len(frame))
+			}
+			m, err := Unmarshal(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Header.Type != tt.typ || m.Header.Size != 0 {
+				t.Fatalf("header = %+v", m.Header)
+			}
+		})
+	}
+}
+
+func TestDecodeHeaderErrors(t *testing.T) {
+	good, _ := MarshalCloseConnection(V1_0, cdr.BigEndian)
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeHeader(good[:4]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[0] = 'X'
+		if _, err := DecodeHeader(bad); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[4], bad[5] = 3, 1
+		if _, err := DecodeHeader(bad); !errors.Is(err, ErrUnsupportedVersion) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad type", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[7] = 200
+		if _, err := DecodeHeader(bad); !errors.Is(err, ErrBadMessageType) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("huge size", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[8], bad[9], bad[10], bad[11] = 0xFF, 0xFF, 0xFF, 0xFF
+		if _, err := DecodeHeader(bad); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("size mismatch", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[11] = 4 // claims 4 body octets that are not there
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestReadFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	f1, _ := MarshalCancelRequest(V1_0, cdr.BigEndian, 1)
+	f2, _ := MarshalCancelRequest(VQoS, cdr.LittleEndian, 2)
+	buf.Write(f1)
+	buf.Write(f2)
+
+	got1, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, f1) || !bytes.Equal(got2, f2) {
+		t.Fatal("frames not split correctly")
+	}
+	m2, err := Unmarshal(got2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.CancelRequest.RequestID != 2 {
+		t.Fatalf("request id = %d", m2.CancelRequest.RequestID)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	f, _ := MarshalLocateRequest(V1_0, cdr.BigEndian, 1, []byte("key"))
+	if _, err := ReadFrame(bytes.NewReader(f[:len(f)-2])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUserException(t *testing.T) {
+	e := &UserException{ID: "IDL:demo/NotReady:1.0", Data: []byte{1, 2}}
+	if e.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestSystemExceptionHelpers(t *testing.T) {
+	tests := []struct {
+		exc  *SystemException
+		name string
+		nack bool
+	}{
+		{NoResources(1), "NO_RESOURCES", true},
+		{BadOperation(), "BAD_OPERATION", false},
+		{ObjectNotExist(), "OBJECT_NOT_EXIST", false},
+		{CommFailure(0), "COMM_FAILURE", false},
+		{MarshalException(), "MARSHAL", false},
+		{Transient(2), "TRANSIENT", false},
+		{UnknownException(), "UNKNOWN", false},
+	}
+	for _, tt := range tests {
+		if tt.exc.Name() != tt.name {
+			t.Errorf("Name() = %q, want %q", tt.exc.Name(), tt.name)
+		}
+		if tt.exc.IsNACK() != tt.nack {
+			t.Errorf("%s IsNACK = %v", tt.name, tt.exc.IsNACK())
+		}
+		if tt.exc.Error() == "" {
+			t.Errorf("%s empty Error()", tt.name)
+		}
+	}
+}
+
+// Property: any request header round-trips through VQoS marshalling.
+func TestQuickRequestRoundTrip(t *testing.T) {
+	f := func(id uint32, resp bool, key []byte, op string, principal []byte,
+		qosRaw []struct {
+			T   uint8
+			Req uint32
+		}, little bool) bool {
+		op = sanitizeString(op)
+		var set qos.Set
+		for _, q := range qosRaw {
+			set = append(set, qos.Parameter{
+				Type: qos.ParamType(q.T), Request: q.Req, Max: qos.NoLimit,
+			})
+		}
+		hdr := &RequestHeader{
+			RequestID:        id,
+			ResponseExpected: resp,
+			ObjectKey:        key,
+			Operation:        op,
+			QoS:              set,
+			Principal:        principal,
+		}
+		frame, err := MarshalRequest(VQoS, little, hdr, nil)
+		if err != nil {
+			return false
+		}
+		m, err := Unmarshal(frame)
+		if err != nil {
+			return false
+		}
+		r := m.Request
+		return r.RequestID == id && r.ResponseExpected == resp &&
+			bytes.Equal(r.ObjectKey, key) && r.Operation == op &&
+			bytes.Equal(r.Principal, principal) && len(r.QoS) == len(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary input.
+func TestQuickUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	// Also fuzz bodies behind a valid header.
+	g := func(body []byte, typ uint8, little bool) bool {
+		enc := cdr.NewEncoder(little)
+		enc.WriteOctets([]byte("GIOP"))
+		enc.WriteOctet(9)
+		enc.WriteOctet(9)
+		enc.WriteBoolean(little)
+		enc.WriteOctet(typ % 7)
+		enc.WriteULong(uint32(len(body)))
+		enc.WriteOctets(body)
+		Unmarshal(enc.Bytes())
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeString(s string) string {
+	b := make([]byte, 0, len(s))
+	for _, c := range []byte(s) {
+		if c != 0 {
+			b = append(b, c)
+		}
+	}
+	return string(b)
+}
+
+func BenchmarkMarshalRequestGIOP10(b *testing.B) {
+	hdr := requestHeader(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalRequest(V1_0, cdr.BigEndian, hdr, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalRequestQoS(b *testing.B) {
+	hdr := requestHeader(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalRequest(VQoS, cdr.BigEndian, hdr, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalRequestQoS(b *testing.B) {
+	frame, err := MarshalRequest(VQoS, cdr.BigEndian, requestHeader(true), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package idl
+
+import "strings"
+
+// BasicKind enumerates the supported CORBA basic types.
+type BasicKind int
+
+// Basic types.
+const (
+	Void BasicKind = iota
+	Boolean
+	Octet
+	Char
+	Short
+	UShort
+	Long
+	ULong
+	LongLong
+	ULongLong
+	Float
+	Double
+	String
+)
+
+var basicNames = map[BasicKind]string{
+	Void: "void", Boolean: "boolean", Octet: "octet", Char: "char",
+	Short: "short", UShort: "unsigned short", Long: "long",
+	ULong: "unsigned long", LongLong: "long long",
+	ULongLong: "unsigned long long", Float: "float", Double: "double",
+	String: "string",
+}
+
+func (k BasicKind) String() string { return basicNames[k] }
+
+// Type is a resolved or named IDL type reference.
+type Type struct {
+	// Exactly one of the following shapes:
+	// Basic type: Named == "" && Seq == nil.
+	Basic BasicKind
+	// sequence<Elem>: Seq != nil.
+	Seq *Type
+	// Named user type (struct/enum/typedef/interface): Named != "".
+	Named string
+}
+
+// IsVoid reports the void return type.
+func (t Type) IsVoid() bool { return t.Named == "" && t.Seq == nil && t.Basic == Void }
+
+func (t Type) String() string {
+	switch {
+	case t.Seq != nil:
+		return "sequence<" + t.Seq.String() + ">"
+	case t.Named != "":
+		return t.Named
+	default:
+		return t.Basic.String()
+	}
+}
+
+// ParamDir is a parameter passing direction.
+type ParamDir int
+
+// Parameter directions.
+const (
+	DirIn ParamDir = iota + 1
+	DirOut
+	DirInOut
+)
+
+func (d ParamDir) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	case DirInOut:
+		return "inout"
+	}
+	return "?"
+}
+
+// Param is one operation parameter.
+type Param struct {
+	Dir  ParamDir
+	Type Type
+	Name string
+}
+
+// Operation is one interface operation.
+type Operation struct {
+	Oneway bool
+	Return Type
+	Name   string
+	Params []Param
+	Raises []string // scoped exception names
+	Line   int
+}
+
+// Member is a struct or exception member.
+type Member struct {
+	Type Type
+	Name string
+}
+
+// StructDef is an IDL struct.
+type StructDef struct {
+	Name    string
+	Members []Member
+	// Scope is the enclosing module path (e.g. "demo" or "a/b").
+	Scope string
+}
+
+// EnumDef is an IDL enum.
+type EnumDef struct {
+	Name       string
+	Enumerants []string
+	Scope      string
+}
+
+// TypedefDef aliases a type.
+type TypedefDef struct {
+	Name  string
+	Type  Type
+	Scope string
+}
+
+// ExceptionDef is an IDL exception.
+type ExceptionDef struct {
+	Name    string
+	Members []Member
+	Scope   string
+}
+
+// ConstDef is an IDL constant (long or string).
+type ConstDef struct {
+	Name  string
+	Type  Type
+	Value string // literal text
+	Scope string
+}
+
+// InterfaceDef is an IDL interface.
+type InterfaceDef struct {
+	Name string
+	// Bases are the scoped names of inherited interfaces (flattened by the
+	// checker into AllOps).
+	Bases      []string
+	Operations []Operation
+	Scope      string
+	// AllOps is filled by Check: own + inherited operations.
+	AllOps []Operation
+}
+
+// RepoID returns the CORBA repository id of a scoped definition.
+func RepoID(scope, name string) string {
+	if scope == "" {
+		return "IDL:" + name + ":1.0"
+	}
+	return "IDL:" + scope + "/" + name + ":1.0"
+}
+
+// ScopedName joins scope and name with '/'.
+func ScopedName(scope, name string) string {
+	if scope == "" {
+		return name
+	}
+	return scope + "/" + name
+}
+
+// Spec is a parsed IDL specification (flattened across modules; each
+// definition keeps its scope).
+type Spec struct {
+	Structs    []*StructDef
+	Enums      []*EnumDef
+	Typedefs   []*TypedefDef
+	Exceptions []*ExceptionDef
+	Consts     []*ConstDef
+	Interfaces []*InterfaceDef
+}
+
+// LookupInterface finds an interface by scoped name, or by bare name when
+// unambiguous.
+func (s *Spec) LookupInterface(name string) *InterfaceDef {
+	for _, it := range s.Interfaces {
+		if ScopedName(it.Scope, it.Name) == name || it.Name == name {
+			return it
+		}
+	}
+	return nil
+}
+
+// namedKind classifies a user-defined type name during checking.
+type namedKind int
+
+const (
+	kindUnknown namedKind = iota
+	kindStruct
+	kindEnum
+	kindTypedef
+	kindInterface
+	kindException
+)
+
+// symbol table entry.
+type symbol struct {
+	kind  namedKind
+	def   any
+	scope string
+	name  string
+}
+
+// scopedLookup resolves a (possibly qualified) name from a usage scope:
+// first the innermost scope, then enclosing scopes, then the global scope.
+func scopedLookup(table map[string]symbol, useScope, name string) (symbol, bool) {
+	name = strings.TrimPrefix(name, "::")
+	if strings.Contains(name, "::") {
+		name = strings.ReplaceAll(name, "::", "/")
+	}
+	scope := useScope
+	for {
+		key := ScopedName(scope, name)
+		if sym, ok := table[key]; ok {
+			return sym, ok
+		}
+		if scope == "" {
+			break
+		}
+		if i := strings.LastIndex(scope, "/"); i >= 0 {
+			scope = scope[:i]
+		} else {
+			scope = ""
+		}
+	}
+	sym, ok := table[name]
+	return sym, ok
+}

@@ -1,0 +1,236 @@
+package idl
+
+import (
+	"fmt"
+)
+
+// Check performs semantic analysis on a parsed spec: name uniqueness,
+// type resolution (rewriting named type references to their canonical
+// scoped form), raises-clause validation and interface inheritance
+// flattening. It mutates the spec in place.
+func Check(s *Spec) error {
+	table := make(map[string]symbol)
+	add := func(scope, name string, kind namedKind, def any) error {
+		key := ScopedName(scope, name)
+		if _, dup := table[key]; dup {
+			return fmt.Errorf("idl: duplicate definition %q", key)
+		}
+		table[key] = symbol{kind: kind, def: def, scope: scope, name: name}
+		return nil
+	}
+	for _, d := range s.Structs {
+		if err := add(d.Scope, d.Name, kindStruct, d); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Enums {
+		if err := add(d.Scope, d.Name, kindEnum, d); err != nil {
+			return err
+		}
+		seen := map[string]bool{}
+		for _, e := range d.Enumerants {
+			if seen[e] {
+				return fmt.Errorf("idl: enum %s: duplicate enumerant %q", d.Name, e)
+			}
+			seen[e] = true
+		}
+	}
+	for _, d := range s.Typedefs {
+		if err := add(d.Scope, d.Name, kindTypedef, d); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Exceptions {
+		if err := add(d.Scope, d.Name, kindException, d); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Interfaces {
+		if err := add(d.Scope, d.Name, kindInterface, d); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Consts {
+		if err := add(d.Scope, d.Name, kindUnknown, d); err != nil {
+			return err
+		}
+	}
+
+	c := &checker{table: table}
+
+	for _, d := range s.Structs {
+		for i := range d.Members {
+			if err := c.resolveType(&d.Members[i].Type, d.Scope, false); err != nil {
+				return fmt.Errorf("idl: struct %s, member %s: %w", d.Name, d.Members[i].Name, err)
+			}
+		}
+		if err := uniqueMembers("struct "+d.Name, d.Members); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Exceptions {
+		for i := range d.Members {
+			if err := c.resolveType(&d.Members[i].Type, d.Scope, false); err != nil {
+				return fmt.Errorf("idl: exception %s, member %s: %w", d.Name, d.Members[i].Name, err)
+			}
+		}
+		if err := uniqueMembers("exception "+d.Name, d.Members); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Typedefs {
+		if err := c.resolveType(&d.Type, d.Scope, false); err != nil {
+			return fmt.Errorf("idl: typedef %s: %w", d.Name, err)
+		}
+	}
+	for _, d := range s.Interfaces {
+		if err := c.checkInterface(d); err != nil {
+			return err
+		}
+	}
+	// Flatten inheritance after all interfaces are individually checked.
+	for _, d := range s.Interfaces {
+		ops, err := c.flatten(d, map[string]bool{})
+		if err != nil {
+			return err
+		}
+		d.AllOps = ops
+		names := map[string]bool{}
+		for _, op := range ops {
+			if names[op.Name] {
+				return fmt.Errorf("idl: interface %s: duplicate operation %q (possibly inherited)", d.Name, op.Name)
+			}
+			names[op.Name] = true
+		}
+	}
+	return nil
+}
+
+func uniqueMembers(what string, members []Member) error {
+	seen := map[string]bool{}
+	for _, m := range members {
+		if seen[m.Name] {
+			return fmt.Errorf("idl: %s: duplicate member %q", what, m.Name)
+		}
+		seen[m.Name] = true
+	}
+	return nil
+}
+
+type checker struct {
+	table map[string]symbol
+}
+
+// resolveType validates a type reference and canonicalises Named to the
+// scoped form. Interfaces are valid types only where references make sense;
+// this subset forbids them as data members (no object-reference members).
+func (c *checker) resolveType(t *Type, useScope string, allowInterface bool) error {
+	switch {
+	case t.Seq != nil:
+		return c.resolveType(t.Seq, useScope, false)
+	case t.Named != "":
+		sym, ok := scopedLookup(c.table, useScope, t.Named)
+		if !ok {
+			return fmt.Errorf("unknown type %q", t.Named)
+		}
+		switch sym.kind {
+		case kindStruct, kindEnum, kindTypedef:
+		case kindInterface:
+			if !allowInterface {
+				return fmt.Errorf("interface %q cannot be used as a data type in this subset", t.Named)
+			}
+		case kindException:
+			return fmt.Errorf("exception %q cannot be used as a data type", t.Named)
+		default:
+			return fmt.Errorf("%q is not a type", t.Named)
+		}
+		t.Named = ScopedName(sym.scope, sym.name)
+		return nil
+	default:
+		if t.Basic == Void {
+			return fmt.Errorf("void is only valid as a return type")
+		}
+		return nil
+	}
+}
+
+func (c *checker) checkInterface(d *InterfaceDef) error {
+	names := map[string]bool{}
+	for i := range d.Operations {
+		op := &d.Operations[i]
+		if names[op.Name] {
+			return fmt.Errorf("idl: interface %s: duplicate operation %q", d.Name, op.Name)
+		}
+		names[op.Name] = true
+		if !op.Return.IsVoid() {
+			if err := c.resolveType(&op.Return, d.Scope, false); err != nil {
+				return fmt.Errorf("idl: %s.%s return: %w", d.Name, op.Name, err)
+			}
+		}
+		pnames := map[string]bool{}
+		for j := range op.Params {
+			param := &op.Params[j]
+			if pnames[param.Name] {
+				return fmt.Errorf("idl: %s.%s: duplicate parameter %q", d.Name, op.Name, param.Name)
+			}
+			pnames[param.Name] = true
+			if err := c.resolveType(&param.Type, d.Scope, false); err != nil {
+				return fmt.Errorf("idl: %s.%s parameter %s: %w", d.Name, op.Name, param.Name, err)
+			}
+		}
+		if op.Oneway {
+			if !op.Return.IsVoid() {
+				return fmt.Errorf("idl: %s.%s: oneway operations must return void", d.Name, op.Name)
+			}
+			for _, param := range op.Params {
+				if param.Dir != DirIn {
+					return fmt.Errorf("idl: %s.%s: oneway operations allow only `in` parameters", d.Name, op.Name)
+				}
+			}
+			if len(op.Raises) > 0 {
+				return fmt.Errorf("idl: %s.%s: oneway operations cannot raise exceptions", d.Name, op.Name)
+			}
+		}
+		for k, r := range op.Raises {
+			sym, ok := scopedLookup(c.table, d.Scope, r)
+			if !ok || sym.kind != kindException {
+				return fmt.Errorf("idl: %s.%s raises unknown exception %q", d.Name, op.Name, r)
+			}
+			op.Raises[k] = ScopedName(sym.scope, sym.name)
+		}
+	}
+	// Resolve base names.
+	for i, b := range d.Bases {
+		sym, ok := scopedLookup(c.table, d.Scope, b)
+		if !ok || sym.kind != kindInterface {
+			return fmt.Errorf("idl: interface %s inherits unknown interface %q", d.Name, b)
+		}
+		d.Bases[i] = ScopedName(sym.scope, sym.name)
+	}
+	return nil
+}
+
+// flatten collects own + inherited operations, detecting cycles.
+func (c *checker) flatten(d *InterfaceDef, visiting map[string]bool) ([]Operation, error) {
+	key := ScopedName(d.Scope, d.Name)
+	if visiting[key] {
+		return nil, fmt.Errorf("idl: interface inheritance cycle through %q", key)
+	}
+	visiting[key] = true
+	defer delete(visiting, key)
+	var ops []Operation
+	for _, b := range d.Bases {
+		sym := c.table[b]
+		base, ok := sym.def.(*InterfaceDef)
+		if !ok {
+			return nil, fmt.Errorf("idl: base %q is not an interface", b)
+		}
+		baseOps, err := c.flatten(base, visiting)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, baseOps...)
+	}
+	ops = append(ops, d.Operations...)
+	return ops, nil
+}

@@ -1,0 +1,287 @@
+package gentest_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cool/internal/idl"
+	"cool/internal/idl/gen"
+	"cool/internal/idl/gen/gentest"
+	"cool/internal/orb"
+)
+
+// sinkImpl implements the generated kitchen.Sink interface.
+type sinkImpl struct {
+	fired  chan string
+	ticket uint32
+}
+
+var _ gentest.Sink = (*sinkImpl)(nil)
+
+func (s *sinkImpl) Take() (gentest.Ticket, error) {
+	s.ticket++
+	return s.ticket, nil
+}
+
+func (s *sinkImpl) Roundtrip(h gentest.Holder) (gentest.Holder, error) {
+	if h.Mood == gentest.MoodGRUMPY {
+		return gentest.Holder{}, &gentest.Sour{Why: "grumpy input", Code: -7}
+	}
+	return h, nil
+}
+
+func (s *sinkImpl) Swap(in gentest.Scalars) (gentest.Scalars, gentest.Scalars, error) {
+	// Return value: the input doubled where sensible; inout: negated long.
+	out := in
+	out.L = -in.L
+	return in, out, nil
+}
+
+func (s *sinkImpl) Scatter(hs gentest.HolderList) (int32, error) {
+	return int32(len(hs)), nil
+}
+
+func (s *sinkImpl) Blob(data []byte) ([]byte, error) {
+	out := make([]byte, len(data))
+	for i, b := range data {
+		out[i] = ^b
+	}
+	return out, nil
+}
+
+func (s *sinkImpl) Fire(tag string) {
+	select {
+	case s.fired <- tag:
+	default:
+	}
+}
+
+func newSink(t *testing.T) (*gentest.SinkStub, *sinkImpl) {
+	t.Helper()
+	o := orb.New(orb.WithName("gentest"))
+	t.Cleanup(o.Shutdown)
+	impl := &sinkImpl{fired: make(chan string, 4)}
+	ref, err := o.RegisterServant(gentest.NewSinkSkeleton(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Colocated: exercises full marshalling without a transport.
+	return gentest.NewSinkStub(o.Resolve(ref)), impl
+}
+
+func sampleScalars() gentest.Scalars {
+	return gentest.Scalars{
+		B: true, O: 0xAB, C: 'x', S: -12345, Us: 54321,
+		L: -2_000_000_000, Ul: 4_000_000_000,
+		Ll: math.MinInt64 + 7, Ull: math.MaxUint64 - 9,
+		F: 3.25, D: -6.022e23, Str: "scalars!",
+	}
+}
+
+func sampleHolder() gentest.Holder {
+	return gentest.Holder{
+		Inner:   sampleScalars(),
+		Numbers: []int32{-1, 0, 1, math.MaxInt32, math.MinInt32},
+		Blob:    []byte{0, 1, 2, 254, 255},
+		Names:   []string{"a", "", "long name with spaces"},
+		Mood:    gentest.MoodHAPPY,
+	}
+}
+
+func TestAllTypesRoundTrip(t *testing.T) {
+	stub, _ := newSink(t)
+	want := sampleHolder()
+	got, err := stub.Roundtrip(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mutated value:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestInheritedOperation(t *testing.T) {
+	stub, _ := newSink(t)
+	t1, err := stub.Take()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := stub.Take()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 != t1+1 {
+		t.Fatalf("tickets = %d, %d", t1, t2)
+	}
+}
+
+func TestInOutParameter(t *testing.T) {
+	stub, _ := newSink(t)
+	in := sampleScalars()
+	ret, swapped, err := stub.Swap(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ret, in) {
+		t.Fatalf("return = %+v", ret)
+	}
+	if swapped.L != -in.L {
+		t.Fatalf("inout L = %d, want %d", swapped.L, -in.L)
+	}
+}
+
+func TestOutParameterAndTypedefSeq(t *testing.T) {
+	stub, _ := newSink(t)
+	hs := gentest.HolderList{sampleHolder(), sampleHolder(), sampleHolder()}
+	count, err := stub.Scatter(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+	count, err = stub.Scatter(nil)
+	if err != nil || count != 0 {
+		t.Fatalf("empty list: %d, %v", count, err)
+	}
+}
+
+func TestOctetSeq(t *testing.T) {
+	stub, _ := newSink(t)
+	in := []byte{1, 2, 3, 0xFF}
+	out, err := stub.Blob(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xFE, 0xFD, 0xFC, 0x00}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("blob = %x", out)
+	}
+}
+
+func TestGeneratedExceptionWithMembers(t *testing.T) {
+	stub, _ := newSink(t)
+	grumpy := sampleHolder()
+	grumpy.Mood = gentest.MoodGRUMPY
+	_, err := stub.Roundtrip(grumpy)
+	var sour *gentest.Sour
+	if !errors.As(err, &sour) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if sour.Why != "grumpy input" || sour.Code != -7 {
+		t.Fatalf("exception = %+v", sour)
+	}
+}
+
+func TestGeneratedOnewayColocated(t *testing.T) {
+	stub, impl := newSink(t)
+	if err := stub.Fire("now"); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-impl.fired; got != "now" {
+		t.Fatalf("fired = %q", got)
+	}
+}
+
+func TestGeneratedConstants(t *testing.T) {
+	if gentest.MagicNumber != 42 {
+		t.Error("MagicNumber")
+	}
+	if gentest.Greeting != "hello" {
+		t.Error("Greeting")
+	}
+	if !gentest.Enabled {
+		t.Error("Enabled")
+	}
+}
+
+// Property: arbitrary Holder values survive the generated marshal path.
+func TestQuickHolderRoundTrip(t *testing.T) {
+	stub, _ := newSink(t)
+	f := func(l int32, ul uint32, d float64, str string, nums []int32, blob []byte, mood uint8) bool {
+		h := gentest.Holder{
+			Inner: gentest.Scalars{
+				L: l, Ul: ul, D: d,
+				Str: sanitize(str),
+			},
+			Numbers: nums,
+			Blob:    blob,
+			Names:   []string{sanitize(str)},
+			Mood:    gentest.Mood(mood % 3),
+		}
+		if h.Mood == gentest.MoodGRUMPY {
+			h.Mood = gentest.MoodNEUTRAL
+		}
+		got, err := stub.Roundtrip(h)
+		if err != nil {
+			return false
+		}
+		// nil and empty slices are equivalent on the wire.
+		return equalHolder(got, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalHolder(a, b gentest.Holder) bool {
+	if a.Inner != b.Inner || a.Mood != b.Mood {
+		return false
+	}
+	if len(a.Numbers) != len(b.Numbers) || len(a.Blob) != len(b.Blob) || len(a.Names) != len(b.Names) {
+		return false
+	}
+	for i := range a.Numbers {
+		if a.Numbers[i] != b.Numbers[i] {
+			return false
+		}
+	}
+	if !bytes.Equal(a.Blob, b.Blob) {
+		return false
+	}
+	for i := range a.Names {
+		if a.Names[i] != b.Names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sanitize(s string) string {
+	b := make([]byte, 0, len(s))
+	for _, c := range []byte(s) {
+		if c != 0 {
+			b = append(b, c)
+		}
+	}
+	return string(b)
+}
+
+// TestGenFresh keeps the committed generated file in sync with the
+// generator.
+func TestGenFresh(t *testing.T) {
+	src, err := os.ReadFile("all.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := idl.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := gen.Generate(spec, gen.Options{Package: "gentest", Source: "all.idl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile("all.gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, committed) {
+		t.Fatal("all.gen.go is stale; rerun chic")
+	}
+}

@@ -1,0 +1,296 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleIDL = `
+// A representative slice of the supported subset.
+module demo {
+  const long MaxThings = 99;
+  const string Motto = "qos";
+  const boolean Flag = TRUE;
+
+  enum Color { RED, GREEN, BLUE };
+
+  struct Point {
+    long x;
+    long y;
+  };
+
+  struct Shape {
+    string name;
+    sequence<Point> points;
+    Color color;
+  };
+
+  typedef sequence<Shape> ShapeList;
+  typedef unsigned long Count;
+
+  exception BadShape { string reason; };
+
+  interface Canvas {
+    void draw(in Shape s) raises (BadShape);
+    Shape get(in Count idx, out boolean found);
+    oneway void clear();
+    long long area();
+  };
+
+  interface Canvas3D : Canvas {
+    double depth(inout double scale);
+  };
+};
+`
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`module a { interface B : ::x::Y {}; };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []TokenKind{
+		TokKeyword, TokIdent, TokLBrace, TokKeyword, TokIdent, TokColon,
+		TokScope, TokIdent, TokScope, TokIdent, TokLBrace, TokRBrace,
+		TokSemi, TokRBrace, TokSemi, TokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := `
+// line comment
+/* block
+   comment */
+# pragma ignored
+module /* inline */ x {};
+`
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "module" || toks[1].Text != "x" {
+		t.Fatalf("toks = %v", toks[:3])
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "/* never closed", "@"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSample(t *testing.T) {
+	spec, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Structs) != 2 || len(spec.Enums) != 1 || len(spec.Typedefs) != 2 ||
+		len(spec.Exceptions) != 1 || len(spec.Interfaces) != 2 || len(spec.Consts) != 3 {
+		t.Fatalf("spec counts: %d structs %d enums %d typedefs %d exceptions %d interfaces %d consts",
+			len(spec.Structs), len(spec.Enums), len(spec.Typedefs),
+			len(spec.Exceptions), len(spec.Interfaces), len(spec.Consts))
+	}
+
+	canvas := spec.LookupInterface("demo/Canvas")
+	if canvas == nil {
+		t.Fatal("demo/Canvas not found")
+	}
+	if len(canvas.AllOps) != 4 {
+		t.Fatalf("Canvas ops = %d", len(canvas.AllOps))
+	}
+	if RepoID(canvas.Scope, canvas.Name) != "IDL:demo/Canvas:1.0" {
+		t.Fatalf("repo id = %q", RepoID(canvas.Scope, canvas.Name))
+	}
+
+	// Inheritance flattening: Canvas3D = 4 inherited + 1 own.
+	c3d := spec.LookupInterface("demo/Canvas3D")
+	if c3d == nil || len(c3d.AllOps) != 5 {
+		t.Fatalf("Canvas3D ops = %+v", c3d)
+	}
+
+	// Type resolution rewrote names to scoped form.
+	shape := spec.Structs[1]
+	if shape.Name != "Shape" {
+		t.Fatalf("struct order: %q", shape.Name)
+	}
+	if shape.Members[1].Type.Seq.Named != "demo/Point" {
+		t.Fatalf("points type = %v", shape.Members[1].Type)
+	}
+	if shape.Members[2].Type.Named != "demo/Color" {
+		t.Fatalf("color type = %v", shape.Members[2].Type)
+	}
+
+	// Raises resolution.
+	if canvas.AllOps[0].Raises[0] != "demo/BadShape" {
+		t.Fatalf("raises = %v", canvas.AllOps[0].Raises)
+	}
+}
+
+func TestParseMultiWordTypes(t *testing.T) {
+	spec, err := Parse(`
+struct T {
+  unsigned short a;
+  unsigned long b;
+  unsigned long long c;
+  long long d;
+};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.Structs[0].Members
+	want := []BasicKind{UShort, ULong, ULongLong, LongLong}
+	for i, k := range want {
+		if m[i].Type.Basic != k {
+			t.Errorf("member %d = %v, want %v", i, m[i].Type.Basic, k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"missing semi", `module a { }`},
+		{"unknown type", `interface I { void f(in Mystery x); };`},
+		{"dup op", `interface I { void f(); void f(); };`},
+		{"dup struct member", `struct S { long a; long a; };`},
+		{"dup enumerant", `enum E { A, A };`},
+		{"dup definition", `struct S { long a; }; struct S { long b; };`},
+		{"oneway returns value", `interface I { oneway long f(); };`},
+		{"oneway with out", `interface I { oneway void f(out long x); };`},
+		{"oneway raises", `exception E { long a; }; interface I { oneway void f() raises (E); };`},
+		{"raises unknown", `interface I { void f() raises (Nope); };`},
+		{"raises non-exception", `struct S { long a; }; interface I { void f() raises (S); };`},
+		{"exception as member", `exception E { long a; }; struct S { E e; };`},
+		{"interface as member", `interface I {}; struct S { I x; };`},
+		{"void member", `struct S { void v; };`},
+		{"inherit unknown", `interface I : Ghost {};`},
+		{"inherited dup op", `interface A { void f(); }; interface B { void f(); }; interface C : A, B {};`},
+		{"bad const literal", `const long x = foo;`},
+		{"garbage", `banana { };`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil {
+				t.Fatalf("Parse(%q) should fail", tt.src)
+			}
+		})
+	}
+}
+
+func TestInheritanceCycle(t *testing.T) {
+	// Cycles require a forward declaration to express.
+	src := `
+interface A;
+interface B : A { void g(); };
+interface A : B { void f(); };
+`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("cycle should be rejected")
+	}
+}
+
+func TestNestedModules(t *testing.T) {
+	spec, err := Parse(`
+module outer {
+  module inner {
+    struct S { long v; };
+  };
+  interface I { inner::S get(); };
+};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := spec.LookupInterface("outer/I")
+	if it == nil {
+		t.Fatal("outer/I not found")
+	}
+	if it.AllOps[0].Return.Named != "outer/inner/S" {
+		t.Fatalf("return type = %v", it.AllOps[0].Return)
+	}
+	if RepoID("outer/inner", "S") != "IDL:outer/inner/S:1.0" {
+		t.Fatal("scoped repo id wrong")
+	}
+}
+
+func TestScopedLookupFromInnerScope(t *testing.T) {
+	// A name defined in an enclosing module is visible without
+	// qualification.
+	spec, err := Parse(`
+module a {
+  struct S { long v; };
+  module b {
+    interface I { S get(); };
+  };
+};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := spec.LookupInterface("a/b/I")
+	if it.AllOps[0].Return.Named != "a/S" {
+		t.Fatalf("return type = %v", it.AllOps[0].Return)
+	}
+}
+
+func TestForwardDeclarationIgnored(t *testing.T) {
+	spec, err := Parse(`
+interface Later;
+interface Later { void f(); };
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Interfaces) != 1 {
+		t.Fatalf("interfaces = %d", len(spec.Interfaces))
+	}
+}
+
+// Property: Parse never panics on arbitrary input.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Also mutate valid source by truncation: common parser crash source.
+	for i := 0; i < len(sampleIDL); i += 37 {
+		Parse(sampleIDL[:i])
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	ty := Type{Seq: &Type{Named: "demo/Point"}}
+	if got := ty.String(); got != "sequence<demo/Point>" {
+		t.Fatalf("String = %q", got)
+	}
+	if (Type{Basic: ULong}).String() != "unsigned long" {
+		t.Fatal("basic String wrong")
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("module a {\n  banana;\n};")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "idl:2:") {
+		t.Fatalf("error lacks position: %v", err)
+	}
+}

@@ -1,0 +1,498 @@
+package idl
+
+import (
+	"strings"
+)
+
+// Parser is a recursive-descent parser for the supported IDL subset.
+type Parser struct {
+	toks []Token
+	pos  int
+	spec *Spec
+}
+
+// Parse parses IDL source into a checked Spec.
+func Parse(src string) (*Spec, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, spec: &Spec{}}
+	if err := p.parseDefinitions(""); err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		t := p.peek()
+		return nil, errAt(t.Line, t.Col, "unexpected %v at top level", t)
+	}
+	if err := Check(p.spec); err != nil {
+		return nil, err
+	}
+	return p.spec, nil
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+// acceptKeyword consumes kw if it is next.
+func (p *Parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokenKind) (Token, error) {
+	t := p.next()
+	if t.Kind != kind {
+		return t, errAt(t.Line, t.Col, "expected %v, found %v", kind, t)
+	}
+	return t, nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return errAt(t.Line, t.Col, "expected %q, found %v", kw, t)
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return "", errAt(t.Line, t.Col, "expected identifier, found %v", t)
+	}
+	return t.Text, nil
+}
+
+// parseDefinitions parses definitions until '}' or EOF.
+func (p *Parser) parseDefinitions(scope string) error {
+	for {
+		t := p.peek()
+		if t.Kind == TokEOF || t.Kind == TokRBrace {
+			return nil
+		}
+		if t.Kind != TokKeyword {
+			return errAt(t.Line, t.Col, "expected definition, found %v", t)
+		}
+		var err error
+		switch t.Text {
+		case "module":
+			err = p.parseModule(scope)
+		case "interface":
+			err = p.parseInterface(scope)
+		case "struct":
+			err = p.parseStruct(scope)
+		case "enum":
+			err = p.parseEnum(scope)
+		case "typedef":
+			err = p.parseTypedef(scope)
+		case "exception":
+			err = p.parseException(scope)
+		case "const":
+			err = p.parseConst(scope)
+		default:
+			return errAt(t.Line, t.Col, "unexpected keyword %q", t.Text)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (p *Parser) parseModule(scope string) error {
+	if err := p.expectKeyword("module"); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	if err := p.parseDefinitions(ScopedName(scope, name)); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return err
+	}
+	_, err = p.expect(TokSemi)
+	return err
+}
+
+func (p *Parser) parseInterface(scope string) error {
+	if err := p.expectKeyword("interface"); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	it := &InterfaceDef{Name: name, Scope: scope}
+	// Forward declaration: `interface Foo;`
+	if p.peek().Kind == TokSemi {
+		p.next()
+		return nil
+	}
+	if p.peek().Kind == TokColon {
+		p.next()
+		for {
+			base, err := p.parseScopedName()
+			if err != nil {
+				return err
+			}
+			it.Bases = append(it.Bases, base)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	for p.peek().Kind != TokRBrace {
+		op, err := p.parseOperation()
+		if err != nil {
+			return err
+		}
+		it.Operations = append(it.Operations, op)
+	}
+	p.next() // '}'
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	p.spec.Interfaces = append(p.spec.Interfaces, it)
+	return nil
+}
+
+func (p *Parser) parseOperation() (Operation, error) {
+	var op Operation
+	t := p.peek()
+	op.Line = t.Line
+	if p.acceptKeyword("oneway") {
+		op.Oneway = true
+	}
+	ret, err := p.parseTypeOrVoid()
+	if err != nil {
+		return op, err
+	}
+	op.Return = ret
+	if op.Name, err = p.expectIdent(); err != nil {
+		return op, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return op, err
+	}
+	if p.peek().Kind != TokRParen {
+		for {
+			param, err := p.parseParam()
+			if err != nil {
+				return op, err
+			}
+			op.Params = append(op.Params, param)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return op, err
+	}
+	if p.acceptKeyword("raises") {
+		if _, err := p.expect(TokLParen); err != nil {
+			return op, err
+		}
+		for {
+			name, err := p.parseScopedName()
+			if err != nil {
+				return op, err
+			}
+			op.Raises = append(op.Raises, name)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return op, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+func (p *Parser) parseParam() (Param, error) {
+	var param Param
+	t := p.next()
+	if t.Kind != TokKeyword {
+		return param, errAt(t.Line, t.Col, "expected parameter direction, found %v", t)
+	}
+	switch t.Text {
+	case "in":
+		param.Dir = DirIn
+	case "out":
+		param.Dir = DirOut
+	case "inout":
+		param.Dir = DirInOut
+	default:
+		return param, errAt(t.Line, t.Col, "expected in/out/inout, found %q", t.Text)
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return param, err
+	}
+	param.Type = ty
+	param.Name, err = p.expectIdent()
+	return param, err
+}
+
+func (p *Parser) parseStruct(scope string) error {
+	if err := p.expectKeyword("struct"); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	members, err := p.parseMemberBlock()
+	if err != nil {
+		return err
+	}
+	p.spec.Structs = append(p.spec.Structs, &StructDef{Name: name, Members: members, Scope: scope})
+	return nil
+}
+
+func (p *Parser) parseException(scope string) error {
+	if err := p.expectKeyword("exception"); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	members, err := p.parseMemberBlock()
+	if err != nil {
+		return err
+	}
+	p.spec.Exceptions = append(p.spec.Exceptions, &ExceptionDef{Name: name, Members: members, Scope: scope})
+	return nil
+}
+
+func (p *Parser) parseMemberBlock() ([]Member, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var members []Member
+	for p.peek().Kind != TokRBrace {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, Member{Type: ty, Name: name})
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // '}'
+	_, err := p.expect(TokSemi)
+	return members, err
+}
+
+func (p *Parser) parseEnum(scope string) error {
+	if err := p.expectKeyword("enum"); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	var enumerants []string
+	for {
+		e, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		enumerants = append(enumerants, e)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	p.spec.Enums = append(p.spec.Enums, &EnumDef{Name: name, Enumerants: enumerants, Scope: scope})
+	return nil
+}
+
+func (p *Parser) parseTypedef(scope string) error {
+	if err := p.expectKeyword("typedef"); err != nil {
+		return err
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	p.spec.Typedefs = append(p.spec.Typedefs, &TypedefDef{Name: name, Type: ty, Scope: scope})
+	return nil
+}
+
+func (p *Parser) parseConst(scope string) error {
+	if err := p.expectKeyword("const"); err != nil {
+		return err
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokEquals); err != nil {
+		return err
+	}
+	t := p.next()
+	if t.Kind != TokIntLit && t.Kind != TokStringLit &&
+		!(t.Kind == TokKeyword && (t.Text == "TRUE" || t.Text == "FALSE")) {
+		return errAt(t.Line, t.Col, "expected literal, found %v", t)
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	p.spec.Consts = append(p.spec.Consts, &ConstDef{Name: name, Type: ty, Value: t.Text, Scope: scope})
+	return nil
+}
+
+// parseTypeOrVoid parses an operation return type.
+func (p *Parser) parseTypeOrVoid() (Type, error) {
+	if p.acceptKeyword("void") {
+		return Type{Basic: Void}, nil
+	}
+	return p.parseType()
+}
+
+// parseType parses a (non-void) type reference.
+func (p *Parser) parseType() (Type, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "sequence":
+			p.next()
+			if _, err := p.expect(TokLAngle); err != nil {
+				return Type{}, err
+			}
+			elem, err := p.parseType()
+			if err != nil {
+				return Type{}, err
+			}
+			if _, err := p.expect(TokRAngle); err != nil {
+				return Type{}, err
+			}
+			return Type{Seq: &elem}, nil
+		case "boolean":
+			p.next()
+			return Type{Basic: Boolean}, nil
+		case "octet":
+			p.next()
+			return Type{Basic: Octet}, nil
+		case "char":
+			p.next()
+			return Type{Basic: Char}, nil
+		case "float":
+			p.next()
+			return Type{Basic: Float}, nil
+		case "double":
+			p.next()
+			return Type{Basic: Double}, nil
+		case "string":
+			p.next()
+			return Type{Basic: String}, nil
+		case "short":
+			p.next()
+			return Type{Basic: Short}, nil
+		case "long":
+			p.next()
+			if p.acceptKeyword("long") {
+				return Type{Basic: LongLong}, nil
+			}
+			return Type{Basic: Long}, nil
+		case "unsigned":
+			p.next()
+			u := p.next()
+			if u.Kind != TokKeyword {
+				return Type{}, errAt(u.Line, u.Col, "expected short/long after unsigned, found %v", u)
+			}
+			switch u.Text {
+			case "short":
+				return Type{Basic: UShort}, nil
+			case "long":
+				if p.acceptKeyword("long") {
+					return Type{Basic: ULongLong}, nil
+				}
+				return Type{Basic: ULong}, nil
+			default:
+				return Type{}, errAt(u.Line, u.Col, "expected short/long after unsigned, found %q", u.Text)
+			}
+		default:
+			return Type{}, errAt(t.Line, t.Col, "unexpected keyword %q in type", t.Text)
+		}
+	}
+	name, err := p.parseScopedName()
+	if err != nil {
+		return Type{}, err
+	}
+	return Type{Named: name}, nil
+}
+
+// parseScopedName parses ident(::ident)* with an optional leading ::.
+func (p *Parser) parseScopedName() (string, error) {
+	var parts []string
+	if p.peek().Kind == TokScope {
+		p.next()
+	}
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, id)
+		if p.peek().Kind != TokScope {
+			break
+		}
+		p.next()
+	}
+	return strings.Join(parts, "::"), nil
+}

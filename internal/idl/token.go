@@ -1,0 +1,284 @@
+// Package idl implements the subset of the CORBA Interface Definition
+// Language used by the COOL reproduction: modules, interfaces (with single
+// inheritance), operations (two-way and oneway, with in/out/inout
+// parameters and raises clauses), structs, enums, typedefs, sequences,
+// exceptions and constants over the CORBA basic types.
+//
+// The compiler front end (lexer, parser, checker) feeds internal/idl/gen,
+// which generates Go stubs and skeletons the way COOL's Chic generates C++
+// from template files — including the paper's extension: every generated
+// stub carries a SetQoSParameter method (§4.1).
+package idl
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokIntLit
+	TokStringLit
+	// punctuation
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokLAngle // <
+	TokRAngle // >
+	TokSemi   // ;
+	TokComma  // ,
+	TokColon  // :
+	TokScope  // ::
+	TokEquals // =
+)
+
+var kindNames = map[TokenKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokKeyword: "keyword",
+	TokIntLit: "integer literal", TokStringLit: "string literal",
+	TokLBrace: "'{'", TokRBrace: "'}'", TokLParen: "'('", TokRParen: "')'",
+	TokLAngle: "'<'", TokRAngle: "'>'", TokSemi: "';'", TokComma: "','",
+	TokColon: "':'", TokScope: "'::'", TokEquals: "'='",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%v %q", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// keywords of the supported IDL subset. Multi-word types ("unsigned long",
+// "long long") are assembled by the parser.
+var keywords = map[string]bool{
+	"module": true, "interface": true, "struct": true, "enum": true,
+	"typedef": true, "exception": true, "const": true, "sequence": true,
+	"oneway": true, "raises": true, "in": true, "out": true, "inout": true,
+	"void": true, "boolean": true, "octet": true, "char": true,
+	"short": true, "long": true, "unsigned": true, "float": true,
+	"double": true, "string": true, "readonly": true, "attribute": true,
+	"TRUE": true, "FALSE": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("idl:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lexer tokenises IDL source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace, // line comments, /* block
+// comments and # preprocessor lines (ignored, as Chic's inputs use them
+// only for includes and pragmas we do not need).
+func (l *Lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/':
+			if l.pos+1 >= len(l.src) {
+				return nil
+			}
+			switch l.src[l.pos+1] {
+			case '/':
+				for {
+					c, ok := l.peekByte()
+					if !ok || c == '\n' {
+						break
+					}
+					l.advance()
+				}
+			case '*':
+				startLine, startCol := l.line, l.col
+				l.advance()
+				l.advance()
+				closed := false
+				for l.pos < len(l.src) {
+					if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+						l.advance()
+						l.advance()
+						closed = true
+						break
+					}
+					l.advance()
+				}
+				if !closed {
+					return errAt(startLine, startCol, "unterminated block comment")
+				}
+			default:
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	c, ok := l.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	case isDigit(c):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isDigit(c) {
+				break
+			}
+			l.advance()
+		}
+		return Token{Kind: TokIntLit, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+	case c == '"':
+		l.advance()
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				return Token{}, errAt(line, col, "unterminated string literal")
+			}
+			if c == '"' {
+				break
+			}
+			if c == '\n' {
+				return Token{}, errAt(line, col, "newline in string literal")
+			}
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		l.advance() // closing quote
+		return Token{Kind: TokStringLit, Text: text, Line: line, Col: col}, nil
+	}
+	l.advance()
+	simple := map[byte]TokenKind{
+		'{': TokLBrace, '}': TokRBrace, '(': TokLParen, ')': TokRParen,
+		'<': TokLAngle, '>': TokRAngle, ';': TokSemi, ',': TokComma,
+		'=': TokEquals,
+	}
+	if k, ok := simple[c]; ok {
+		return Token{Kind: k, Text: string(c), Line: line, Col: col}, nil
+	}
+	if c == ':' {
+		if n, ok := l.peekByte(); ok && n == ':' {
+			l.advance()
+			return Token{Kind: TokScope, Text: "::", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokColon, Text: ":", Line: line, Col: col}, nil
+	}
+	return Token{}, errAt(line, col, "unexpected character %q", string(c))
+}
+
+// Tokenize runs the lexer to EOF.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package ior implements interoperable object references for the COOL
+// reproduction: the data a client needs to reach an object implementation.
+//
+// A Ref carries the interface type id and one profile per transport the
+// server exports (tcp, inproc, dacapo). Each profile also advertises the
+// QoS capability of its transport so the client-side ORB can pick a profile
+// that has a chance of satisfying the requested QoS before it even dials
+// (the ORB still performs the real negotiation end-to-end).
+//
+// References have a stringified form modelled on CORBA's IOR: the literal
+// prefix "IOR:" followed by the hex encoding of a CDR encapsulation. The
+// stringified form is what the naming service stores and what examples
+// print and paste.
+package ior
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+
+	"cool/internal/cdr"
+	"cool/internal/qos"
+)
+
+// Parsing errors.
+var (
+	ErrBadPrefix   = errors.New("ior: missing IOR: prefix")
+	ErrBadEncoding = errors.New("ior: malformed reference")
+)
+
+// Profile describes one way to reach the object.
+type Profile struct {
+	// Transport is the transport scheme registered with the generic
+	// transport layer: "tcp", "inproc" or "dacapo".
+	Transport string
+	// Protocol is the message protocol spoken on this endpoint: "" or
+	// "giop" for standard GIOP, "cool" for the proprietary COOL protocol.
+	Protocol string
+	// Address is transport-specific (host:port for tcp, a registry name
+	// for inproc).
+	Address string
+	// ObjectKey identifies the servant within the server ORB's object
+	// adapter.
+	ObjectKey []byte
+	// Capability advertises the QoS the transport can support, so clients
+	// can rank profiles. Empty means "no QoS support" (plain GIOP only).
+	Capability qos.Capability
+}
+
+func (p Profile) String() string {
+	return fmt.Sprintf("%s://%s/%x", p.Transport, p.Address, p.ObjectKey)
+}
+
+// Ref is an object reference.
+type Ref struct {
+	// TypeID is the repository id of the most derived interface,
+	// e.g. "IDL:demo/MediaServer:1.0".
+	TypeID   string
+	Profiles []Profile
+}
+
+// IsNil reports whether the reference contains no profile.
+func (r Ref) IsNil() bool { return len(r.Profiles) == 0 }
+
+// ProfileFor returns the first profile using the given transport scheme.
+func (r Ref) ProfileFor(transport string) (Profile, bool) {
+	for _, p := range r.Profiles {
+		if p.Transport == transport {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Select returns the profile to use for a binding with the requested QoS:
+// the first profile whose advertised capability can grant the request. With
+// an empty request it returns the first profile (standard GIOP binding).
+// ok is false when no profile can satisfy the request.
+func (r Ref) Select(request qos.Set) (Profile, bool) {
+	if r.IsNil() {
+		return Profile{}, false
+	}
+	if len(request) == 0 {
+		return r.Profiles[0], true
+	}
+	for _, p := range r.Profiles {
+		if _, err := qos.Negotiate(request, p.Capability); err == nil {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+func (r Ref) String() string {
+	if r.IsNil() {
+		return "IOR:(nil)"
+	}
+	parts := make([]string, len(r.Profiles))
+	for i, p := range r.Profiles {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("%s[%s]", r.TypeID, strings.Join(parts, " "))
+}
+
+// Encode writes the reference into a CDR stream.
+func (r Ref) Encode(enc *cdr.Encoder) {
+	enc.WriteString(r.TypeID)
+	enc.WriteULong(uint32(len(r.Profiles)))
+	for _, p := range r.Profiles {
+		enc.WriteString(p.Transport)
+		enc.WriteString(p.Protocol)
+		enc.WriteString(p.Address)
+		enc.WriteOctetSeq(p.ObjectKey)
+		enc.WriteULong(uint32(len(p.Capability)))
+		for _, e := range sortedCaps(p.Capability) {
+			enc.WriteULong(uint32(e.t))
+			enc.WriteULong(e.l.Best)
+			enc.WriteBoolean(e.l.Supported)
+		}
+	}
+}
+
+type capEntry struct {
+	t qos.ParamType
+	l qos.Limit
+}
+
+// sortedCaps returns capability entries in deterministic order so encoded
+// references are byte-stable.
+func sortedCaps(c qos.Capability) []capEntry {
+	out := make([]capEntry, 0, len(c))
+	for t, l := range c {
+		out = append(out, capEntry{t, l})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].t < out[j-1].t; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Decode reads a reference from a CDR stream.
+func Decode(dec *cdr.Decoder) (Ref, error) {
+	var r Ref
+	var err error
+	if r.TypeID, err = dec.ReadString(); err != nil {
+		return r, fmt.Errorf("%w: type id: %v", ErrBadEncoding, err)
+	}
+	n, err := dec.ReadULong()
+	if err != nil {
+		return r, fmt.Errorf("%w: profile count: %v", ErrBadEncoding, err)
+	}
+	if int64(n)*13 > int64(dec.Remaining()) {
+		return r, fmt.Errorf("%w: profile count %d too large", ErrBadEncoding, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var p Profile
+		if p.Transport, err = dec.ReadString(); err != nil {
+			return r, fmt.Errorf("%w: transport: %v", ErrBadEncoding, err)
+		}
+		if p.Protocol, err = dec.ReadString(); err != nil {
+			return r, fmt.Errorf("%w: protocol: %v", ErrBadEncoding, err)
+		}
+		if p.Address, err = dec.ReadString(); err != nil {
+			return r, fmt.Errorf("%w: address: %v", ErrBadEncoding, err)
+		}
+		if p.ObjectKey, err = dec.ReadOctetSeq(); err != nil {
+			return r, fmt.Errorf("%w: object key: %v", ErrBadEncoding, err)
+		}
+		var nc uint32
+		if nc, err = dec.ReadULong(); err != nil {
+			return r, fmt.Errorf("%w: capability count: %v", ErrBadEncoding, err)
+		}
+		if int64(nc)*9 > int64(dec.Remaining()) {
+			return r, fmt.Errorf("%w: capability count %d too large", ErrBadEncoding, nc)
+		}
+		if nc > 0 {
+			p.Capability = make(qos.Capability, nc)
+		}
+		for j := uint32(0); j < nc; j++ {
+			var t, best uint32
+			var sup bool
+			if t, err = dec.ReadULong(); err != nil {
+				return r, fmt.Errorf("%w: capability type: %v", ErrBadEncoding, err)
+			}
+			if best, err = dec.ReadULong(); err != nil {
+				return r, fmt.Errorf("%w: capability best: %v", ErrBadEncoding, err)
+			}
+			if sup, err = dec.ReadBoolean(); err != nil {
+				return r, fmt.Errorf("%w: capability flag: %v", ErrBadEncoding, err)
+			}
+			p.Capability[qos.ParamType(t)] = qos.Limit{Best: best, Supported: sup}
+		}
+		r.Profiles = append(r.Profiles, p)
+	}
+	return r, nil
+}
+
+// Marshal returns the stringified reference ("IOR:" + hex encapsulation).
+func Marshal(r Ref) string {
+	body := cdr.EncodeEncapsulation(cdr.BigEndian, r.Encode)
+	return "IOR:" + hex.EncodeToString(body)
+}
+
+// Unmarshal parses a stringified reference.
+func Unmarshal(s string) (Ref, error) {
+	rest, ok := strings.CutPrefix(s, "IOR:")
+	if !ok {
+		return Ref{}, ErrBadPrefix
+	}
+	body, err := hex.DecodeString(strings.TrimSpace(rest))
+	if err != nil {
+		return Ref{}, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	dec, err := cdr.DecodeEncapsulation(body)
+	if err != nil {
+		return Ref{}, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	return Decode(dec)
+}

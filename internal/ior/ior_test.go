@@ -1,0 +1,178 @@
+package ior
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cool/internal/qos"
+)
+
+func sampleRef() Ref {
+	return Ref{
+		TypeID: "IDL:demo/MediaServer:1.0",
+		Profiles: []Profile{
+			{
+				Transport: "dacapo",
+				Address:   "127.0.0.1:4001",
+				ObjectKey: []byte("media-1"),
+				Capability: qos.Capability{
+					qos.Throughput: {Best: 100000, Supported: true},
+					qos.Latency:    {Best: 200, Supported: true},
+				},
+			},
+			{
+				Transport: "tcp",
+				Address:   "127.0.0.1:4000",
+				ObjectKey: []byte("media-1"),
+			},
+		},
+	}
+}
+
+func TestStringifiedRoundTrip(t *testing.T) {
+	r := sampleRef()
+	s := Marshal(r)
+	if !strings.HasPrefix(s, "IOR:") {
+		t.Fatalf("stringified = %q", s)
+	}
+	got, err := Unmarshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TypeID != r.TypeID || len(got.Profiles) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	p := got.Profiles[0]
+	if p.Transport != "dacapo" || p.Address != "127.0.0.1:4001" || !bytes.Equal(p.ObjectKey, []byte("media-1")) {
+		t.Fatalf("profile = %+v", p)
+	}
+	if l := p.Capability[qos.Throughput]; l.Best != 100000 || !l.Supported {
+		t.Fatalf("capability = %+v", p.Capability)
+	}
+	if got.Profiles[1].Capability != nil {
+		t.Fatalf("tcp capability should be nil, got %v", got.Profiles[1].Capability)
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	r := sampleRef()
+	if Marshal(r) != Marshal(r) {
+		t.Fatal("stringified form must be stable")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal("NOTANIOR"); !errors.Is(err, ErrBadPrefix) {
+		t.Errorf("prefix err = %v", err)
+	}
+	if _, err := Unmarshal("IOR:zz"); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("hex err = %v", err)
+	}
+	if _, err := Unmarshal("IOR:"); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Unmarshal("IOR:00"); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("truncated err = %v", err)
+	}
+}
+
+func TestIsNilAndProfileFor(t *testing.T) {
+	var empty Ref
+	if !empty.IsNil() {
+		t.Error("empty ref should be nil")
+	}
+	r := sampleRef()
+	if r.IsNil() {
+		t.Error("sample ref should not be nil")
+	}
+	if _, ok := r.ProfileFor("tcp"); !ok {
+		t.Error("tcp profile missing")
+	}
+	if _, ok := r.ProfileFor("quic"); ok {
+		t.Error("quic profile should be absent")
+	}
+}
+
+func TestSelectByQoS(t *testing.T) {
+	r := sampleRef()
+
+	// No QoS: first profile wins.
+	p, ok := r.Select(nil)
+	if !ok || p.Transport != "dacapo" {
+		t.Fatalf("Select(nil) = %+v, %v", p, ok)
+	}
+
+	// Throughput within dacapo's capability: dacapo profile.
+	req := qos.Set{{Type: qos.Throughput, Request: 50000, Max: qos.NoLimit, Min: 10000}}
+	p, ok = r.Select(req)
+	if !ok || p.Transport != "dacapo" {
+		t.Fatalf("Select(throughput) = %+v, %v", p, ok)
+	}
+
+	// Demand beyond every profile: no match.
+	req = qos.Set{{Type: qos.Throughput, Request: 10_000_000, Max: qos.NoLimit, Min: 1_000_000}}
+	if _, ok = r.Select(req); ok {
+		t.Fatal("Select should fail for unsatisfiable request")
+	}
+
+	// Nil ref never selects.
+	var empty Ref
+	if _, ok = empty.Select(nil); ok {
+		t.Fatal("nil ref must not select")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	r := sampleRef()
+	if s := r.String(); !strings.Contains(s, "dacapo://127.0.0.1:4001") {
+		t.Errorf("String() = %q", s)
+	}
+	var empty Ref
+	if empty.String() != "IOR:(nil)" {
+		t.Errorf("nil String() = %q", empty.String())
+	}
+}
+
+// Property: Marshal/Unmarshal round-trips arbitrary refs (NUL-free strings).
+func TestQuickRoundTrip(t *testing.T) {
+	clean := func(s string) string {
+		return strings.ReplaceAll(s, "\x00", "")
+	}
+	f := func(typeID, transport, addr string, key []byte, best uint32, sup bool) bool {
+		r := Ref{
+			TypeID: clean(typeID),
+			Profiles: []Profile{{
+				Transport:  clean(transport),
+				Address:    clean(addr),
+				ObjectKey:  key,
+				Capability: qos.Capability{qos.Throughput: {Best: best, Supported: sup}},
+			}},
+		}
+		got, err := Unmarshal(Marshal(r))
+		if err != nil {
+			return false
+		}
+		p, q := got.Profiles[0], r.Profiles[0]
+		return got.TypeID == r.TypeID && p.Transport == q.Transport &&
+			p.Address == q.Address && bytes.Equal(p.ObjectKey, q.ObjectKey) &&
+			p.Capability[qos.Throughput] == q.Capability[qos.Throughput]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary strings.
+func TestQuickUnmarshalNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		Unmarshal(s)
+		Unmarshal("IOR:" + s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package naming provides a minimal naming service for the COOL
+// reproduction: a name-to-object-reference registry implemented as an
+// ordinary COOL servant, plus a typed client. It plays the role CORBA's
+// Naming Service plays for the examples and experiments: bootstrapping
+// object references without pasting stringified IORs around.
+//
+// Operations (interface "IDL:cool/Naming:1.0"):
+//
+//	bind(name string, ref string)        — register/replace
+//	resolve(name string) -> string       — look up (NotFound user exception)
+//	unbind(name string)                  — remove
+//	list() -> sequence<string>           — sorted names
+package naming
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"cool/internal/cdr"
+	"cool/internal/giop"
+	"cool/internal/ior"
+	"cool/internal/orb"
+)
+
+// RepoID is the naming service interface repository id.
+const RepoID = "IDL:cool/Naming:1.0"
+
+// NotFoundID is the user exception raised by resolve/unbind on unknown
+// names.
+const NotFoundID = "IDL:cool/Naming/NotFound:1.0"
+
+// Servant is the naming service implementation.
+type Servant struct {
+	mu       sync.RWMutex
+	bindings map[string]string
+}
+
+var _ orb.Servant = (*Servant)(nil)
+
+// NewServant returns an empty naming context.
+func NewServant() *Servant {
+	return &Servant{bindings: make(map[string]string)}
+}
+
+// RepoID implements orb.Servant.
+func (s *Servant) RepoID() string { return RepoID }
+
+// Invoke implements orb.Servant: the hand-written skeleton.
+func (s *Servant) Invoke(inv *orb.Invocation) (orb.ReplyWriter, error) {
+	switch inv.Operation {
+	case "bind":
+		name, err := inv.Args.ReadString()
+		if err != nil {
+			return nil, giop.MarshalException()
+		}
+		refStr, err := inv.Args.ReadString()
+		if err != nil {
+			return nil, giop.MarshalException()
+		}
+		s.mu.Lock()
+		s.bindings[name] = refStr
+		s.mu.Unlock()
+		return nil, nil
+	case "resolve":
+		name, err := inv.Args.ReadString()
+		if err != nil {
+			return nil, giop.MarshalException()
+		}
+		s.mu.RLock()
+		refStr, ok := s.bindings[name]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, notFound(name)
+		}
+		return func(enc *cdr.Encoder) { enc.WriteString(refStr) }, nil
+	case "unbind":
+		name, err := inv.Args.ReadString()
+		if err != nil {
+			return nil, giop.MarshalException()
+		}
+		s.mu.Lock()
+		_, ok := s.bindings[name]
+		delete(s.bindings, name)
+		s.mu.Unlock()
+		if !ok {
+			return nil, notFound(name)
+		}
+		return nil, nil
+	case "list":
+		s.mu.RLock()
+		names := make([]string, 0, len(s.bindings))
+		for n := range s.bindings {
+			names = append(names, n)
+		}
+		s.mu.RUnlock()
+		sort.Strings(names)
+		return func(enc *cdr.Encoder) { enc.WriteStringSeq(names) }, nil
+	default:
+		return nil, giop.BadOperation()
+	}
+}
+
+func notFound(name string) *orb.UserError {
+	return &orb.UserError{
+		ID:   NotFoundID,
+		Body: func(enc *cdr.Encoder) { enc.WriteString(name) },
+	}
+}
+
+// Client is a typed stub for the naming service.
+type Client struct {
+	obj *orb.Object
+}
+
+// NewClient wraps a resolved naming service object.
+func NewClient(obj *orb.Object) *Client { return &Client{obj: obj} }
+
+// Bind registers (or replaces) name -> ref.
+func (c *Client) Bind(name string, ref ior.Ref) error {
+	refStr := ior.Marshal(ref)
+	return c.obj.Invoke("bind", func(enc *cdr.Encoder) {
+		enc.WriteString(name)
+		enc.WriteString(refStr)
+	}, nil)
+}
+
+// Resolve looks a name up.
+func (c *Client) Resolve(name string) (ior.Ref, error) {
+	var refStr string
+	err := c.obj.Invoke("resolve",
+		func(enc *cdr.Encoder) { enc.WriteString(name) },
+		func(dec *cdr.Decoder) error {
+			var err error
+			refStr, err = dec.ReadString()
+			return err
+		})
+	if err != nil {
+		return ior.Ref{}, err
+	}
+	return ior.Unmarshal(refStr)
+}
+
+// Unbind removes a binding.
+func (c *Client) Unbind(name string) error {
+	return c.obj.Invoke("unbind", func(enc *cdr.Encoder) { enc.WriteString(name) }, nil)
+}
+
+// List returns the bound names, sorted.
+func (c *Client) List() ([]string, error) {
+	var names []string
+	err := c.obj.Invoke("list", nil, func(dec *cdr.Decoder) error {
+		var err error
+		names, err = dec.ReadStringSeq()
+		return err
+	})
+	return names, err
+}
+
+// IsNotFound reports whether err is the naming service's NotFound user
+// exception.
+func IsNotFound(err error) bool {
+	var ue *giop.UserException
+	return errors.As(err, &ue) && ue.ID == NotFoundID
+}

@@ -1,0 +1,124 @@
+package naming_test
+
+import (
+	"errors"
+	"testing"
+
+	"cool/internal/ior"
+	"cool/internal/naming"
+	"cool/internal/orb"
+	"cool/internal/transport"
+)
+
+// newService starts a naming service on a fresh in-process network and
+// returns a client connected from a second ORB.
+func newService(t *testing.T) *naming.Client {
+	t.Helper()
+	inner := transport.NewInprocManager()
+	server := orb.New(orb.WithName("ns"), orb.WithTransport(inner))
+	client := orb.New(orb.WithName("app"), orb.WithTransport(inner))
+	t.Cleanup(func() { client.Shutdown(); server.Shutdown() })
+	if _, err := server.ListenOn("inproc", "naming"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.RegisterServant(naming.NewServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return naming.NewClient(client.Resolve(ref))
+}
+
+func sampleRef(name string) ior.Ref {
+	return ior.Ref{
+		TypeID: "IDL:test/Thing:1.0",
+		Profiles: []ior.Profile{
+			{Transport: "tcp", Address: "10.0.0.1:4000", ObjectKey: []byte(name)},
+		},
+	}
+}
+
+func TestBindResolveRoundTrip(t *testing.T) {
+	ns := newService(t)
+	want := sampleRef("alpha")
+	if err := ns.Bind("services/alpha", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ns.Resolve("services/alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TypeID != want.TypeID || len(got.Profiles) != 1 ||
+		got.Profiles[0].Address != want.Profiles[0].Address {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestResolveUnknownIsNotFound(t *testing.T) {
+	ns := newService(t)
+	_, err := ns.Resolve("no/such/name")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !naming.IsNotFound(err) {
+		t.Fatalf("err = %v, want NotFound", err)
+	}
+}
+
+func TestRebindReplaces(t *testing.T) {
+	ns := newService(t)
+	if err := ns.Bind("x", sampleRef("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Bind("x", sampleRef("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ns.Resolve("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Profiles[0].ObjectKey) != "two" {
+		t.Fatalf("got %q", got.Profiles[0].ObjectKey)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	ns := newService(t)
+	if err := ns.Bind("x", sampleRef("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Unbind("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Resolve("x"); !naming.IsNotFound(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ns.Unbind("x"); !naming.IsNotFound(err) {
+		t.Fatalf("double unbind err = %v", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	ns := newService(t)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := ns.Bind(n, sampleRef(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := ns.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestIsNotFoundOnOtherErrors(t *testing.T) {
+	if naming.IsNotFound(errors.New("plain")) {
+		t.Fatal("plain error misclassified")
+	}
+	if naming.IsNotFound(nil) {
+		t.Fatal("nil misclassified")
+	}
+}

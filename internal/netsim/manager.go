@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// Manager exposes simulated links through COOL's generic transport layer
+// (scheme "netsim"): every dialled connection is a fresh Link with the
+// manager's parameters. It lets the full ORB/Da CaPo path run over a
+// configurable WAN — loss, delay, bandwidth — inside one process, which is
+// how the integration tests exercise QoS configurations end to end.
+type Manager struct {
+	params Params
+
+	mu        sync.Mutex
+	listeners map[string]*simListener
+	nextAuto  int
+	nextSeed  int64
+}
+
+var _ transport.Manager = (*Manager)(nil)
+
+// NewManager returns a transport manager whose connections traverse links
+// with the given parameters.
+func NewManager(params Params) *Manager {
+	seed := params.Seed
+	if seed == 0 {
+		seed = 0x5eed0
+	}
+	return &Manager{
+		params:    params,
+		listeners: make(map[string]*simListener),
+		nextSeed:  seed,
+	}
+}
+
+// Scheme returns "netsim".
+func (m *Manager) Scheme() string { return "netsim" }
+
+// Capability reports the raw link capability (no QoS machinery of its own,
+// like tcp — but the capability lets Da CaPo configure over it).
+func (m *Manager) Capability() qos.Capability { return m.params.Capability() }
+
+// Listen binds a named endpoint.
+func (m *Manager) Listen(addr string) (transport.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == "" {
+		m.nextAuto++
+		addr = fmt.Sprintf("sim-%d", m.nextAuto)
+	}
+	if _, dup := m.listeners[addr]; dup {
+		return nil, fmt.Errorf("netsim: address %q already bound", addr)
+	}
+	l := &simListener{
+		mgr:     m,
+		addr:    addr,
+		backlog: make(chan *Endpoint, 16),
+		done:    make(chan struct{}),
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial creates a fresh link to the named listener and hands it the far
+// endpoint.
+func (m *Manager) Dial(addr string) (transport.Channel, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr]
+	if ok {
+		m.nextSeed += 2
+	}
+	params := m.params
+	params.Seed = m.nextSeed
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: address %q not bound", addr)
+	}
+	link := NewLink(params)
+	a, b := link.Endpoints()
+	select {
+	case l.backlog <- b:
+		return a, nil
+	case <-l.done:
+		link.Close()
+		return nil, fmt.Errorf("netsim: address %q: %w", addr, transport.ErrClosed)
+	}
+}
+
+func (m *Manager) unbind(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.listeners, addr)
+}
+
+type simListener struct {
+	mgr     *Manager
+	addr    string
+	backlog chan *Endpoint
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *simListener) Accept() (transport.Channel, error) {
+	select {
+	case ep := <-l.backlog:
+		return ep, nil
+	case <-l.done:
+		return nil, transport.ErrClosed
+	}
+}
+
+func (l *simListener) Addr() string { return l.addr }
+
+func (l *simListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.mgr.unbind(l.addr)
+	})
+	return nil
+}

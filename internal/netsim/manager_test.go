@@ -1,0 +1,117 @@
+package netsim_test
+
+import (
+	"testing"
+	"time"
+
+	"cool/internal/netsim"
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+func TestManagerDialListen(t *testing.T) {
+	m := netsim.NewManager(netsim.Loopback())
+	l, err := m.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if m.Scheme() != "netsim" {
+		t.Fatalf("scheme = %q", m.Scheme())
+	}
+
+	done := make(chan transport.Channel, 1)
+	go func() {
+		ch, err := l.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- ch
+	}()
+	client, err := m.Dial("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	defer server.Close()
+
+	if err := client.WriteMessage([]byte("over the sim")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.ReadMessage()
+	if err != nil || string(got) != "over the sim" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestManagerAutoAddrAndErrors(t *testing.T) {
+	m := netsim.NewManager(netsim.Loopback())
+	l, err := m.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Addr() == "" {
+		t.Fatal("empty auto address")
+	}
+	if _, err := m.Listen(l.Addr()); err == nil {
+		t.Fatal("duplicate bind should fail")
+	}
+	if _, err := m.Dial("nowhere"); err == nil {
+		t.Fatal("dial unbound should fail")
+	}
+	l.Close()
+	if _, err := m.Dial(l.Addr()); err == nil {
+		t.Fatal("dial closed should fail")
+	}
+	// Name free after close.
+	if _, err := m.Listen(l.Addr()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerAppliesLinkParams(t *testing.T) {
+	m := netsim.NewManager(netsim.Params{PropDelay: 20 * time.Millisecond})
+	l, err := m.Listen("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		ch, err := l.Accept()
+		if err != nil {
+			return
+		}
+		msg, err := ch.ReadMessage()
+		if err != nil {
+			return
+		}
+		ch.WriteMessage(msg)
+	}()
+	client, err := m.Dial("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	if err := client.WriteMessage([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ReadMessage(); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 35*time.Millisecond {
+		t.Fatalf("rtt %v below 2x propagation delay", rtt)
+	}
+}
+
+func TestManagerCapability(t *testing.T) {
+	m := netsim.NewManager(netsim.LAN())
+	if c := m.Capability(); c[qos.Throughput].Best != 155_000 {
+		t.Fatalf("capability = %v", c)
+	}
+}

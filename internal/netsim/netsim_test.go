@@ -1,0 +1,231 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+func TestLoopbackRoundTrip(t *testing.T) {
+	l := NewLink(Loopback())
+	defer l.Close()
+	a, b := l.Endpoints()
+
+	msg := []byte("hello over the simulated wire")
+	if err := a.WriteMessage(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+	// Reverse direction.
+	if err := b.WriteMessage([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = a.ReadMessage(); err != nil || string(got) != "pong" {
+		t.Fatalf("reverse: %q, %v", got, err)
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	l := NewLink(Params{Jitter: 100 * time.Microsecond})
+	defer l.Close()
+	a, b := l.Endpoints()
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			a.WriteMessage([]byte{byte(i)})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got, err := b.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("message %d arrived as %d: link must be FIFO", i, got[0])
+		}
+	}
+}
+
+func TestMTURejected(t *testing.T) {
+	l := NewLink(Params{MTU: 10})
+	defer l.Close()
+	a, _ := l.Endpoints()
+	if err := a.WriteMessage(make([]byte, 11)); !errors.Is(err, ErrMTUExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := a.WriteMessage(make([]byte, 10)); err != nil {
+		t.Fatalf("at-MTU message rejected: %v", err)
+	}
+}
+
+func TestLossIsSeededAndApproximatesRate(t *testing.T) {
+	const n = 2000
+	run := func(seed int64) uint64 {
+		l := NewLink(Params{LossRate: 0.2, Seed: seed, QueueLen: 256})
+		defer l.Close()
+		a, b := l.Endpoints()
+		go func() {
+			for i := 0; i < n; i++ {
+				a.WriteMessage([]byte{1})
+			}
+		}()
+		deadline := time.After(10 * time.Second)
+		var got uint64
+		for {
+			stats := a.OutStats()
+			if stats.Delivered+stats.Dropped == n {
+				got = stats.Dropped
+				break
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("timeout: %+v", stats)
+			case <-time.After(time.Millisecond):
+			}
+			// Drain so delivery is never blocked.
+			for {
+				drained := false
+				select {
+				case <-b.in.out:
+					drained = true
+				default:
+				}
+				if !drained {
+					break
+				}
+			}
+		}
+		return got
+	}
+	d1 := run(7)
+	d2 := run(7)
+	if d1 != d2 {
+		t.Fatalf("same seed, different losses: %d vs %d", d1, d2)
+	}
+	// 20% +- 5 points over 2000 trials.
+	if d1 < n*15/100 || d1 > n*25/100 {
+		t.Fatalf("loss %d/%d far from 20%%", d1, n)
+	}
+	if d3 := run(8); d3 == d1 {
+		t.Logf("warning: different seed produced identical loss count %d (possible but unlikely)", d3)
+	}
+}
+
+func TestBandwidthLimitsThroughput(t *testing.T) {
+	// 8 Mbit/s link, 100 x 1 KiB messages = 819200 bits ≈ 102 ms minimum.
+	l := NewLink(Params{BandwidthKbps: 8000, QueueLen: 128})
+	defer l.Close()
+	a, b := l.Endpoints()
+	msg := make([]byte, 1024)
+	const n = 100
+	start := time.Now()
+	go func() {
+		for i := 0; i < n; i++ {
+			a.WriteMessage(msg)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := b.ReadMessage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	wireTime := time.Duration(float64(n*len(msg)*8) / 8000 * float64(time.Millisecond))
+	if elapsed < wireTime*9/10 {
+		t.Fatalf("elapsed %v < wire time %v: bandwidth not enforced", elapsed, wireTime)
+	}
+	if elapsed > wireTime*3 {
+		t.Fatalf("elapsed %v >> wire time %v: link too slow", elapsed, wireTime)
+	}
+}
+
+func TestPropagationDelayApplied(t *testing.T) {
+	l := NewLink(Params{PropDelay: 30 * time.Millisecond})
+	defer l.Close()
+	a, b := l.Endpoints()
+	start := time.Now()
+	a.WriteMessage([]byte("x"))
+	if _, err := b.ReadMessage(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("elapsed %v < propagation delay", elapsed)
+	}
+}
+
+func TestCloseUnblocksAndEOF(t *testing.T) {
+	l := NewLink(Loopback())
+	a, b := l.Endpoints()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.ReadMessage()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("err = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ReadMessage did not return after Close")
+	}
+	if err := a.WriteMessage([]byte("x")); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+}
+
+func TestEndpointIsTransportChannel(t *testing.T) {
+	l := NewLink(Loopback())
+	defer l.Close()
+	a, _ := l.Endpoints()
+	var ch transport.Channel = a
+	if ch.LocalAddr() != "netsim:a" || ch.RemoteAddr() != "netsim:b" {
+		t.Fatalf("addrs: %s / %s", ch.LocalAddr(), ch.RemoteAddr())
+	}
+	if _, err := ch.SetQoSParameter(qos.Set{{Type: qos.Throughput, Request: 1, Max: qos.NoLimit}}); !errors.Is(err, transport.ErrQoSNotSupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCapability(t *testing.T) {
+	c := LAN().Capability()
+	if l := c[qos.Throughput]; l.Best != 155_000 || !l.Supported {
+		t.Errorf("throughput = %+v", l)
+	}
+	if l := c[qos.Latency]; l.Best != 200 {
+		t.Errorf("latency = %+v (µs)", l)
+	}
+	if l := c[qos.Reliability]; l.Best != 0 {
+		t.Errorf("lossless LAN reliability = %+v", l)
+	}
+	w := WAN().Capability()
+	if l := w[qos.Reliability]; l.Best != 10_000 { // 1% = 10000 per million
+		t.Errorf("WAN reliability = %+v", l)
+	}
+	u := Loopback().Capability()
+	if l := u[qos.Throughput]; l.Best != ^uint32(0) {
+		t.Errorf("unlimited throughput = %+v", l)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if LAN().BandwidthKbps != 155_000 {
+		t.Error("LAN preset should model the 155 Mbit/s ATM link")
+	}
+	if WAN().LossRate == 0 {
+		t.Error("WAN preset should be lossy")
+	}
+}

@@ -1,0 +1,456 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cool/internal/cdr"
+	"cool/internal/giop"
+	"cool/internal/ior"
+	"cool/internal/qos"
+)
+
+// ErrNoUsableProfile reports that no profile of the reference can satisfy
+// the requested QoS (the binding-time counterpart of the NACK).
+var ErrNoUsableProfile = errors.New("orb: no profile satisfies the requested QoS")
+
+// Object is a client proxy for a remote (or colocated) object: the
+// hand-rolled equivalent of what generated stubs wrap. Generated stubs
+// (cmd/chic) delegate to Invoke/InvokeOneway and re-export
+// SetQoSParameter, matching the paper's extended Chic templates (§4.1).
+type Object struct {
+	orb *ORB
+
+	mu       sync.Mutex
+	ref      ior.Ref
+	req      qos.Set
+	binding  *binding
+	explicit bool
+
+	colocatedID atomic.Uint32
+}
+
+// binding is an established path to the object implementation.
+type binding struct {
+	colocated bool
+	conn      *clientConn
+	codec     Codec
+	profile   ior.Profile
+	granted   qos.Set
+	// reqKey identifies the connection-cache slot this binding uses.
+	reqKey string
+}
+
+// Ref returns the object reference the proxy currently uses.
+func (o *Object) Ref() ior.Ref {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ref
+}
+
+// SetQoSParameter states the client's QoS requirements for subsequent
+// invocations, turning the implicit binding into an explicit one (§4.1).
+// Calling it once yields per-binding QoS; calling it before every
+// invocation yields per-method QoS. A nil set returns to standard GIOP.
+//
+// The binding itself is (re-)established lazily at the next invocation, as
+// in COOL, so an unsatisfiable requirement surfaces as an exception there.
+func (o *Object) SetQoSParameter(params qos.Set) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.req.Equal(params) && o.binding != nil {
+		return nil // unchanged: keep the binding
+	}
+	o.req = params.Clone()
+	o.explicit = true
+	o.binding = nil // force re-negotiation on next use
+	return nil
+}
+
+// QoS returns the currently requested QoS set.
+func (o *Object) QoS() qos.Set {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.req.Clone()
+}
+
+// GrantedQoS returns the QoS granted by the transport for the current
+// binding (nil when unbound or plain GIOP).
+func (o *Object) GrantedQoS() qos.Set {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.binding == nil {
+		return nil
+	}
+	return o.binding.granted.Clone()
+}
+
+// Colocated reports whether the current binding short-circuits through the
+// local object adapter. It binds if necessary.
+func (o *Object) Colocated() (bool, error) {
+	b, err := o.bind()
+	if err != nil {
+		return false, err
+	}
+	return b.colocated, nil
+}
+
+// bind establishes (or reuses) the binding for the current QoS
+// requirements: profile selection, colocation check, connection setup with
+// unilateral transport negotiation.
+func (o *Object) bind() (*binding, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if b := o.binding; b != nil && (b.colocated || !b.conn.isClosed()) {
+		return b, nil
+	}
+	profile, ok := o.ref.Select(o.req)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v for %v", ErrNoUsableProfile, o.req, o.ref)
+	}
+	codec, err := o.orb.codec(profile.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	if o.orb.isLocal(profile) {
+		b := &binding{colocated: true, codec: codec, profile: profile, granted: o.req.Clone()}
+		o.binding = b
+		return b, nil
+	}
+	conn, granted, err := o.orb.getConn(profile, o.req)
+	if err != nil {
+		return nil, err
+	}
+	b := &binding{conn: conn, codec: codec, profile: profile, granted: granted, reqKey: o.req.Key()}
+	o.binding = b
+	return b, nil
+}
+
+// abortBinding tears the binding down after a QoS NACK: the negotiated
+// transport connection is useless for this QoS, so it is closed and its
+// resources released ("the operation will be aborted if the requested QoS
+// cannot be supported", Figure 4).
+func (o *Object) abortBinding(b *binding) {
+	o.invalidate()
+	if b == nil || b.colocated {
+		return
+	}
+	o.orb.dropConn(b.profile, b.reqKey, b.conn)
+}
+
+// invalidate drops the cached binding (after connection loss or forward).
+func (o *Object) invalidate() {
+	o.mu.Lock()
+	o.binding = nil
+	o.mu.Unlock()
+}
+
+// buildRequest marshals a Request frame for the bound profile. The codec
+// carries qos_params whenever requirements are set (GIOP switches to 9.9,
+// the COOL protocol to its QoS-extended framing).
+func (o *Object) buildRequest(b *binding, id uint32, op string, expectReply bool, args func(*cdr.Encoder)) ([]byte, error) {
+	hdr := &giop.RequestHeader{
+		RequestID:        id,
+		ResponseExpected: expectReply,
+		ObjectKey:        b.profile.ObjectKey,
+		Operation:        op,
+		QoS:              o.QoS(),
+		Principal:        o.orb.principal,
+	}
+	return b.codec.MarshalRequest(hdr, args)
+}
+
+// result carries a deferred reply.
+type result struct {
+	m   *giop.Message
+	err error
+}
+
+// start issues a request and returns a future for its reply.
+func (o *Object) start(op string, args func(*cdr.Encoder), expectReply bool) (*Pending, error) {
+	b, err := o.bind()
+	if err != nil {
+		return nil, err
+	}
+	if b.colocated {
+		id := o.colocatedID.Add(1)
+		frame, err := o.buildRequest(b, id, op, expectReply, args)
+		if err != nil {
+			return nil, err
+		}
+		fut := make(chan result, 1)
+		go func() {
+			reply, err := o.orb.dispatchColocated(b.codec, frame)
+			if err != nil {
+				fut <- result{err: err}
+				return
+			}
+			if reply == nil {
+				fut <- result{}
+				return
+			}
+			m, err := b.codec.Unmarshal(reply)
+			fut <- result{m: m, err: err}
+		}()
+		return &Pending{o: o, fut: fut, oneway: !expectReply}, nil
+	}
+
+	if !expectReply {
+		id := b.conn.nextID.Add(1)
+		frame, err := o.buildRequest(b, id, op, false, args)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.conn.send(frame); err != nil {
+			o.invalidate()
+			return nil, err
+		}
+		fut := make(chan result, 1)
+		fut <- result{}
+		return &Pending{o: o, fut: fut, oneway: true}, nil
+	}
+
+	id, replyCh, err := b.conn.register()
+	if err != nil {
+		o.invalidate()
+		return nil, err
+	}
+	frame, err := o.buildRequest(b, id, op, true, args)
+	if err != nil {
+		b.conn.unregister(id)
+		return nil, err
+	}
+	if err := b.conn.send(frame); err != nil {
+		o.invalidate()
+		return nil, err
+	}
+	fut := make(chan result, 1)
+	go func() {
+		m, err := b.conn.await(replyCh)
+		fut <- result{m: m, err: err}
+	}()
+	return &Pending{o: o, b: b, id: id, fut: fut}, nil
+}
+
+// decodeReply maps a Reply message onto the caller's decoder or an error.
+func decodeReply(m *giop.Message, out func(*cdr.Decoder) error) error {
+	switch m.Reply.Status {
+	case giop.ReplyNoException:
+		if out == nil {
+			return nil
+		}
+		return out(m.BodyDecoder())
+	case giop.ReplySystemException:
+		exc, err := giop.DecodeSystemException(m.BodyDecoder())
+		if err != nil {
+			return fmt.Errorf("orb: undecodable system exception: %w", err)
+		}
+		return exc
+	case giop.ReplyUserException:
+		dec := m.BodyDecoder()
+		id, err := dec.ReadString()
+		if err != nil {
+			return fmt.Errorf("orb: undecodable user exception: %w", err)
+		}
+		data, err := dec.ReadOctetSeq()
+		if err != nil {
+			return fmt.Errorf("orb: undecodable user exception body: %w", err)
+		}
+		return &giop.UserException{ID: id, Data: append([]byte(nil), data...)}
+	case giop.ReplyLocationForward:
+		ref, err := ior.Decode(m.BodyDecoder())
+		if err != nil {
+			return fmt.Errorf("orb: undecodable forward reference: %w", err)
+		}
+		return &forwardError{ref: ref}
+	default:
+		return fmt.Errorf("orb: unknown reply status %v", m.Reply.Status)
+	}
+}
+
+// forwardError carries a LOCATION_FORWARD target internally.
+type forwardError struct{ ref ior.Ref }
+
+func (e *forwardError) Error() string { return "orb: location forward" }
+
+// Invoke performs a synchronous two-way invocation (the `call` mode of
+// §5.2): marshal, send, wait for the Reply, unmarshal. out may be nil for
+// void results; QoS NACKs surface as *giop.SystemException with
+// IsNACK() == true.
+func (o *Object) Invoke(op string, args func(*cdr.Encoder), out func(*cdr.Decoder) error) error {
+	const maxForwards = 3
+	for attempt := 0; ; attempt++ {
+		p, err := o.start(op, args, true)
+		if err != nil {
+			return err
+		}
+		err = p.Wait(out)
+		var fwd *forwardError
+		if errors.As(err, &fwd) && attempt < maxForwards {
+			o.mu.Lock()
+			o.ref = fwd.ref
+			o.binding = nil
+			o.mu.Unlock()
+			continue
+		}
+		return err
+	}
+}
+
+// InvokeOneway performs a one-way invocation (the `send` mode): the request
+// is sent without waiting for any reply.
+func (o *Object) InvokeOneway(op string, args func(*cdr.Encoder)) error {
+	_, err := o.start(op, args, false)
+	return err
+}
+
+// InvokeDeferred starts a deferred-synchronous invocation (the `defer`
+// mode): the returned Pending is acted upon later via Poll/Wait/Cancel.
+func (o *Object) InvokeDeferred(op string, args func(*cdr.Encoder)) (*Pending, error) {
+	return o.start(op, args, true)
+}
+
+// InvokeAsync starts an asynchronous invocation and calls notify with the
+// outcome on a separate goroutine (the `notify` mode).
+func (o *Object) InvokeAsync(op string, args func(*cdr.Encoder), notify func(out *cdr.Decoder, err error)) error {
+	p, err := o.start(op, args, true)
+	if err != nil {
+		return err
+	}
+	go func() {
+		err := p.Wait(nil)
+		if err != nil {
+			notify(nil, err)
+			return
+		}
+		notify(p.bodyDecoder(), nil)
+	}()
+	return nil
+}
+
+// Locate asks the server whether it serves this object (GIOP
+// LocateRequest/LocateReply). Colocated bindings answer from the local
+// object adapter.
+func (o *Object) Locate() (bool, error) {
+	b, err := o.bind()
+	if err != nil {
+		return false, err
+	}
+	if b.colocated {
+		_, ok := o.orb.adapter.lookup(b.profile.ObjectKey)
+		return ok, nil
+	}
+	id, replyCh, err := b.conn.register()
+	if err != nil {
+		o.invalidate()
+		return false, err
+	}
+	frame, err := b.codec.MarshalLocateRequest(id, b.profile.ObjectKey)
+	if err != nil {
+		b.conn.unregister(id)
+		return false, err
+	}
+	if err := b.conn.send(frame); err != nil {
+		o.invalidate()
+		return false, err
+	}
+	m, err := b.conn.await(replyCh)
+	if err != nil {
+		o.invalidate()
+		return false, err
+	}
+	if m.LocateReply == nil {
+		return false, fmt.Errorf("orb: expected LocateReply, got %v", m.Header.Type)
+	}
+	return m.LocateReply.Status == giop.LocateObjectHere, nil
+}
+
+// Pending is an in-flight deferred invocation.
+type Pending struct {
+	o      *Object
+	b      *binding
+	id     uint32
+	fut    chan result
+	oneway bool
+
+	mu   sync.Mutex
+	res  *result
+	dead bool
+}
+
+// Poll reports whether the reply has arrived (always true for oneway).
+func (p *Pending) Poll() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.res != nil {
+		return true
+	}
+	select {
+	case r := <-p.fut:
+		p.res = &r
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks for the reply and decodes it like Invoke.
+func (p *Pending) Wait(out func(*cdr.Decoder) error) error {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return errors.New("orb: request was canceled")
+	}
+	if p.res == nil {
+		r := <-p.fut
+		p.res = &r
+	}
+	r := *p.res
+	p.mu.Unlock()
+	if r.err != nil {
+		p.o.invalidate()
+		return r.err
+	}
+	if r.m == nil {
+		return nil // oneway completion
+	}
+	err := decodeReply(r.m, out)
+	var se *giop.SystemException
+	if errors.As(err, &se) && se.IsNACK() {
+		p.o.abortBinding(p.b)
+	}
+	return err
+}
+
+// bodyDecoder exposes the reply body after a successful Wait(nil).
+func (p *Pending) bodyDecoder() *cdr.Decoder {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.res == nil || p.res.m == nil {
+		return cdr.NewDecoder(nil, cdr.BigEndian)
+	}
+	return p.res.m.BodyDecoder()
+}
+
+// Cancel abandons the invocation (the `cancel` mode): a CancelRequest is
+// sent so the server suppresses the reply; the local slot is released.
+// Canceling a completed or colocated request is a no-op returning nil.
+func (p *Pending) Cancel() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.res != nil || p.dead || p.oneway || p.b == nil || p.b.colocated {
+		return nil
+	}
+	p.dead = true
+	p.b.conn.unregister(p.id)
+	frame, err := p.b.codec.MarshalCancelRequest(p.id)
+	if err != nil {
+		return err
+	}
+	return p.b.conn.send(frame)
+}

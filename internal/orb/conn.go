@@ -1,0 +1,172 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cool/internal/giop"
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// errConnClosed reports an operation on a torn-down client connection.
+var errConnClosed = errors.New("orb: connection closed")
+
+// clientConn multiplexes concurrent requests over one transport channel:
+// a background reader routes Reply messages to their callers by request id.
+type clientConn struct {
+	ch      transport.Channel
+	codec   Codec
+	granted qos.Set
+
+	nextID atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan *giop.Message
+	err     error
+	closed  bool
+	done    chan struct{}
+}
+
+func newClientConn(ch transport.Channel, codec Codec, granted qos.Set) *clientConn {
+	c := &clientConn{
+		ch:      ch,
+		codec:   codec,
+		granted: granted,
+		pending: make(map[uint32]chan *giop.Message),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *clientConn) readLoop() {
+	for {
+		frame, err := c.ch.ReadMessage()
+		if err != nil {
+			c.teardown(fmt.Errorf("%w: %v", errConnClosed, err))
+			return
+		}
+		m, err := c.codec.Unmarshal(frame)
+		if err != nil {
+			c.teardown(fmt.Errorf("orb: bad frame from server: %w", err))
+			return
+		}
+		switch m.Header.Type {
+		case giop.MsgReply:
+			c.route(m.Reply.RequestID, m)
+		case giop.MsgLocateReply:
+			c.route(m.LocateReply.RequestID, m)
+		case giop.MsgCloseConnection:
+			c.teardown(errConnClosed)
+			return
+		case giop.MsgMessageError:
+			c.teardown(errors.New("orb: server reported a GIOP message error"))
+			return
+		default:
+			// Requests flowing to a client are a protocol violation.
+			c.teardown(fmt.Errorf("orb: unexpected %v from server", m.Header.Type))
+			return
+		}
+	}
+}
+
+func (c *clientConn) route(id uint32, m *giop.Message) {
+	c.mu.Lock()
+	ch, ok := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if ok {
+		ch <- m // buffered (1): never blocks
+	}
+}
+
+func (c *clientConn) teardown(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	close(c.done)
+	c.ch.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+func (c *clientConn) close() { c.teardown(errConnClosed) }
+
+func (c *clientConn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// register allocates a request id and a reply slot.
+func (c *clientConn) register() (uint32, chan *giop.Message, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan *giop.Message, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, c.err
+	}
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+// unregister abandons a pending request (cancel path).
+func (c *clientConn) unregister(id uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.pending, id)
+}
+
+// send writes a frame.
+func (c *clientConn) send(frame []byte) error {
+	if err := c.ch.WriteMessage(frame); err != nil {
+		c.teardown(fmt.Errorf("%w: %v", errConnClosed, err))
+		return err
+	}
+	return nil
+}
+
+// await blocks for the reply to a registered request.
+func (c *clientConn) await(ch chan *giop.Message) (*giop.Message, error) {
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = errConnClosed
+			}
+			return nil, err
+		}
+		return m, nil
+	case <-c.done:
+		// Drain a reply that raced with teardown.
+		select {
+		case m, ok := <-ch:
+			if ok {
+				return m, nil
+			}
+		default:
+		}
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errConnClosed
+		}
+		return nil, err
+	}
+}

@@ -1,0 +1,145 @@
+package orb_test
+
+import (
+	"errors"
+	"testing"
+
+	"cool/internal/giop"
+	"cool/internal/orb"
+	"cool/internal/transport"
+)
+
+// TestLocationForwardRebind exercises object migration: the old server
+// answers with LOCATION_FORWARD and the client transparently rebinds to
+// the new server.
+func TestLocationForwardRebind(t *testing.T) {
+	inner := transport.NewInprocManager()
+	oldServer := orb.New(orb.WithName("old"), orb.WithTransport(inner))
+	newServer := orb.New(orb.WithName("new"), orb.WithTransport(inner))
+	client := orb.New(orb.WithName("client"), orb.WithTransport(inner))
+	t.Cleanup(func() {
+		client.Shutdown()
+		oldServer.Shutdown()
+		newServer.Shutdown()
+	})
+	if _, err := oldServer.ListenOn("inproc", "old"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer.ListenOn("inproc", "new"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The servant lives on the new server.
+	servant := &echoServant{}
+	newRef, err := newServer.RegisterServant(servant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old server only knows where it went.
+	oldServer.Adapter().RegisterForward([]byte("moved-obj"), newRef)
+	oldRef := oldServer.RefFor(servant.RepoID(), []byte("moved-obj"))
+
+	obj := client.Resolve(oldRef)
+	got := invokeEcho(t, obj, "after migration")
+	if got != "after migration" {
+		t.Fatalf("echo = %q", got)
+	}
+	if servant.callCount("echo") != 1 {
+		t.Fatalf("servant calls = %v", servant.calls)
+	}
+	// The proxy now points at the new server's reference.
+	if p, ok := obj.Ref().ProfileFor("inproc"); !ok || p.Address != "new" {
+		t.Fatalf("proxy ref after forward = %v", obj.Ref())
+	}
+}
+
+// TestLocationForwardLoopBounded: forwarding to itself must not recurse
+// forever.
+func TestLocationForwardLoopBounded(t *testing.T) {
+	inner := transport.NewInprocManager()
+	server := orb.New(orb.WithName("loop"), orb.WithTransport(inner))
+	client := orb.New(orb.WithName("client"), orb.WithTransport(inner))
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+	if _, err := server.ListenOn("inproc", "loop"); err != nil {
+		t.Fatal(err)
+	}
+	selfRef := server.RefFor("IDL:test/Loop:1.0", []byte("loop-key"))
+	server.Adapter().RegisterForward([]byte("loop-key"), selfRef)
+
+	obj := client.Resolve(selfRef)
+	err := obj.Invoke("anything", nil, nil)
+	if err == nil {
+		t.Fatal("self-forward should eventually fail")
+	}
+	var fwdErr interface{ Error() string } = err
+	_ = fwdErr
+}
+
+// TestLocateForward: LocateRequest on a forwarded key reports forward
+// information rather than "unknown object".
+func TestLocateForward(t *testing.T) {
+	inner := transport.NewInprocManager()
+	oldServer := orb.New(orb.WithName("old"), orb.WithTransport(inner))
+	newServer := orb.New(orb.WithName("new"), orb.WithTransport(inner))
+	client := orb.New(orb.WithName("client"), orb.WithTransport(inner))
+	t.Cleanup(func() {
+		client.Shutdown()
+		oldServer.Shutdown()
+		newServer.Shutdown()
+	})
+	if _, err := oldServer.ListenOn("inproc", "old"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer.ListenOn("inproc", "new"); err != nil {
+		t.Fatal(err)
+	}
+	servant := &echoServant{}
+	newRef, err := newServer.RegisterServant(servant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldServer.Adapter().RegisterForward([]byte("gone"), newRef)
+
+	obj := client.Resolve(oldServer.RefFor(servant.RepoID(), []byte("gone")))
+	here, err := obj.Locate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The object is not *here*, but the reply carried forward status (the
+	// proxy does not chase forwards on Locate; it reports not-here).
+	if here {
+		t.Fatal("forwarded key must not report OBJECT_HERE")
+	}
+}
+
+// TestForwardToDeadTargetSurfacesError: a forward pointing nowhere usable
+// surfaces a meaningful error rather than hanging.
+func TestForwardToDeadTargetSurfacesError(t *testing.T) {
+	inner := transport.NewInprocManager()
+	server := orb.New(orb.WithName("old"), orb.WithTransport(inner))
+	client := orb.New(orb.WithName("client"), orb.WithTransport(inner))
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+	if _, err := server.ListenOn("inproc", "old"); err != nil {
+		t.Fatal(err)
+	}
+	// Forward to a reference whose endpoint is not bound.
+	dead := server.RefFor("IDL:test/Dead:1.0", []byte("dead-key"))
+	dead.Profiles[0].Address = "no-such-endpoint"
+	server.Adapter().RegisterForward([]byte("moved"), dead)
+
+	obj := client.Resolve(server.RefFor("IDL:test/Dead:1.0", []byte("moved")))
+	err := obj.Invoke("op", nil, nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var se *giop.SystemException
+	if errors.As(err, &se) && se.Name() == "OBJECT_NOT_EXIST" {
+		t.Fatalf("forward swallowed: %v", err)
+	}
+}

@@ -1,0 +1,337 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cool/internal/ior"
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// ORB is one COOL runtime instance: object adapter, server endpoints, and
+// client-side connection management over the generic transport layer.
+type ORB struct {
+	name      string
+	registry  *transport.Registry
+	adapter   *Adapter
+	principal []byte
+	codecs    map[string]Codec
+
+	mu        sync.Mutex
+	endpoints []endpoint
+	listeners []transport.Listener
+	conns     map[connKey]*clientConn
+	accepted  map[transport.Channel]struct{}
+	activated bool
+	shutdown  bool
+	wg        sync.WaitGroup
+}
+
+// endpoint is one served transport address.
+type endpoint struct {
+	scheme     string
+	protocol   string
+	addr       string
+	capability qos.Capability
+}
+
+type connKey struct {
+	scheme   string
+	protocol string
+	addr     string
+	qosKey   string
+}
+
+// Option configures New.
+type Option interface{ apply(*ORB) }
+
+type optFunc func(*ORB)
+
+func (f optFunc) apply(o *ORB) { f(o) }
+
+// WithName labels the ORB (diagnostics only).
+func WithName(name string) Option {
+	return optFunc(func(o *ORB) { o.name = name })
+}
+
+// WithTransport registers an additional transport manager (e.g. the Da CaPo
+// manager). tcp and inproc are always available.
+func WithTransport(m transport.Manager) Option {
+	return optFunc(func(o *ORB) { o.registry.Register(m) })
+}
+
+// WithPrincipal sets the requesting_principal blob sent in requests.
+func WithPrincipal(p []byte) Option {
+	return optFunc(func(o *ORB) { o.principal = p })
+}
+
+// WithMessageProtocol registers an additional message protocol codec for
+// the generic message protocol layer; "giop" is always available.
+func WithMessageProtocol(c Codec) Option {
+	return optFunc(func(o *ORB) { o.codecs[c.Name()] = c })
+}
+
+// New creates an ORB with the standard tcp and inproc transports
+// registered.
+func New(opts ...Option) *ORB {
+	o := &ORB{
+		name:     "cool",
+		registry: transport.NewRegistry(transport.NewTCPManager(), transport.NewInprocManager()),
+		adapter:  NewAdapter(),
+		conns:    make(map[connKey]*clientConn),
+		accepted: make(map[transport.Channel]struct{}),
+		codecs:   map[string]Codec{"giop": GIOPCodec{}},
+	}
+	for _, opt := range opts {
+		opt.apply(o)
+	}
+	return o
+}
+
+// Adapter exposes the object adapter.
+func (o *ORB) Adapter() *Adapter { return o.adapter }
+
+// Transports exposes the transport registry (to register custom managers
+// after construction).
+func (o *ORB) Transports() *transport.Registry { return o.registry }
+
+// ListenOn binds a server endpoint speaking GIOP on the given transport
+// scheme and starts serving it. addr may be empty to auto-select. It
+// returns the bound address.
+func (o *ORB) ListenOn(scheme, addr string) (string, error) {
+	return o.ListenOnProtocol(scheme, addr, "giop")
+}
+
+// ListenOnProtocol is ListenOn with an explicit message protocol ("giop",
+// or any codec registered via WithMessageProtocol — e.g. "cool").
+func (o *ORB) ListenOnProtocol(scheme, addr, protocol string) (string, error) {
+	codec, err := o.codec(protocol)
+	if err != nil {
+		return "", err
+	}
+	mgr, err := o.registry.Get(scheme)
+	if err != nil {
+		return "", err
+	}
+	l, err := mgr.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		l.Close()
+		return "", errors.New("orb: shut down")
+	}
+	o.listeners = append(o.listeners, l)
+	o.endpoints = append(o.endpoints, endpoint{scheme: scheme, protocol: protocol, addr: l.Addr(), capability: mgr.Capability()})
+	o.activated = true
+	o.mu.Unlock()
+
+	o.wg.Add(1)
+	go o.acceptLoop(l, codec)
+	return l.Addr(), nil
+}
+
+// codec resolves a message protocol name ("" defaults to GIOP).
+func (o *ORB) codec(name string) (Codec, error) {
+	if name == "" {
+		name = "giop"
+	}
+	c, ok := o.codecs[name]
+	if !ok {
+		return nil, fmt.Errorf("orb: unknown message protocol %q", name)
+	}
+	return c, nil
+}
+
+// RegisterServant activates a servant and returns an object reference with
+// one profile per served endpoint. At least one endpoint must be listening
+// unless the servant is only used colocated (then the reference carries an
+// inproc-style local profile).
+func (o *ORB) RegisterServant(s Servant, opts ...ServantOption) (ior.Ref, error) {
+	key, err := o.adapter.Activate(s, opts...)
+	if err != nil {
+		return ior.Ref{}, err
+	}
+	return o.RefFor(s.RepoID(), key), nil
+}
+
+// RefFor builds an object reference for an activated object key.
+func (o *ORB) RefFor(typeID string, key []byte) ior.Ref {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ref := ior.Ref{TypeID: typeID}
+	for _, ep := range o.endpoints {
+		proto := ep.protocol
+		if proto == "giop" {
+			proto = "" // default on the wire
+		}
+		ref.Profiles = append(ref.Profiles, ior.Profile{
+			Transport:  ep.scheme,
+			Protocol:   proto,
+			Address:    ep.addr,
+			ObjectKey:  key,
+			Capability: ep.capability,
+		})
+	}
+	if len(ref.Profiles) == 0 {
+		// Colocated-only object: a pseudo profile resolvable in-process.
+		ref.Profiles = append(ref.Profiles, ior.Profile{
+			Transport:  "local",
+			Address:    o.name,
+			ObjectKey:  key,
+			Capability: qos.Unconstrained(),
+		})
+	}
+	return ref
+}
+
+// Resolve returns a client proxy for a reference.
+func (o *ORB) Resolve(ref ior.Ref) *Object {
+	return &Object{orb: o, ref: ref}
+}
+
+// ResolveString parses a stringified IOR and returns a proxy.
+func (o *ORB) ResolveString(s string) (*Object, error) {
+	ref, err := ior.Unmarshal(s)
+	if err != nil {
+		return nil, err
+	}
+	return o.Resolve(ref), nil
+}
+
+// isLocal reports whether a profile addresses this ORB instance, enabling
+// the object adapter's colocation shortcut.
+func (o *ORB) isLocal(p ior.Profile) bool {
+	if p.Transport == "local" {
+		_, ok := o.adapter.lookup(p.ObjectKey)
+		return ok
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, ep := range o.endpoints {
+		if ep.scheme == p.Transport && ep.addr == p.Address {
+			_, ok := o.adapter.lookup(p.ObjectKey)
+			return ok
+		}
+	}
+	return false
+}
+
+// getConn returns (creating if needed) the cached client connection for a
+// profile and QoS requirement — one connection per (endpoint, QoS), so a
+// QoS change maps to a transport reconfiguration exactly as in §4.1.
+func (o *ORB) getConn(p ior.Profile, req qos.Set) (*clientConn, qos.Set, error) {
+	codec, err := o.codec(p.Protocol)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := connKey{scheme: p.Transport, protocol: p.Protocol, addr: p.Address, qosKey: req.Key()}
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		return nil, nil, errors.New("orb: shut down")
+	}
+	if c, ok := o.conns[key]; ok && !c.isClosed() {
+		granted := c.granted
+		o.mu.Unlock()
+		return c, granted, nil
+	}
+	o.mu.Unlock()
+
+	mgr, err := o.registry.Get(p.Transport)
+	if err != nil {
+		return nil, nil, err
+	}
+	_ = codec
+	ch, err := mgr.Dial(p.Address)
+	if err != nil {
+		return nil, nil, fmt.Errorf("orb: dial %s://%s: %w", p.Transport, p.Address, err)
+	}
+	// Unilateral QoS negotiation between message layer and transport.
+	granted, err := ch.SetQoSParameter(req)
+	if err != nil {
+		if errors.Is(err, transport.ErrQoSNotSupported) {
+			// The transport has no QoS machinery. The binding is only
+			// viable when the requirements tolerate zero service.
+			granted, err = qos.Negotiate(req, p.Capability)
+		}
+		if err != nil {
+			ch.Close()
+			return nil, nil, err
+		}
+	}
+	c := newClientConn(ch, codec, granted)
+	o.mu.Lock()
+	if old, ok := o.conns[key]; ok && !old.isClosed() {
+		// Lost a race; keep the existing connection.
+		o.mu.Unlock()
+		c.close()
+		return old, old.granted, nil
+	}
+	o.conns[key] = c
+	o.mu.Unlock()
+	return c, granted, nil
+}
+
+// dropConn removes and closes a cached client connection (used after a QoS
+// NACK aborts the binding it served).
+func (o *ORB) dropConn(p ior.Profile, qosKey string, c *clientConn) {
+	key := connKey{scheme: p.Transport, protocol: p.Protocol, addr: p.Address, qosKey: qosKey}
+	o.mu.Lock()
+	if cur, ok := o.conns[key]; ok && cur == c {
+		delete(o.conns, key)
+	}
+	o.mu.Unlock()
+	c.close()
+}
+
+// Shutdown closes all listeners and client connections and waits for the
+// server loops to drain.
+func (o *ORB) Shutdown() {
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		o.wg.Wait()
+		return
+	}
+	o.shutdown = true
+	listeners := o.listeners
+	conns := o.conns
+	accepted := o.accepted
+	o.conns = make(map[connKey]*clientConn)
+	o.accepted = make(map[transport.Channel]struct{})
+	o.mu.Unlock()
+
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+	for ch := range accepted {
+		ch.Close()
+	}
+	o.wg.Wait()
+}
+
+// trackAccepted registers an inbound connection for shutdown; it reports
+// false when the ORB is already shutting down.
+func (o *ORB) trackAccepted(ch transport.Channel) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.shutdown {
+		return false
+	}
+	o.accepted[ch] = struct{}{}
+	return true
+}
+
+func (o *ORB) untrackAccepted(ch transport.Channel) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.accepted, ch)
+}

@@ -1,0 +1,256 @@
+package orb_test
+
+import (
+	"testing"
+	"time"
+
+	"cool/internal/cdr"
+	"cool/internal/giop"
+	"cool/internal/orb"
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// rawServer starts an ORB with an echo servant on inproc and returns a raw
+// transport channel speaking directly to its server loop.
+func rawServer(t *testing.T) (transport.Channel, *echoServant) {
+	t.Helper()
+	inner := transport.NewInprocManager()
+	server := orb.New(orb.WithName("raw"), orb.WithTransport(inner))
+	t.Cleanup(server.Shutdown)
+	addr, err := server.ListenOn("inproc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	servant := &echoServant{}
+	if _, err := server.RegisterServant(servant); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := inner.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ch.Close() })
+	return ch, servant
+}
+
+func readWithTimeout(t *testing.T, ch transport.Channel) []byte {
+	t.Helper()
+	type res struct {
+		msg []byte
+		err error
+	}
+	rc := make(chan res, 1)
+	go func() {
+		msg, err := ch.ReadMessage()
+		rc <- res{msg, err}
+	}()
+	select {
+	case r := <-rc:
+		if r.err != nil {
+			t.Fatalf("read: %v", r.err)
+		}
+		return r.msg
+	case <-time.After(2 * time.Second):
+		t.Fatal("no reply within deadline")
+		return nil
+	}
+}
+
+func TestServerAnswersMessageErrorToGarbage(t *testing.T) {
+	ch, _ := rawServer(t)
+	if err := ch.WriteMessage([]byte("this is not GIOP at all")); err != nil {
+		t.Fatal(err)
+	}
+	reply := readWithTimeout(t, ch)
+	m, err := giop.Unmarshal(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.Type != giop.MsgMessageError {
+		t.Fatalf("reply type = %v, want MessageError", m.Header.Type)
+	}
+}
+
+func TestServerHonoursCloseConnection(t *testing.T) {
+	ch, _ := rawServer(t)
+	frame, err := giop.MarshalCloseConnection(giop.V1_0, cdr.BigEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.WriteMessage(frame); err != nil {
+		t.Fatal(err)
+	}
+	// The server drops the connection: the next read fails.
+	done := make(chan error, 1)
+	go func() {
+		_, err := ch.ReadMessage()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected connection teardown")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server kept the connection open")
+	}
+}
+
+func TestServerHandlesRawRequestBothEndianness(t *testing.T) {
+	for _, little := range []bool{false, true} {
+		ch, _ := rawServer(t)
+		hdr := &giop.RequestHeader{
+			RequestID:        7,
+			ResponseExpected: true,
+			ObjectKey:        []byte("obj-1"),
+			Operation:        "echo",
+		}
+		frame, err := giop.MarshalRequest(giop.V1_0, little, hdr, func(enc *cdr.Encoder) {
+			enc.WriteString("endian test")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.WriteMessage(frame); err != nil {
+			t.Fatal(err)
+		}
+		reply := readWithTimeout(t, ch)
+		m, err := giop.Unmarshal(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Reply == nil || m.Reply.RequestID != 7 || m.Reply.Status != giop.ReplyNoException {
+			t.Fatalf("little=%v: reply = %+v", little, m.Reply)
+		}
+		if s, err := m.BodyDecoder().ReadString(); err != nil || s != "endian test" {
+			t.Fatalf("little=%v: body = %q, %v", little, s, err)
+		}
+	}
+}
+
+func TestServerIgnoresOnewayForUnknownObject(t *testing.T) {
+	ch, _ := rawServer(t)
+	hdr := &giop.RequestHeader{
+		RequestID:        9,
+		ResponseExpected: false, // oneway: errors must NOT produce replies
+		ObjectKey:        []byte("ghost"),
+		Operation:        "echo",
+	}
+	frame, err := giop.MarshalRequest(giop.V1_0, cdr.BigEndian, hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.WriteMessage(frame); err != nil {
+		t.Fatal(err)
+	}
+	// Follow with a valid request; the first reply must belong to it.
+	hdr2 := &giop.RequestHeader{
+		RequestID:        10,
+		ResponseExpected: true,
+		ObjectKey:        []byte("obj-1"),
+		Operation:        "echo",
+	}
+	frame2, err := giop.MarshalRequest(giop.V1_0, cdr.BigEndian, hdr2, func(enc *cdr.Encoder) {
+		enc.WriteString("next")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.WriteMessage(frame2); err != nil {
+		t.Fatal(err)
+	}
+	reply := readWithTimeout(t, ch)
+	m, err := giop.Unmarshal(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reply == nil || m.Reply.RequestID != 10 {
+		t.Fatalf("reply = %+v (oneway error leaked a reply?)", m.Reply)
+	}
+}
+
+func TestServerCancelBeforeDispatchCompletes(t *testing.T) {
+	ch, _ := rawServer(t)
+	hdr := &giop.RequestHeader{
+		RequestID:        21,
+		ResponseExpected: true,
+		ObjectKey:        []byte("obj-1"),
+		Operation:        "slow", // sleeps 30 ms
+	}
+	frame, err := giop.MarshalRequest(giop.V1_0, cdr.BigEndian, hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.WriteMessage(frame); err != nil {
+		t.Fatal(err)
+	}
+	cancel, err := giop.MarshalCancelRequest(giop.V1_0, cdr.BigEndian, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.WriteMessage(cancel); err != nil {
+		t.Fatal(err)
+	}
+	// Send an echo afterwards; the only reply we get must be the echo's
+	// (the canceled request's reply was suppressed).
+	hdr2 := &giop.RequestHeader{
+		RequestID:        22,
+		ResponseExpected: true,
+		ObjectKey:        []byte("obj-1"),
+		Operation:        "echo",
+	}
+	frame2, _ := giop.MarshalRequest(giop.V1_0, cdr.BigEndian, hdr2, func(enc *cdr.Encoder) {
+		enc.WriteString("after cancel")
+	})
+	if err := ch.WriteMessage(frame2); err != nil {
+		t.Fatal(err)
+	}
+	reply := readWithTimeout(t, ch)
+	m, err := giop.Unmarshal(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reply.RequestID != 22 {
+		t.Fatalf("got reply for %d, want only 22", m.Reply.RequestID)
+	}
+}
+
+func TestServerQoSRequestAgainstNoCapabilityServant(t *testing.T) {
+	// A GIOP 9.9 request with a hard QoS floor against a servant that
+	// advertised no capability must NACK.
+	ch, _ := rawServer(t)
+	qosHdr := &giop.RequestHeader{
+		RequestID:        31,
+		ResponseExpected: true,
+		ObjectKey:        []byte("obj-1"),
+		Operation:        "echo",
+		QoS: qos.Set{{
+			Type: qos.Throughput, Request: 10_000, Max: qos.NoLimit, Min: 5000,
+		}},
+	}
+	frame, err := giop.MarshalRequest(giop.VQoS, cdr.BigEndian, qosHdr, func(enc *cdr.Encoder) {
+		enc.WriteString("x")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.WriteMessage(frame); err != nil {
+		t.Fatal(err)
+	}
+	reply := readWithTimeout(t, ch)
+	m, err := giop.Unmarshal(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reply.Status != giop.ReplySystemException {
+		t.Fatalf("status = %v", m.Reply.Status)
+	}
+	exc, err := giop.DecodeSystemException(m.BodyDecoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exc.IsNACK() {
+		t.Fatalf("exception = %v", exc)
+	}
+}

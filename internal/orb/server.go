@@ -1,0 +1,262 @@
+package orb
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"cool/internal/cdr"
+	"cool/internal/giop"
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// acceptLoop serves one listener until shutdown.
+func (o *ORB) acceptLoop(l transport.Listener, codec Codec) {
+	defer o.wg.Done()
+	for {
+		ch, err := l.Accept()
+		if err != nil {
+			if o.isShutdown() {
+				return
+			}
+			// A failed handshake (e.g. a rejected Da CaPo configuration)
+			// must not stop the endpoint.
+			continue
+		}
+		o.wg.Add(1)
+		go o.serveConn(ch, codec)
+	}
+}
+
+func (o *ORB) isShutdown() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.shutdown
+}
+
+// serverConnState tracks per-connection request cancellation.
+type serverConnState struct {
+	mu       sync.Mutex
+	canceled map[uint32]bool
+}
+
+func (s *serverConnState) cancel(id uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.canceled == nil {
+		s.canceled = make(map[uint32]bool)
+	}
+	s.canceled[id] = true
+}
+
+// takeCanceled reports and clears the cancel mark for a request id.
+func (s *serverConnState) takeCanceled(id uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.canceled[id] {
+		delete(s.canceled, id)
+		return true
+	}
+	return false
+}
+
+// serveConn runs the GIOP server loop for one transport channel.
+func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
+	defer o.wg.Done()
+	defer ch.Close()
+	if !o.trackAccepted(ch) {
+		return
+	}
+	defer o.untrackAccepted(ch)
+	state := &serverConnState{}
+	var dispatch sync.WaitGroup
+	defer dispatch.Wait()
+	for {
+		frame, err := ch.ReadMessage()
+		if err != nil {
+			return // EOF or transport failure: drop the connection
+		}
+		m, err := codec.Unmarshal(frame)
+		if err != nil {
+			// Malformed frame: answer MessageError and close (§2 GIOP
+			// error handling; the COOL protocol mirrors it).
+			if mef, merr := codec.MarshalMessageError(); merr == nil {
+				_ = ch.WriteMessage(mef)
+			}
+			return
+		}
+		switch m.Header.Type {
+		case giop.MsgRequest:
+			dispatch.Add(1)
+			go func(m *giop.Message) {
+				defer dispatch.Done()
+				reply := o.handleRequest(codec, m, state)
+				if reply != nil {
+					_ = ch.WriteMessage(reply)
+				}
+			}(m)
+		case giop.MsgCancelRequest:
+			state.cancel(m.CancelRequest.RequestID)
+		case giop.MsgLocateRequest:
+			if reply := o.handleLocate(codec, m); reply != nil {
+				_ = ch.WriteMessage(reply)
+			}
+		case giop.MsgCloseConnection:
+			return
+		case giop.MsgMessageError:
+			return
+		default:
+			// Replies and LocateReplies are client-bound; a server
+			// receiving one indicates a confused peer.
+			return
+		}
+	}
+}
+
+// handleRequest performs the server side of Figure 4: unmarshal QoS and
+// method, negotiate, dispatch, marshal results. It returns the reply frame,
+// or nil when no reply is due (oneway or canceled requests).
+func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState) []byte {
+	req := m.Request
+
+	fail := func(exc *giop.SystemException) []byte {
+		if !req.ResponseExpected {
+			return nil
+		}
+		frame, err := codec.MarshalReply(m, &giop.ReplyHeader{
+			RequestID: req.RequestID,
+			Status:    giop.ReplySystemException,
+		}, exc.Encode)
+		if err != nil {
+			return nil
+		}
+		return frame
+	}
+
+	e, ok := o.adapter.lookup(req.ObjectKey)
+	if !ok {
+		if target, fwd := o.adapter.lookupForward(req.ObjectKey); fwd {
+			frame, err := codec.MarshalReply(m, &giop.ReplyHeader{
+				RequestID: req.RequestID,
+				Status:    giop.ReplyLocationForward,
+			}, target.Encode)
+			if err != nil {
+				return fail(giop.MarshalException())
+			}
+			return frame
+		}
+		return fail(giop.ObjectNotExist())
+	}
+
+	// Bilateral QoS negotiation: the object implementation either supports
+	// the requested QoS or NACKs (Figure 3).
+	granted := qos.Set(nil)
+	if len(req.QoS) > 0 {
+		var err error
+		granted, err = qos.Negotiate(req.QoS, e.capability)
+		if err != nil {
+			var ne *qos.NegotiationError
+			if errors.As(err, &ne) {
+				return fail(giop.NoResources(uint32(len(ne.Failed))))
+			}
+			return fail(giop.NoResources(0))
+		}
+	}
+
+	inv := &Invocation{
+		Operation: req.Operation,
+		QoS:       granted,
+		Args:      m.BodyDecoder(),
+		Principal: req.Principal,
+	}
+	body, err := e.servant.Invoke(inv)
+
+	if state != nil && state.takeCanceled(req.RequestID) {
+		return nil // client abandoned the request
+	}
+	if !req.ResponseExpected {
+		return nil
+	}
+
+	switch {
+	case err == nil:
+		var writer func(*cdr.Encoder)
+		if body != nil {
+			writer = func(enc *cdr.Encoder) { body(enc) }
+		}
+		frame, merr := codec.MarshalReply(m, &giop.ReplyHeader{
+			RequestID: req.RequestID,
+			Status:    giop.ReplyNoException,
+		}, writer)
+		if merr != nil {
+			return fail(giop.MarshalException())
+		}
+		return frame
+	default:
+		var sysExc *giop.SystemException
+		if errors.As(err, &sysExc) {
+			return fail(sysExc)
+		}
+		var userErr *UserError
+		if errors.As(err, &userErr) {
+			frame, merr := codec.MarshalReply(m, &giop.ReplyHeader{
+				RequestID: req.RequestID,
+				Status:    giop.ReplyUserException,
+			}, func(enc *cdr.Encoder) {
+				enc.WriteString(userErr.ID)
+				var data []byte
+				if userErr.Body != nil {
+					data = cdr.EncodeEncapsulation(cdr.BigEndian, userErr.Body)
+				} else {
+					data = cdr.EncodeEncapsulation(cdr.BigEndian, func(*cdr.Encoder) {})
+				}
+				enc.WriteEncapsulation(data)
+			})
+			if merr != nil {
+				return fail(giop.MarshalException())
+			}
+			return frame
+		}
+		return fail(giop.UnknownException())
+	}
+}
+
+// handleLocate answers a LocateRequest.
+func (o *ORB) handleLocate(codec Codec, m *giop.Message) []byte {
+	status := giop.LocateUnknownObject
+	var body func(*cdr.Encoder)
+	if _, ok := o.adapter.lookup(m.LocateRequest.ObjectKey); ok {
+		status = giop.LocateObjectHere
+	} else if target, fwd := o.adapter.lookupForward(m.LocateRequest.ObjectKey); fwd {
+		status = giop.LocateObjectForward
+		body = target.Encode
+	}
+	frame, err := codec.MarshalLocateReply(m, m.LocateRequest.RequestID, status, body)
+	if err != nil {
+		return nil
+	}
+	return frame
+}
+
+// dispatchColocated runs a marshalled request through the local object
+// adapter without touching a transport: COOL's colocation optimisation.
+// The request is still fully CDR-marshalled, so semantics (and marshalling
+// bugs) match the remote path exactly.
+func (o *ORB) dispatchColocated(codec Codec, frame []byte) ([]byte, error) {
+	m, err := codec.Unmarshal(frame)
+	if err != nil {
+		return nil, err
+	}
+	if m.Header.Type != giop.MsgRequest {
+		return nil, errors.New("orb: colocated dispatch expects a Request")
+	}
+	reply := o.handleRequest(codec, m, nil)
+	if reply == nil {
+		if !m.Request.ResponseExpected {
+			return nil, nil
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	return reply, nil
+}

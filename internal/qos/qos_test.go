@@ -1,0 +1,380 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustSet(t *testing.T, params ...Parameter) Set {
+	t.Helper()
+	s, err := NewSet(params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParamTypeString(t *testing.T) {
+	if Throughput.String() != "throughput" {
+		t.Errorf("Throughput = %q", Throughput.String())
+	}
+	if ParamType(999).String() != "param(999)" {
+		t.Errorf("unknown = %q", ParamType(999).String())
+	}
+	if ParamType(999).Known() {
+		t.Error("999 should not be Known")
+	}
+	if !Jitter.Known() {
+		t.Error("Jitter should be Known")
+	}
+}
+
+func TestLowerIsBetter(t *testing.T) {
+	lower := map[ParamType]bool{
+		Throughput: false, Latency: true, Jitter: true,
+		Reliability: true, Ordering: false, Confidentiality: false, Priority: false,
+	}
+	for tp, want := range lower {
+		if got := tp.LowerIsBetter(); got != want {
+			t.Errorf("%s.LowerIsBetter() = %v, want %v", tp, got, want)
+		}
+	}
+}
+
+func TestParameterValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Parameter
+		wantErr bool
+	}{
+		{"valid", Parameter{Type: Throughput, Request: 100, Max: 200, Min: 50}, false},
+		{"valid no limit", Parameter{Type: Throughput, Request: 100, Max: NoLimit, Min: 0}, false},
+		{"zero type", Parameter{Request: 1, Max: NoLimit}, true},
+		{"max below min", Parameter{Type: Latency, Request: 5, Max: 3, Min: 4}, true},
+		{"request above max", Parameter{Type: Latency, Request: 10, Max: 5, Min: 0}, true},
+		{"request below min", Parameter{Type: Latency, Request: 1, Max: 10, Min: 5}, true},
+		{"negative min", Parameter{Type: Latency, Request: 1, Max: 10, Min: -3}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParameterAccepts(t *testing.T) {
+	p := Parameter{Type: Throughput, Request: 100, Max: 200, Min: 50}
+	for v, want := range map[uint32]bool{49: false, 50: true, 100: true, 200: true, 201: false} {
+		if got := p.Accepts(v); got != want {
+			t.Errorf("Accepts(%d) = %v, want %v", v, got, want)
+		}
+	}
+	open := Parameter{Type: Throughput, Request: 100, Max: NoLimit, Min: 50}
+	if !open.Accepts(1 << 30) {
+		t.Error("open range should accept huge values")
+	}
+}
+
+func TestNewSetRejectsDuplicates(t *testing.T) {
+	_, err := NewSet(
+		Parameter{Type: Throughput, Request: 1, Max: NoLimit},
+		Parameter{Type: Throughput, Request: 2, Max: NoLimit},
+	)
+	if err == nil {
+		t.Fatal("expected duplicate error")
+	}
+}
+
+func TestSetGetValueWith(t *testing.T) {
+	s := mustSet(t,
+		Parameter{Type: Throughput, Request: 100, Max: NoLimit},
+		Parameter{Type: Latency, Request: 500, Max: 1000},
+	)
+	if p, ok := s.Get(Latency); !ok || p.Request != 500 {
+		t.Errorf("Get(Latency) = %v, %v", p, ok)
+	}
+	if _, ok := s.Get(Jitter); ok {
+		t.Error("Get(Jitter) should be absent")
+	}
+	if v := s.Value(Throughput, 7); v != 100 {
+		t.Errorf("Value(Throughput) = %d", v)
+	}
+	if v := s.Value(Jitter, 7); v != 7 {
+		t.Errorf("Value(Jitter) default = %d", v)
+	}
+
+	s2 := s.With(Parameter{Type: Latency, Request: 250, Max: 1000})
+	if v := s2.Value(Latency, 0); v != 250 {
+		t.Errorf("With replace: latency = %d", v)
+	}
+	if v := s.Value(Latency, 0); v != 500 {
+		t.Errorf("With must not mutate original: latency = %d", v)
+	}
+	s3 := s.With(Parameter{Type: Jitter, Request: 10, Max: NoLimit})
+	if len(s3) != 3 {
+		t.Errorf("With add: len = %d", len(s3))
+	}
+}
+
+func TestSetEqualAndKey(t *testing.T) {
+	a := mustSet(t,
+		Parameter{Type: Throughput, Request: 100, Max: NoLimit},
+		Parameter{Type: Latency, Request: 500, Max: 1000},
+	)
+	b := mustSet(t,
+		Parameter{Type: Latency, Request: 500, Max: 1000},
+		Parameter{Type: Throughput, Request: 100, Max: NoLimit},
+	)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("order-independent Equal failed")
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	c := a.With(Parameter{Type: Latency, Request: 499, Max: 1000})
+	if a.Equal(c) {
+		t.Error("Equal should detect value change")
+	}
+	if a.Key() == c.Key() {
+		t.Error("Key should detect value change")
+	}
+	var empty Set
+	if empty.Key() != "" {
+		t.Errorf("empty key = %q", empty.Key())
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	a := mustSet(t, Parameter{Type: Throughput, Request: 100, Max: NoLimit})
+	b := a.Clone()
+	b[0].Request = 7
+	if a[0].Request != 100 {
+		t.Error("Clone must copy")
+	}
+	if (Set)(nil).Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}
+
+func TestNegotiateGrantsRequested(t *testing.T) {
+	req := mustSet(t,
+		Parameter{Type: Throughput, Request: 1000, Max: NoLimit, Min: 500},
+		Parameter{Type: Latency, Request: 2000, Max: 5000, Min: 0},
+	)
+	cap := Capability{
+		Throughput: {Best: 10000, Supported: true},
+		Latency:    {Best: 100, Supported: true},
+	}
+	granted, err := Negotiate(req, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := granted.Value(Throughput, 0); v != 1000 {
+		t.Errorf("throughput granted = %d, want 1000 (exactly as requested)", v)
+	}
+	if v := granted.Value(Latency, 0); v != 2000 {
+		t.Errorf("latency granted = %d, want 2000", v)
+	}
+}
+
+func TestNegotiateDegradesWithinRange(t *testing.T) {
+	req := mustSet(t, Parameter{Type: Throughput, Request: 8000, Max: NoLimit, Min: 1000})
+	cap := Capability{Throughput: {Best: 2000, Supported: true}}
+	granted, err := Negotiate(req, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := granted.Value(Throughput, 0); v != 2000 {
+		t.Errorf("granted = %d, want provider best 2000", v)
+	}
+}
+
+func TestNegotiateNACKBelowMin(t *testing.T) {
+	req := mustSet(t, Parameter{Type: Throughput, Request: 8000, Max: NoLimit, Min: 4000})
+	cap := Capability{Throughput: {Best: 2000, Supported: true}}
+	_, err := Negotiate(req, cap)
+	var ne *NegotiationError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v, want NegotiationError", err)
+	}
+	if len(ne.Failed) != 1 || ne.Failed[0].Param.Type != Throughput || ne.Failed[0].Offer != 2000 {
+		t.Errorf("Failed = %+v", ne.Failed)
+	}
+	if ne.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestNegotiateLowerIsBetterRelaxation(t *testing.T) {
+	// Client asks for 1ms latency but accepts up to 10ms; provider can do 4ms.
+	req := mustSet(t, Parameter{Type: Latency, Request: 1000, Max: 10000, Min: 0})
+	cap := Capability{Latency: {Best: 4000, Supported: true}}
+	granted, err := Negotiate(req, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := granted.Value(Latency, 0); v != 4000 {
+		t.Errorf("granted latency = %d, want 4000", v)
+	}
+
+	// Provider can only do 20ms: outside the client's max -> NACK.
+	_, err = Negotiate(req, Capability{Latency: {Best: 20000, Supported: true}})
+	var ne *NegotiationError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v, want NegotiationError", err)
+	}
+}
+
+func TestNegotiateUnsupportedDimension(t *testing.T) {
+	// Confidentiality with Min 1 ("must encrypt") against a provider that
+	// does not understand encryption -> NACK.
+	req := mustSet(t, Parameter{Type: Confidentiality, Request: 1, Max: 1, Min: 1})
+	_, err := Negotiate(req, Capability{})
+	var ne *NegotiationError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v, want NegotiationError", err)
+	}
+
+	// Min 0 ("nice to have") is granted at 0.
+	req = mustSet(t, Parameter{Type: Confidentiality, Request: 1, Max: 1, Min: 0})
+	granted, err := Negotiate(req, Capability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := granted.Value(Confidentiality, 99); v != 0 {
+		t.Errorf("granted confidentiality = %d, want 0", v)
+	}
+}
+
+func TestNegotiateUnsupportedLowerIsBetter(t *testing.T) {
+	// A latency bound against a provider with no latency support is
+	// acceptable only when the client's range is open (Max == NoLimit).
+	open := mustSet(t, Parameter{Type: Latency, Request: 1000, Max: NoLimit, Min: 0})
+	if _, err := Negotiate(open, Capability{}); err != nil {
+		t.Fatalf("open range: %v", err)
+	}
+	closed := mustSet(t, Parameter{Type: Latency, Request: 1000, Max: 2000, Min: 0})
+	if _, err := Negotiate(closed, Capability{}); err == nil {
+		t.Fatal("closed range should NACK")
+	}
+}
+
+func TestNegotiateInvalidRequest(t *testing.T) {
+	bad := Set{{Type: Latency, Request: 10, Max: 5, Min: 0}}
+	if _, err := Negotiate(bad, Unconstrained()); err == nil {
+		t.Fatal("invalid request should fail")
+	}
+}
+
+func TestNegotiateAllOrNothing(t *testing.T) {
+	req := mustSet(t,
+		Parameter{Type: Throughput, Request: 100, Max: NoLimit, Min: 0},
+		Parameter{Type: Confidentiality, Request: 1, Max: 1, Min: 1},
+	)
+	cap := Capability{Throughput: {Best: 1000, Supported: true}}
+	if _, err := Negotiate(req, cap); err == nil {
+		t.Fatal("one failing dimension must NACK the whole request")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Capability{
+		Throughput: {Best: 1000, Supported: true},
+		Latency:    {Best: 100, Supported: true},
+		Ordering:   {Best: 1, Supported: true},
+	}
+	b := Capability{
+		Throughput: {Best: 500, Supported: true},
+		Latency:    {Best: 400, Supported: true},
+	}
+	m := Merge(a, b)
+	if l := m[Throughput]; l.Best != 500 || !l.Supported {
+		t.Errorf("throughput = %+v", l)
+	}
+	if l := m[Latency]; l.Best != 400 { // lower is better: weaker = larger bound
+		t.Errorf("latency = %+v", l)
+	}
+	if _, ok := m[Ordering]; ok {
+		t.Error("ordering supported by only one side must drop out")
+	}
+}
+
+func TestUnconstrainedGrantsEverything(t *testing.T) {
+	req := mustSet(t,
+		Parameter{Type: Throughput, Request: 1 << 30, Max: NoLimit, Min: 1 << 30},
+		Parameter{Type: Latency, Request: 1, Max: 1, Min: 0},
+		Parameter{Type: Jitter, Request: 0, Max: 0, Min: 0},
+		Parameter{Type: Reliability, Request: 0, Max: 0, Min: 0},
+		Parameter{Type: Confidentiality, Request: 1, Max: 1, Min: 1},
+	)
+	granted, err := Negotiate(req, Unconstrained())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !granted.Equal(req) {
+		t.Errorf("granted %v != requested %v", granted, req)
+	}
+}
+
+// Property: a successful negotiation always grants values inside the
+// requester's acceptable range, and grants exactly the requested dimensions.
+func TestQuickNegotiateInvariant(t *testing.T) {
+	f := func(reqVal, best uint32, min16, span16 uint16, lowerDim, supported bool) bool {
+		tp := Throughput
+		if lowerDim {
+			tp = Latency
+		}
+		min := int32(min16)
+		max := min + int32(span16)
+		// Clamp request into [min,max] so the request itself is valid.
+		req := reqVal
+		if int64(req) < int64(min) {
+			req = uint32(min)
+		}
+		if int64(req) > int64(max) {
+			req = uint32(max)
+		}
+		p := Parameter{Type: tp, Request: req, Max: max, Min: min}
+		if p.Validate() != nil {
+			return true // not a valid request; out of scope
+		}
+		granted, err := Negotiate(Set{p}, Capability{tp: {Best: best, Supported: supported}})
+		if err != nil {
+			var ne *NegotiationError
+			return errors.As(err, &ne)
+		}
+		g, ok := granted.Get(tp)
+		return ok && p.Accepts(g.Request) && len(granted) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Merge is commutative and never stronger than either input.
+func TestQuickMergeWeaker(t *testing.T) {
+	f := func(aBest, bBest uint32, lowerDim bool) bool {
+		tp := Throughput
+		if lowerDim {
+			tp = Jitter
+		}
+		a := Capability{tp: {Best: aBest, Supported: true}}
+		b := Capability{tp: {Best: bBest, Supported: true}}
+		m1 := Merge(a, b)
+		m2 := Merge(b, a)
+		if m1[tp] != m2[tp] {
+			return false
+		}
+		got := m1[tp].Best
+		if tp.LowerIsBetter() {
+			return got >= aBest && got >= bBest
+		}
+		return got <= aBest && got <= bBest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

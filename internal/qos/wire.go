@@ -1,0 +1,53 @@
+package qos
+
+import (
+	"fmt"
+
+	"cool/internal/cdr"
+)
+
+// EncodeSet writes a Set in its wire form: ulong count followed by one
+// QoSParameter struct per entry (param_type, request_value, max_value,
+// min_value), exactly the layout of the paper's extended Request header.
+// The same encoding is shared by GIOP qos_params and Da CaPo connection
+// signalling.
+func EncodeSet(enc *cdr.Encoder, s Set) {
+	enc.WriteULong(uint32(len(s)))
+	for _, p := range s {
+		enc.WriteULong(uint32(p.Type))
+		enc.WriteULong(p.Request)
+		enc.WriteLong(p.Max)
+		enc.WriteLong(p.Min)
+	}
+}
+
+// DecodeSet reads a Set written by EncodeSet.
+func DecodeSet(dec *cdr.Decoder) (Set, error) {
+	n, err := dec.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("qos: set count: %w", err)
+	}
+	if int64(n)*16 > int64(dec.Remaining()) {
+		return nil, fmt.Errorf("qos: set count %d exceeds remaining buffer", n)
+	}
+	var s Set
+	for i := uint32(0); i < n; i++ {
+		var p Parameter
+		var v uint32
+		if v, err = dec.ReadULong(); err != nil {
+			return nil, fmt.Errorf("qos: param type: %w", err)
+		}
+		p.Type = ParamType(v)
+		if p.Request, err = dec.ReadULong(); err != nil {
+			return nil, fmt.Errorf("qos: request value: %w", err)
+		}
+		if p.Max, err = dec.ReadLong(); err != nil {
+			return nil, fmt.Errorf("qos: max value: %w", err)
+		}
+		if p.Min, err = dec.ReadLong(); err != nil {
+			return nil, fmt.Errorf("qos: min value: %w", err)
+		}
+		s = append(s, p)
+	}
+	return s, nil
+}

@@ -1,0 +1,86 @@
+package qos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cool/internal/cdr"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	s := Set{
+		{Type: Throughput, Request: 1000, Max: NoLimit, Min: 100},
+		{Type: Latency, Request: 5000, Max: 20000, Min: 0},
+		{Type: Confidentiality, Request: 1, Max: 1, Min: 1},
+	}
+	enc := cdr.NewEncoder(cdr.BigEndian)
+	EncodeSet(enc, s)
+	got, err := DecodeSet(cdr.NewDecoder(enc.Bytes(), cdr.BigEndian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("got %v, want %v", got, s)
+	}
+}
+
+func TestWireEmptySet(t *testing.T) {
+	enc := cdr.NewEncoder(cdr.LittleEndian)
+	EncodeSet(enc, nil)
+	if enc.Len() != 4 {
+		t.Fatalf("empty set = %d octets, want 4", enc.Len())
+	}
+	got, err := DecodeSet(cdr.NewDecoder(enc.Bytes(), cdr.LittleEndian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWireSixteenOctetsPerParameter(t *testing.T) {
+	// The paper's QoSParameter struct is 4 unsigned-long-sized fields.
+	enc := cdr.NewEncoder(cdr.BigEndian)
+	EncodeSet(enc, Set{{Type: Throughput, Request: 1, Max: 2, Min: 0}})
+	if enc.Len() != 4+16 {
+		t.Fatalf("one parameter = %d octets, want 20", enc.Len())
+	}
+}
+
+func TestWireHostileCount(t *testing.T) {
+	dec := cdr.NewDecoder([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}, cdr.BigEndian)
+	if _, err := DecodeSet(dec); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+}
+
+// Property: any parameter list survives the wire encoding in both byte
+// orders.
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(raw []struct {
+		T        uint8
+		Req      uint32
+		Max, Min int32
+	}, little bool) bool {
+		var s Set
+		for _, r := range raw {
+			s = append(s, Parameter{Type: ParamType(r.T), Request: r.Req, Max: r.Max, Min: r.Min})
+		}
+		enc := cdr.NewEncoder(little)
+		EncodeSet(enc, s)
+		got, err := DecodeSet(cdr.NewDecoder(enc.Bytes(), little))
+		if err != nil || len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

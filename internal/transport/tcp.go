@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cool/internal/qos"
+)
+
+// maxTCPMessage bounds inbound frames so a hostile length prefix cannot
+// drive an arbitrary allocation.
+const maxTCPMessage = 64 << 20
+
+// TCPManager implements the "tcp" transport: COOL's TCP/IP channel with
+// explicit buffer management (_TcpComChannel + _TcpBuffer in Figure 8).
+// Messages are framed with a 4-octet big-endian length prefix; TCP has no
+// QoS support.
+type TCPManager struct{}
+
+var _ Manager = TCPManager{}
+
+// NewTCPManager returns the TCP transport manager.
+func NewTCPManager() TCPManager { return TCPManager{} }
+
+// Scheme returns "tcp".
+func (TCPManager) Scheme() string { return "tcp" }
+
+// Capability returns nil: TCP advertises no QoS dimensions.
+func (TCPManager) Capability() qos.Capability { return nil }
+
+// Dial connects to a TCP listener at host:port.
+func (TCPManager) Dial(addr string) (Channel, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial tcp %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return newTCPChannel(conn), nil
+}
+
+// Listen binds a TCP listener; an empty addr binds an ephemeral port on
+// the loopback interface.
+func (TCPManager) Listen(addr string) (Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen tcp %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (t *tcpListener) Accept() (Channel, error) {
+	conn, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return newTCPChannel(conn), nil
+}
+
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+func (t *tcpListener) Close() error { return t.l.Close() }
+
+// tcpChannel frames messages over a net.Conn. The write buffer is reused
+// across messages — the _TcpBuffer role.
+type tcpChannel struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	wbuf    []byte
+
+	readMu sync.Mutex
+	lenBuf [4]byte
+}
+
+func newTCPChannel(conn net.Conn) *tcpChannel {
+	return &tcpChannel{conn: conn}
+}
+
+func (c *tcpChannel) WriteMessage(p []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	// One writev-style Write keeps the frame atomic on the wire and avoids
+	// a small-packet round before the payload.
+	need := 4 + len(p)
+	if cap(c.wbuf) < need {
+		c.wbuf = make([]byte, need)
+	}
+	buf := c.wbuf[:need]
+	binary.BigEndian.PutUint32(buf, uint32(len(p)))
+	copy(buf[4:], p)
+	if _, err := c.conn.Write(buf); err != nil {
+		return fmt.Errorf("transport: tcp write: %w", err)
+	}
+	return nil
+}
+
+func (c *tcpChannel) ReadMessage() ([]byte, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	if _, err := io.ReadFull(c.conn, c.lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(c.lenBuf[:])
+	if n > maxTCPMessage {
+		return nil, fmt.Errorf("transport: tcp frame of %d octets exceeds limit", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(c.conn, p); err != nil {
+		return nil, fmt.Errorf("transport: tcp short frame: %w", err)
+	}
+	return p, nil
+}
+
+func (c *tcpChannel) SetQoSParameter(params qos.Set) (qos.Set, error) {
+	return NoQoS(params)
+}
+
+func (c *tcpChannel) Close() error       { return c.conn.Close() }
+func (c *tcpChannel) LocalAddr() string  { return c.conn.LocalAddr().String() }
+func (c *tcpChannel) RemoteAddr() string { return c.conn.RemoteAddr().String() }
