@@ -296,6 +296,38 @@ func (nackServant) Invoke(inv *orb.Invocation) (orb.ReplyWriter, error) {
 	return func(enc *cdr.Encoder) { enc.WriteOctetSeq(out) }, nil
 }
 
+// BenchmarkObsOverhead measures the cost of the observability layer on the
+// invocation path: metrics are always on (atomic counters + histogram
+// observe per call), so the baseline/observer pair isolates the extra cost
+// of span events flowing to an installed observer (ring-buffer TraceLog).
+// The acceptance bar is <= 5% overhead for the observer variant.
+func BenchmarkObsOverhead(b *testing.B) {
+	payload := make([]byte, 1024)
+	run := func(b *testing.B, withObserver bool) {
+		env, err := experiments.NewEnv("inproc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer env.Close()
+		if withObserver {
+			env.EnableTracing()
+		}
+		obj := env.Object()
+		if err := experiments.Echo(obj, payload); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := experiments.Echo(obj, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("metrics-only", func(b *testing.B) { run(b, false) })
+	b.Run("metrics+observer", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkModuleHop isolates the per-module cost behind Figure 9's
 // "0→40 dummy modules ≈ free" claim: one small message through stacks of
 // increasing depth over an undelayed loopback, so the difference per row

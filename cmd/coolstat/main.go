@@ -1,0 +1,82 @@
+// Coolstat fetches the observability state of a running COOL process.
+//
+// A process that wants to be inspectable registers the built-in stats
+// servant and publishes its reference:
+//
+//	ref, _ := o.RegisterServant(cool.NewStatsServant(o))
+//	fmt.Println(cool.RefString(ref))
+//
+// Coolstat then resolves that reference through a fresh client ORB and
+// prints the remote metrics snapshot (and, with -trace, the remote trace
+// log):
+//
+//	coolstat IOR:0000…            # metrics snapshot
+//	coolstat -trace IOR:0000…     # snapshot + recent trace events
+//	coolstat -ior-file ref.txt    # read the reference from a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cool"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coolstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("coolstat", flag.ContinueOnError)
+	iorFile := fs.String("ior-file", "", "file holding the stats servant reference (IOR:…)")
+	trace := fs.Bool("trace", false, "also fetch the remote trace log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ref := strings.TrimSpace(strings.Join(fs.Args(), ""))
+	if *iorFile != "" {
+		data, err := os.ReadFile(*iorFile)
+		if err != nil {
+			return err
+		}
+		ref = strings.TrimSpace(string(data))
+	}
+	if ref == "" {
+		return fmt.Errorf("usage: coolstat [-trace] [-ior-file FILE | IOR:…]")
+	}
+
+	o := cool.NewORB(cool.WithName("coolstat"))
+	defer o.Shutdown()
+	obj, err := o.ResolveString(ref)
+	if err != nil {
+		return fmt.Errorf("bad reference: %w", err)
+	}
+	stats := cool.NewStatsClient(obj)
+
+	snap, err := stats.Snapshot()
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	fmt.Fprint(w, snap)
+
+	if *trace {
+		events, err := stats.Trace()
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintln(w, "--- trace ---")
+		if events == "" {
+			fmt.Fprintln(w, "(no trace log installed on the remote ORB)")
+		} else {
+			fmt.Fprint(w, events)
+		}
+	}
+	return nil
+}

@@ -6,8 +6,10 @@
 //	multebench                         # run everything
 //	multebench -experiment fig9        # one experiment: fig9 | giop |
 //	                                   # negotiation | transport | config |
-//	                                   # marshal
+//	                                   # marshal | obs
 //	multebench -quick                  # smaller sample counts
+//	multebench -stats                  # metrics snapshot + recent trace
+//	                                   # events after each run
 //
 // Output is plain text tables, one per experiment, in the same arrangement
 // as the paper (Figure 9: configurations × packet sizes, throughput in
@@ -33,10 +35,18 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("multebench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "experiment to run: fig9|giop|negotiation|transport|config|marshal|all")
+	exp := fs.String("experiment", "all", "experiment to run: fig9|giop|negotiation|transport|config|marshal|obs|all")
 	quick := fs.Bool("quick", false, "smaller sample counts (noisier, faster)")
+	stats := fs.Bool("stats", false, "print a metrics snapshot and recent trace events after each run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *stats {
+		experiments.StatsHook = func(label, report string) {
+			fmt.Printf("\n── stats [%s] ──\n%s", label, report)
+		}
+		defer func() { experiments.StatsHook = nil }()
 	}
 
 	n := 400
@@ -52,6 +62,7 @@ func run(args []string) error {
 		"transport":   func() error { return runTransport(n, payload) },
 		"config":      func() error { return runConfig() },
 		"marshal":     func() error { return runMarshal() },
+		"obs":         func() error { return runObs(n / 8) },
 	}
 	if *exp != "all" {
 		fn, ok := runs[*exp]
@@ -60,7 +71,7 @@ func run(args []string) error {
 		}
 		return fn()
 	}
-	for _, name := range []string{"fig9", "giop", "negotiation", "transport", "config", "marshal"} {
+	for _, name := range []string{"fig9", "giop", "negotiation", "transport", "config", "marshal", "obs"} {
 		if err := runs[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -177,6 +188,19 @@ func runConfig() error {
 		fmt.Fprintf(w, "%s\t%s\t%s\t\n", r.Requirements, r.Spec, loss)
 	}
 	w.Flush()
+	return nil
+}
+
+func runObs(n int) error {
+	header("E7 — observability: cross-process tracing and metrics (Da CaPo over TCP)")
+	if n < 4 {
+		n = 4
+	}
+	demo, err := experiments.RunObsDemo(n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(demo.Report)
 	return nil
 }
 

@@ -111,13 +111,20 @@ func RefString(r Ref) string { return ior.Marshal(r) }
 func ParseRef(s string) (Ref, error) { return ior.Unmarshal(s) }
 
 // QoS builds a validated QoS set from parameters; it panics on invalid
-// combinations, which are programming errors in the caller.
+// combinations, which are programming errors in the caller. Use TryQoS
+// when the parameters come from configuration or user input.
 func QoS(params ...QoSParameter) QoSSet {
 	s, err := qos.NewSet(params...)
 	if err != nil {
 		panic("cool: invalid QoS set: " + err.Error())
 	}
 	return s
+}
+
+// TryQoS builds a validated QoS set from parameters, returning the
+// validation error instead of panicking.
+func TryQoS(params ...QoSParameter) (QoSSet, error) {
+	return qos.NewSet(params...)
 }
 
 // MinThroughput requests `want` kbit/s and accepts down to `atLeast`.
@@ -182,6 +189,7 @@ func EnableDaCaPo(o *ORB, cfg DaCaPoConfig) *dacapo.Manager {
 		dacapo.NewResourceManager(cfg.BudgetKbps, cfg.MaxConns),
 		link,
 	)
+	m.Instrument(o.Metrics(), o.Tracer())
 	o.Transports().Register(m)
 	return m
 }

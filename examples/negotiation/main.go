@@ -81,6 +81,17 @@ func run() error {
 	}
 	obj := client.Resolve(ref)
 
+	// setQoS validates with TryQoS (no panic on bad combinations — the
+	// form to use when requirements come from config or user input) and
+	// applies the set to the binding.
+	setQoS := func(params ...cool.QoSParameter) error {
+		req, err := cool.TryQoS(params...)
+		if err != nil {
+			return fmt.Errorf("invalid QoS request: %w", err)
+		}
+		return obj.SetQoSParameter(req)
+	}
+
 	read := func() (float64, string, error) {
 		var v float64
 		var served string
@@ -96,7 +107,7 @@ func run() error {
 	}
 
 	fmt.Println("── scenario 1: Figure 3(ii) — request granted ──")
-	if err := obj.SetQoSParameter(cool.QoS(cool.MinThroughput(10_000, 1_000))); err != nil {
+	if err := setQoS(cool.MinThroughput(10_000, 1_000)); err != nil {
 		return err
 	}
 	v, served, err := read()
@@ -109,7 +120,7 @@ func run() error {
 	// 40 Mbit/s floor exceeds the sensor's 20 Mbit/s capability; the
 	// transport can carry it, so the refusal comes from the server as a
 	// NO_RESOURCES system exception in a Reply.
-	if err := obj.SetQoSParameter(cool.QoS(cool.MinThroughput(45_000, 40_000))); err != nil {
+	if err := setQoS(cool.MinThroughput(45_000, 40_000)); err != nil {
 		return err
 	}
 	if _, _, err = read(); err != nil {
@@ -124,7 +135,7 @@ func run() error {
 	fmt.Println("── scenario 3: §4.3 — transport cannot reserve resources ──")
 	// A floor beyond the 155 Mbit/s link: Da CaPo's unilateral negotiation
 	// fails during binding, before any Request is sent.
-	if err := obj.SetQoSParameter(cool.QoS(cool.MinThroughput(500_000, 400_000))); err != nil {
+	if err := setQoS(cool.MinThroughput(500_000, 400_000)); err != nil {
 		return err
 	}
 	if _, _, err = read(); err != nil {
@@ -136,7 +147,7 @@ func run() error {
 	// reservation released asynchronously (the server observes the close);
 	// give the release a moment before reserving again.
 	time.Sleep(100 * time.Millisecond)
-	if err := obj.SetQoSParameter(cool.QoS(cool.MinThroughput(5_000, 1_000))); err != nil {
+	if err := setQoS(cool.MinThroughput(5_000, 1_000)); err != nil {
 		return err
 	}
 	for i := 0; i < 3; i++ {
@@ -146,7 +157,7 @@ func run() error {
 	}
 	fmt.Println("   3 invocations on one negotiated binding (per-binding QoS)")
 	for i, kbps := range []uint32{2_000, 8_000, 16_000} {
-		if err := obj.SetQoSParameter(cool.QoS(cool.MinThroughput(kbps, 1_000))); err != nil {
+		if err := setQoS(cool.MinThroughput(kbps, 1_000)); err != nil {
 			return err
 		}
 		if _, _, err := read(); err != nil {

@@ -104,12 +104,16 @@ func run() error {
 
 	// 2. The paper's extension: state QoS requirements, then invoke. The
 	// ORB selects the Da CaPo profile, negotiates, and switches to the
-	// QoS-extended GIOP 9.9 on the wire.
-	err = obj.SetQoSParameter(cool.QoS(
+	// QoS-extended GIOP 9.9 on the wire. TryQoS validates the set without
+	// panicking — the right form when requirements aren't hard-coded.
+	req, err := cool.TryQoS(
 		cool.MinThroughput(8000, 1000),
 		cool.MaxLatency(5000, 50_000),
-	))
+	)
 	if err != nil {
+		return err
+	}
+	if err := obj.SetQoSParameter(req); err != nil {
 		return err
 	}
 	out, err = greet("QoS world")

@@ -1,6 +1,7 @@
 package dacapo
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,6 +24,8 @@ type Manager struct {
 	// linkCap is the raw capability of the underlying T service used for
 	// configuration and admission decisions.
 	linkCap qos.Capability
+	// mon is the observability wiring (nil until Instrument is called).
+	mon *monitor
 }
 
 var _ transport.Manager = (*Manager)(nil)
@@ -93,11 +96,13 @@ func (l *qlistener) Accept() (transport.Channel, error) {
 		// as a channel-level error by retrying is the server loop's call.
 		return nil, err
 	}
+	l.mgr.mon.connected(rt, "accept")
 	return &qchannel{mgr: l.mgr, rt: rt, granted: granted, res: res}, nil
 }
 
 func (l *qlistener) acceptOne(ch transport.Channel) (*Runtime, qos.Set, *Reservation, error) {
 	var reservation *Reservation
+	rejectReason := ""
 	policy := func(spec Spec, requested qos.Set) (qos.Set, error) {
 		// Unilateral transport-level admission: grant what the link plus
 		// the proposed protocol can deliver — degraded to the remaining
@@ -114,11 +119,13 @@ func (l *qlistener) acceptOne(ch transport.Channel) (*Runtime, qos.Set, *Reserva
 		}
 		granted, err := qos.Negotiate(requested, capability)
 		if err != nil {
+			rejectReason = "qos"
 			return nil, err
 		}
 		if l.mgr.rm != nil {
 			res, err := l.mgr.rm.Reserve(granted)
 			if err != nil {
+				rejectReason = "budget"
 				return nil, err
 			}
 			reservation = res
@@ -130,6 +137,14 @@ func (l *qlistener) acceptOne(ch transport.Channel) (*Runtime, qos.Set, *Reserva
 		if reservation != nil {
 			reservation.Release()
 		}
+		if rejectReason == "" {
+			if errors.Is(err, ErrRejected) {
+				rejectReason = "spec"
+			} else {
+				rejectReason = "transport"
+			}
+		}
+		l.mgr.mon.rejected(rejectReason, err)
 		return nil, nil, nil, err
 	}
 	return rt, granted, reservation, nil
@@ -161,12 +176,14 @@ func (c *qchannel) configureLocked(params qos.Set) error {
 	}
 	spec, granted, err := Configure(params, c.mgr.linkCap)
 	if err != nil {
+		c.mgr.mon.rejected("qos", err)
 		return err
 	}
 	var res *Reservation
 	if c.mgr.rm != nil {
 		res, err = c.mgr.rm.Reserve(granted)
 		if err != nil {
+			c.mgr.mon.rejected("budget", err)
 			return err
 		}
 	}
@@ -175,6 +192,7 @@ func (c *qchannel) configureLocked(params qos.Set) error {
 		if res != nil {
 			res.Release()
 		}
+		c.mgr.mon.rejected("transport", err)
 		return err
 	}
 	rt, remoteGranted, err := Connect(inner, c.mgr.reg, spec, granted)
@@ -182,11 +200,13 @@ func (c *qchannel) configureLocked(params qos.Set) error {
 		if res != nil {
 			res.Release()
 		}
+		c.mgr.mon.rejected("peer", err)
 		return err
 	}
 	// Tear down the previous configuration, if any.
 	if c.rt != nil {
 		c.rt.Close()
+		c.mgr.mon.untrack(c.rt)
 	}
 	if c.res != nil {
 		c.res.Release()
@@ -195,6 +215,7 @@ func (c *qchannel) configureLocked(params qos.Set) error {
 	c.granted = remoteGranted
 	c.applied = params.Clone()
 	c.res = res
+	c.mgr.mon.connected(rt, "dial")
 	return nil
 }
 
@@ -277,6 +298,7 @@ func (c *qchannel) Close() error {
 	c.closed = true
 	if c.rt != nil {
 		c.rt.Close()
+		c.mgr.mon.untrack(c.rt)
 	}
 	if c.res != nil {
 		c.res.Release()

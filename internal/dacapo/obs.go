@@ -1,0 +1,142 @@
+package dacapo
+
+import (
+	"sync"
+
+	"cool/internal/obs"
+)
+
+// monitor is a Manager's observability wiring: admission counters and
+// events, the active-connection gauge, the per-connection stack counter,
+// and a snapshot-time collector aggregating per-module packet/byte stats
+// over live and closed runtimes. A nil *monitor (uninstrumented manager)
+// is valid; every method no-ops on it.
+type monitor struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	accepted *obs.Counter
+	active   *obs.Gauge
+
+	mu     sync.Mutex
+	live   map[*Runtime]struct{}
+	totals map[string]ModuleStats // closed-runtime stats, keyed by module name
+}
+
+// Instrument connects the manager to an ORB's metric registry and tracer.
+// Call it once, before traffic (typically right after NewManager); the
+// manager then reports admission decisions, the active-connection gauge,
+// selected module stacks, and live per-module counters through them.
+func (m *Manager) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
+	mon := &monitor{
+		reg:      reg,
+		tracer:   tracer,
+		accepted: reg.Counter("dacapo.admission.accepted"),
+		active:   reg.Gauge("dacapo.conns.active"),
+		live:     make(map[*Runtime]struct{}),
+		totals:   make(map[string]ModuleStats),
+	}
+	reg.RegisterCollector(mon.collect)
+	m.mon = mon
+}
+
+// connected records a successful admission (side is "dial" or "accept"):
+// the accepted counter, the per-stack counter, the active gauge, the live
+// runtime for the module-stat collector, and an admission event.
+func (mon *monitor) connected(rt *Runtime, side string) {
+	if mon == nil || rt == nil {
+		return
+	}
+	spec := rt.Spec().String()
+	mon.accepted.Inc()
+	mon.reg.Counter("dacapo.stack.selected{stack=" + spec + "}").Inc()
+	mon.active.Inc()
+	mon.mu.Lock()
+	mon.live[rt] = struct{}{}
+	mon.mu.Unlock()
+	mon.tracer.Emit(obs.Event{
+		Kind:    "dacapo.admission",
+		Name:    spec,
+		Outcome: "accept",
+		Detail:  side,
+	})
+}
+
+// rejected records a failed admission under a coarse reason: "qos" (no
+// feasible configuration / negotiation failure), "budget" (resource
+// manager refused), "spec" (peer proposed an invalid configuration),
+// "peer" (responder rejected our proposal), "transport" (underlying
+// connection failed).
+func (mon *monitor) rejected(reason string, err error) {
+	if mon == nil {
+		return
+	}
+	mon.reg.Counter("dacapo.admission.rejected{reason=" + reason + "}").Inc()
+	detail := ""
+	if err != nil && mon.tracer.Enabled() {
+		detail = err.Error()
+	}
+	mon.tracer.Emit(obs.Event{
+		Kind:    "dacapo.admission",
+		Name:    reason,
+		Outcome: "reject",
+		Detail:  detail,
+	})
+}
+
+// untrack retires a runtime: its final module stats fold into the closed
+// totals so collector output stays monotonic across connection churn.
+func (mon *monitor) untrack(rt *Runtime) {
+	if mon == nil || rt == nil {
+		return
+	}
+	mon.mu.Lock()
+	if _, ok := mon.live[rt]; !ok {
+		mon.mu.Unlock()
+		return
+	}
+	delete(mon.live, rt)
+	for _, s := range rt.Stats() {
+		t := mon.totals[s.Name]
+		t.Name = s.Name
+		t.DownPackets += s.DownPackets
+		t.DownBytes += s.DownBytes
+		t.UpPackets += s.UpPackets
+		t.UpBytes += s.UpBytes
+		t.Drops += s.Drops
+		mon.totals[s.Name] = t
+	}
+	mon.mu.Unlock()
+	mon.active.Dec()
+}
+
+// collect emits the per-module packet/byte counters: closed-runtime totals
+// plus a live snapshot of every open runtime.
+func (mon *monitor) collect(emit func(name string, value uint64)) {
+	mon.mu.Lock()
+	agg := make(map[string]ModuleStats, len(mon.totals))
+	for name, s := range mon.totals {
+		agg[name] = s
+	}
+	for rt := range mon.live {
+		for _, s := range rt.Stats() {
+			t := agg[s.Name]
+			t.Name = s.Name
+			t.DownPackets += s.DownPackets
+			t.DownBytes += s.DownBytes
+			t.UpPackets += s.UpPackets
+			t.UpBytes += s.UpBytes
+			t.Drops += s.Drops
+			agg[s.Name] = t
+		}
+	}
+	mon.mu.Unlock()
+	for name, s := range agg {
+		label := "{module=" + name + "}"
+		emit("dacapo.module.down_packets"+label, s.DownPackets)
+		emit("dacapo.module.down_bytes"+label, s.DownBytes)
+		emit("dacapo.module.up_packets"+label, s.UpPackets)
+		emit("dacapo.module.up_bytes"+label, s.UpBytes)
+		emit("dacapo.module.drops"+label, s.Drops)
+	}
+}

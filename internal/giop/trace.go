@@ -1,0 +1,38 @@
+package giop
+
+import "encoding/binary"
+
+// TraceContextID is the service-context ID used to carry observability
+// trace context on Request messages. The value is from the vendor range
+// (no OMG-assigned meaning); it spells "MULT" in ASCII.
+const TraceContextID uint32 = 0x4D554C54
+
+// traceContextLen is the payload size: two big-endian 64-bit IDs
+// (trace, span).
+const traceContextLen = 16
+
+// TraceContext builds the service-context entry carrying the client's
+// trace ID and the client-side span ID, so the server can start a child
+// span that joins the caller's trace.
+func TraceContext(trace, span uint64) ServiceContext {
+	data := make([]byte, traceContextLen)
+	binary.BigEndian.PutUint64(data[0:8], trace)
+	binary.BigEndian.PutUint64(data[8:16], span)
+	return ServiceContext{ID: TraceContextID, Data: data}
+}
+
+// DecodeTraceContext scans a service-context list for the trace entry and
+// returns the carried trace and span IDs. ok is false when the entry is
+// absent or malformed.
+func DecodeTraceContext(scs []ServiceContext) (trace, span uint64, ok bool) {
+	for _, sc := range scs {
+		if sc.ID != TraceContextID {
+			continue
+		}
+		if len(sc.Data) != traceContextLen {
+			return 0, 0, false
+		}
+		return binary.BigEndian.Uint64(sc.Data[0:8]), binary.BigEndian.Uint64(sc.Data[8:16]), true
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,58 @@
+package giop
+
+import "testing"
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	sc := TraceContext(0xDEADBEEF12345678, 0x42)
+	if sc.ID != TraceContextID {
+		t.Fatalf("ID = %#x, want %#x", sc.ID, TraceContextID)
+	}
+	trace, span, ok := DecodeTraceContext([]ServiceContext{
+		{ID: 7, Data: []byte("other")},
+		sc,
+	})
+	if !ok {
+		t.Fatal("DecodeTraceContext failed")
+	}
+	if trace != 0xDEADBEEF12345678 || span != 0x42 {
+		t.Errorf("got trace=%#x span=%#x", trace, span)
+	}
+}
+
+func TestTraceContextAbsentOrMalformed(t *testing.T) {
+	if _, _, ok := DecodeTraceContext(nil); ok {
+		t.Error("decode of empty list should fail")
+	}
+	if _, _, ok := DecodeTraceContext([]ServiceContext{{ID: 7}}); ok {
+		t.Error("decode without trace entry should fail")
+	}
+	if _, _, ok := DecodeTraceContext([]ServiceContext{{ID: TraceContextID, Data: []byte{1, 2}}}); ok {
+		t.Error("decode of short payload should fail")
+	}
+}
+
+// TestTraceContextThroughRequest proves the trace entry survives a full
+// GIOP marshal/unmarshal cycle on both wire versions.
+func TestTraceContextThroughRequest(t *testing.T) {
+	for _, v := range []Version{V1_0, VQoS} {
+		hdr := &RequestHeader{
+			ServiceContext:   []ServiceContext{TraceContext(11, 22)},
+			RequestID:        1,
+			ResponseExpected: true,
+			ObjectKey:        []byte("key"),
+			Operation:        "echo",
+		}
+		frame, err := MarshalRequest(v, false, hdr, nil)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", v, err)
+		}
+		m, err := Unmarshal(frame)
+		if err != nil {
+			t.Fatalf("%v: unmarshal: %v", v, err)
+		}
+		trace, span, ok := DecodeTraceContext(m.Request.ServiceContext)
+		if !ok || trace != 11 || span != 22 {
+			t.Errorf("%v: got trace=%d span=%d ok=%v", v, trace, span, ok)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies a distributed trace (or a span within one). IDs are
+// 64-bit and rendered as 16 hex digits.
+type TraceID uint64
+
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// IsZero reports whether the ID is unset.
+func (id TraceID) IsZero() bool { return id == 0 }
+
+// Event is one structured observability event. The struct is flat (no maps,
+// no interfaces) so emitting one costs no allocations beyond what the
+// observer itself does.
+type Event struct {
+	Kind    string // e.g. "span", "qos.negotiation", "dacapo.admission"
+	Name    string // span/operation name or subject
+	Trace   TraceID
+	Span    TraceID
+	Parent  TraceID // zero for root spans
+	Time    time.Time
+	Dur     time.Duration // span duration; zero for point events
+	Outcome string        // "ok", "error", "nack", "accept", "reject", ...
+	Detail  string        // free-form: exception name, reject reason, stack spec, ...
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %s trace=%s", e.Kind, e.Name, e.Trace)
+	if !e.Span.IsZero() {
+		s += " span=" + e.Span.String()
+	}
+	if !e.Parent.IsZero() {
+		s += " parent=" + e.Parent.String()
+	}
+	if e.Dur != 0 {
+		s += fmt.Sprintf(" dur=%s", e.Dur)
+	}
+	if e.Outcome != "" {
+		s += " outcome=" + e.Outcome
+	}
+	if e.Detail != "" {
+		s += " detail=" + e.Detail
+	}
+	return s
+}
+
+// Observer receives structured events from a Tracer. Implementations must
+// be safe for concurrent use.
+type Observer interface {
+	Event(Event)
+}
+
+// Tracer mints trace/span IDs and fans events out to an optionally
+// installed Observer. A Tracer with no observer still mints IDs (so trace
+// context propagates across the wire) but emitting events is a single
+// atomic load and a branch.
+type Tracer struct {
+	seed     atomic.Uint64
+	observer atomic.Value // observerBox
+}
+
+// observerBox wraps the Observer so atomic.Value sees one concrete type
+// even when different Observer implementations are installed over time.
+type observerBox struct{ o Observer }
+
+// NewTracer returns a tracer whose ID sequence is seeded from the clock.
+func NewTracer() *Tracer {
+	t := &Tracer{}
+	t.seed.Store(uint64(time.Now().UnixNano()))
+	return t
+}
+
+// SetObserver installs (or replaces, or with nil removes) the observer.
+func (t *Tracer) SetObserver(o Observer) { t.observer.Store(observerBox{o}) }
+
+// Observer returns the currently installed observer (nil when none).
+func (t *Tracer) Observer() Observer {
+	if b, ok := t.observer.Load().(observerBox); ok {
+		return b.o
+	}
+	return nil
+}
+
+// NewID mints a fresh non-zero ID using a splitmix64 step over an atomic
+// counter — cheap, collision-resistant enough for tracing, and safe for
+// concurrent use.
+func (t *Tracer) NewID() TraceID {
+	for {
+		x := t.seed.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return TraceID(x)
+		}
+	}
+}
+
+// Span is a timed interval within a trace. Spans are plain values: starting
+// one does not allocate, and End is a no-op unless an observer is installed.
+type Span struct {
+	tracer *Tracer
+	Name   string
+	Trace  TraceID
+	ID     TraceID
+	Parent TraceID
+	Start  time.Time
+}
+
+// StartSpan begins a new root span in a fresh trace.
+func (t *Tracer) StartSpan(name string) Span {
+	return Span{tracer: t, Name: name, Trace: t.NewID(), ID: t.NewID(), Start: time.Now()}
+}
+
+// StartChild begins a span that joins an existing trace (e.g. the
+// server-side span for a client's invocation, with trace context arriving
+// via the GIOP service context).
+func (t *Tracer) StartChild(trace, parent TraceID, name string) Span {
+	return Span{tracer: t, Name: name, Trace: trace, ID: t.NewID(), Parent: parent, Start: time.Now()}
+}
+
+// End closes the span and emits a "span" event when an observer is
+// installed. Outcome and detail describe how the spanned work finished.
+func (s Span) End(outcome, detail string) {
+	if s.tracer == nil {
+		return
+	}
+	o := s.tracer.Observer()
+	if o == nil {
+		return
+	}
+	o.Event(Event{
+		Kind:    "span",
+		Name:    s.Name,
+		Trace:   s.Trace,
+		Span:    s.ID,
+		Parent:  s.Parent,
+		Time:    s.Start,
+		Dur:     time.Since(s.Start),
+		Outcome: outcome,
+		Detail:  detail,
+	})
+}
+
+// Emit sends a point event (Kind/Name/Outcome/Detail already filled by the
+// caller) to the observer, stamping the time. No-op without an observer.
+func (t *Tracer) Emit(e Event) {
+	o := t.Observer()
+	if o == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	o.Event(e)
+}
+
+// Enabled reports whether an observer is installed; callers can use it to
+// skip building expensive event detail strings.
+func (t *Tracer) Enabled() bool { return t.Observer() != nil }
+
+// TraceLog is a ring-buffer Observer keeping the most recent events.
+type TraceLog struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	full   bool
+}
+
+// DefaultTraceLogSize is the ring capacity used by NewTraceLog.
+const DefaultTraceLogSize = 1024
+
+// NewTraceLog returns a ring buffer holding up to size events (the default
+// when size <= 0).
+func NewTraceLog(size int) *TraceLog {
+	if size <= 0 {
+		size = DefaultTraceLogSize
+	}
+	return &TraceLog{events: make([]Event, size)}
+}
+
+// Event records e, evicting the oldest event when the ring is full.
+func (l *TraceLog) Event(e Event) {
+	l.mu.Lock()
+	l.events[l.next] = e
+	l.next++
+	if l.next == len(l.events) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (l *TraceLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		out := make([]Event, l.next)
+		copy(out, l.events[:l.next])
+		return out
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.next:]...)
+	out = append(out, l.events[:l.next]...)
+	return out
+}
+
+// String renders the log one event per line, oldest first.
+func (l *TraceLog) String() string {
+	var b []byte
+	for _, e := range l.Events() {
+		b = append(b, e.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// Fanout returns an Observer forwarding each event to every non-nil
+// observer in obs; it collapses to the single element when only one
+// remains.
+func Fanout(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return fanout(live)
+}
+
+type fanout []Observer
+
+func (f fanout) Event(e Event) {
+	for _, o := range f {
+		o.Event(e)
+	}
+}

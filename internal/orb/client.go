@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cool/internal/cdr"
 	"cool/internal/giop"
 	"cool/internal/ior"
+	"cool/internal/obs"
 	"cool/internal/qos"
 )
 
@@ -124,11 +126,37 @@ func (o *Object) bind() (*binding, error) {
 	}
 	conn, granted, err := o.orb.getConn(profile, o.req)
 	if err != nil {
+		o.recordNegotiation(profile, "bind_failure", err.Error())
 		return nil, err
 	}
 	b := &binding{conn: conn, codec: codec, profile: profile, granted: granted, reqKey: o.req.Key()}
 	o.binding = b
+	result := "ack"
+	if !granted.Equal(o.req) {
+		result = "downgrade"
+	}
+	detail := ""
+	if o.orb.ins.tracer.Enabled() {
+		detail = o.req.String() + " -> " + granted.String()
+	}
+	o.recordNegotiation(profile, result, detail)
 	return b, nil
+}
+
+// recordNegotiation counts and emits the outcome of the unilateral
+// (client↔transport) QoS negotiation performed at binding time. Bindings
+// without QoS requirements are plain GIOP and not negotiation outcomes.
+func (o *Object) recordNegotiation(profile ior.Profile, result, detail string) {
+	if len(o.req) == 0 {
+		return
+	}
+	o.orb.ins.qosOutcome(mClientQoS, result)
+	o.orb.ins.tracer.Emit(obs.Event{
+		Kind:    "qos.negotiation",
+		Name:    profile.Transport + "://" + profile.Address,
+		Outcome: result,
+		Detail:  detail,
+	})
 }
 
 // abortBinding tears the binding down after a QoS NACK: the negotiated
@@ -153,7 +181,7 @@ func (o *Object) invalidate() {
 // buildRequest marshals a Request frame for the bound profile. The codec
 // carries qos_params whenever requirements are set (GIOP switches to 9.9,
 // the COOL protocol to its QoS-extended framing).
-func (o *Object) buildRequest(b *binding, id uint32, op string, expectReply bool, args func(*cdr.Encoder)) ([]byte, error) {
+func (o *Object) buildRequest(b *binding, id uint32, op string, expectReply bool, span obs.Span, args func(*cdr.Encoder)) ([]byte, error) {
 	hdr := &giop.RequestHeader{
 		RequestID:        id,
 		ResponseExpected: expectReply,
@@ -161,6 +189,13 @@ func (o *Object) buildRequest(b *binding, id uint32, op string, expectReply bool
 		Operation:        op,
 		QoS:              o.QoS(),
 		Principal:        o.orb.principal,
+	}
+	if !span.Trace.IsZero() {
+		// Carry the trace context so the server-side span joins this trace.
+		// Codecs without service-context support (coolproto) drop it.
+		hdr.ServiceContext = []giop.ServiceContext{
+			giop.TraceContext(uint64(span.Trace), uint64(span.ID)),
+		}
 	}
 	return b.codec.MarshalRequest(hdr, args)
 }
@@ -177,10 +212,15 @@ func (o *Object) start(op string, args func(*cdr.Encoder), expectReply bool) (*P
 	if err != nil {
 		return nil, err
 	}
+	ins := o.orb.ins
+	stats := ins.client(op)
+	stats.calls.Inc()
+	span := ins.tracer.StartSpan("client:" + op)
 	if b.colocated {
 		id := o.colocatedID.Add(1)
-		frame, err := o.buildRequest(b, id, op, expectReply, args)
+		frame, err := o.buildRequest(b, id, op, expectReply, span, args)
 		if err != nil {
+			span.End("error", "marshal failed")
 			return nil, err
 		}
 		fut := make(chan result, 1)
@@ -197,44 +237,51 @@ func (o *Object) start(op string, args func(*cdr.Encoder), expectReply bool) (*P
 			m, err := b.codec.Unmarshal(reply)
 			fut <- result{m: m, err: err}
 		}()
-		return &Pending{o: o, fut: fut, oneway: !expectReply}, nil
+		return &Pending{o: o, fut: fut, oneway: !expectReply, span: span, stats: stats}, nil
 	}
 
 	if !expectReply {
 		id := b.conn.nextID.Add(1)
-		frame, err := o.buildRequest(b, id, op, false, args)
+		frame, err := o.buildRequest(b, id, op, false, span, args)
 		if err != nil {
+			span.End("error", "marshal failed")
 			return nil, err
 		}
 		if err := b.conn.send(frame); err != nil {
 			o.invalidate()
+			span.End("error", "send failed")
 			return nil, err
 		}
+		ins.msgOut(giop.MsgRequest, len(frame))
 		fut := make(chan result, 1)
 		fut <- result{}
-		return &Pending{o: o, fut: fut, oneway: true}, nil
+		return &Pending{o: o, fut: fut, oneway: true, span: span, stats: stats}, nil
 	}
 
 	id, replyCh, err := b.conn.register()
 	if err != nil {
 		o.invalidate()
+		span.End("error", "connection closed")
 		return nil, err
 	}
-	frame, err := o.buildRequest(b, id, op, true, args)
+	frame, err := o.buildRequest(b, id, op, true, span, args)
 	if err != nil {
 		b.conn.unregister(id)
+		span.End("error", "marshal failed")
 		return nil, err
 	}
 	if err := b.conn.send(frame); err != nil {
 		o.invalidate()
+		span.End("error", "send failed")
 		return nil, err
 	}
+	ins.msgOut(giop.MsgRequest, len(frame))
 	fut := make(chan result, 1)
 	go func() {
 		m, err := b.conn.await(replyCh)
 		fut <- result{m: m, err: err}
 	}()
-	return &Pending{o: o, b: b, id: id, fut: fut}, nil
+	return &Pending{o: o, b: b, id: id, fut: fut, span: span, stats: stats}, nil
 }
 
 // decodeReply maps a Reply message onto the caller's decoder or an error.
@@ -359,6 +406,7 @@ func (o *Object) Locate() (bool, error) {
 		o.invalidate()
 		return false, err
 	}
+	o.orb.ins.msgOut(giop.MsgLocateRequest, len(frame))
 	m, err := b.conn.await(replyCh)
 	if err != nil {
 		o.invalidate()
@@ -377,10 +425,29 @@ type Pending struct {
 	id     uint32
 	fut    chan result
 	oneway bool
+	span   obs.Span
+	stats  *clientOp
 
-	mu   sync.Mutex
-	res  *result
-	dead bool
+	mu       sync.Mutex
+	res      *result
+	dead     bool
+	recorded bool
+}
+
+// record finishes the invocation's observability exactly once: end-to-end
+// latency into the per-operation histogram and the client span's outcome.
+func (p *Pending) record(outcome, detail string) {
+	p.mu.Lock()
+	already := p.recorded
+	p.recorded = true
+	p.mu.Unlock()
+	if already {
+		return
+	}
+	if p.stats != nil {
+		p.stats.latency.ObserveDuration(time.Since(p.span.Start))
+	}
+	p.span.End(outcome, detail)
 }
 
 // Poll reports whether the reply has arrived (always true for oneway).
@@ -414,15 +481,37 @@ func (p *Pending) Wait(out func(*cdr.Decoder) error) error {
 	p.mu.Unlock()
 	if r.err != nil {
 		p.o.invalidate()
+		p.record("error", r.err.Error())
 		return r.err
 	}
 	if r.m == nil {
-		return nil // oneway completion
+		p.record("ok", "") // oneway completion
+		return nil
 	}
 	err := decodeReply(r.m, out)
 	var se *giop.SystemException
 	if errors.As(err, &se) && se.IsNACK() {
+		p.o.orb.ins.qosOutcome(mClientQoS, "nack")
+		p.record("nack", se.Name())
 		p.o.abortBinding(p.b)
+		return err
+	}
+	switch {
+	case err == nil:
+		p.record("ok", "")
+	case se != nil:
+		p.record("error", se.Name())
+	default:
+		var ue *giop.UserException
+		var fwd *forwardError
+		switch {
+		case errors.As(err, &ue):
+			p.record("user_exception", ue.ID)
+		case errors.As(err, &fwd):
+			p.record("forward", "")
+		default:
+			p.record("error", err.Error())
+		}
 	}
 	return err
 }
@@ -452,5 +541,9 @@ func (p *Pending) Cancel() error {
 	if err != nil {
 		return err
 	}
-	return p.b.conn.send(frame)
+	if err := p.b.conn.send(frame); err != nil {
+		return err
+	}
+	p.o.orb.ins.msgOut(giop.MsgCancelRequest, len(frame))
+	return nil
 }

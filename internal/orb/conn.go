@@ -20,6 +20,7 @@ type clientConn struct {
 	ch      transport.Channel
 	codec   Codec
 	granted qos.Set
+	ins     *instruments // may be nil in unit tests
 
 	nextID atomic.Uint32
 
@@ -30,11 +31,12 @@ type clientConn struct {
 	done    chan struct{}
 }
 
-func newClientConn(ch transport.Channel, codec Codec, granted qos.Set) *clientConn {
+func newClientConn(ch transport.Channel, codec Codec, granted qos.Set, ins *instruments) *clientConn {
 	c := &clientConn{
 		ch:      ch,
 		codec:   codec,
 		granted: granted,
+		ins:     ins,
 		pending: make(map[uint32]chan *giop.Message),
 		done:    make(chan struct{}),
 	}
@@ -53,6 +55,9 @@ func (c *clientConn) readLoop() {
 		if err != nil {
 			c.teardown(fmt.Errorf("orb: bad frame from server: %w", err))
 			return
+		}
+		if c.ins != nil {
+			c.ins.msgIn(m.Header.Type, len(frame))
 		}
 		switch m.Header.Type {
 		case giop.MsgReply:

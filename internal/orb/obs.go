@@ -1,0 +1,164 @@
+package orb
+
+import (
+	"sync"
+
+	"cool/internal/giop"
+	"cool/internal/obs"
+)
+
+// Metric names used by the ORB layers. Labels are appended in braces per
+// the obs naming convention.
+const (
+	mClientCalls   = "orb.client.calls"       // {op=}
+	mClientLatency = "orb.client.latency_us"  // {op=}
+	mClientQoS     = "orb.client.qos"         // {result=ack|downgrade|nack|bind_failure}
+	mServerReqs    = "orb.server.requests"    // {op=}
+	mServerLatency = "orb.server.dispatch_us" // {op=}
+	mServerExc     = "orb.server.exceptions"  // {type=}
+	mServerQoS     = "orb.server.qos"         // {result=ack|downgrade|nack}
+	mGIOPInMsgs    = "giop.in.msgs"           // {type=}
+	mGIOPInBytes   = "giop.in.bytes"          // {type=}
+	mGIOPOutMsgs   = "giop.out.msgs"          // {type=}
+	mGIOPOutBytes  = "giop.out.bytes"         // {type=}
+)
+
+// clientOp caches the per-operation client-side metric handles so the
+// invocation hot path never composes metric names.
+type clientOp struct {
+	calls   *obs.Counter
+	latency *obs.Histogram
+}
+
+// serverOp is the server-side counterpart.
+type serverOp struct {
+	requests *obs.Counter
+	dispatch *obs.Histogram
+}
+
+// instruments bundles the ORB's metric handles. One instance per ORB,
+// created in New; all methods are safe for concurrent use.
+type instruments struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	mu        sync.RWMutex
+	clientOps map[string]*clientOp
+	serverOps map[string]*serverOp
+	excs      map[string]*obs.Counter
+	qos       map[string]*obs.Counter
+
+	// GIOP message counters, indexed by MsgType (7 kinds).
+	inMsgs, inBytes, outMsgs, outBytes [int(giop.MsgMessageError) + 1]*obs.Counter
+}
+
+func newInstruments() *instruments {
+	ins := &instruments{
+		reg:       obs.NewRegistry(),
+		tracer:    obs.NewTracer(),
+		clientOps: make(map[string]*clientOp),
+		serverOps: make(map[string]*serverOp),
+		excs:      make(map[string]*obs.Counter),
+		qos:       make(map[string]*obs.Counter),
+	}
+	for t := giop.MsgRequest; t <= giop.MsgMessageError; t++ {
+		label := "{type=" + t.String() + "}"
+		ins.inMsgs[t] = ins.reg.Counter(mGIOPInMsgs + label)
+		ins.inBytes[t] = ins.reg.Counter(mGIOPInBytes + label)
+		ins.outMsgs[t] = ins.reg.Counter(mGIOPOutMsgs + label)
+		ins.outBytes[t] = ins.reg.Counter(mGIOPOutBytes + label)
+	}
+	return ins
+}
+
+// client returns the cached client-side handles for an operation.
+func (ins *instruments) client(op string) *clientOp {
+	ins.mu.RLock()
+	c, ok := ins.clientOps[op]
+	ins.mu.RUnlock()
+	if ok {
+		return c
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if c, ok = ins.clientOps[op]; ok {
+		return c
+	}
+	c = &clientOp{
+		calls:   ins.reg.Counter(mClientCalls + "{op=" + op + "}"),
+		latency: ins.reg.Histogram(mClientLatency+"{op="+op+"}", obs.LatencyBuckets()),
+	}
+	ins.clientOps[op] = c
+	return c
+}
+
+// server returns the cached server-side handles for an operation.
+func (ins *instruments) server(op string) *serverOp {
+	ins.mu.RLock()
+	s, ok := ins.serverOps[op]
+	ins.mu.RUnlock()
+	if ok {
+		return s
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if s, ok = ins.serverOps[op]; ok {
+		return s
+	}
+	s = &serverOp{
+		requests: ins.reg.Counter(mServerReqs + "{op=" + op + "}"),
+		dispatch: ins.reg.Histogram(mServerLatency+"{op="+op+"}", obs.LatencyBuckets()),
+	}
+	ins.serverOps[op] = s
+	return s
+}
+
+// exception bumps the per-type server exception counter.
+func (ins *instruments) exception(name string) {
+	ins.mu.RLock()
+	c, ok := ins.excs[name]
+	ins.mu.RUnlock()
+	if !ok {
+		ins.mu.Lock()
+		if c, ok = ins.excs[name]; !ok {
+			c = ins.reg.Counter(mServerExc + "{type=" + name + "}")
+			ins.excs[name] = c
+		}
+		ins.mu.Unlock()
+	}
+	c.Inc()
+}
+
+// qosOutcome bumps a negotiation-outcome counter (metric is mClientQoS or
+// mServerQoS, result one of ack/downgrade/nack/bind_failure).
+func (ins *instruments) qosOutcome(metric, result string) {
+	key := metric + "{result=" + result + "}"
+	ins.mu.RLock()
+	c, ok := ins.qos[key]
+	ins.mu.RUnlock()
+	if !ok {
+		ins.mu.Lock()
+		if c, ok = ins.qos[key]; !ok {
+			c = ins.reg.Counter(key)
+			ins.qos[key] = c
+		}
+		ins.mu.Unlock()
+	}
+	c.Inc()
+}
+
+// msgIn counts one inbound message frame.
+func (ins *instruments) msgIn(t giop.MsgType, frameLen int) {
+	if int(t) < len(ins.inMsgs) {
+		ins.inMsgs[t].Inc()
+		ins.inBytes[t].Add(uint64(frameLen))
+	}
+}
+
+// msgOut counts one outbound message frame.
+func (ins *instruments) msgOut(t giop.MsgType, frameLen int) {
+	if int(t) < len(ins.outMsgs) {
+		ins.outMsgs[t].Inc()
+		ins.outBytes[t].Add(uint64(frameLen))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"cool/internal/ior"
+	"cool/internal/obs"
 	"cool/internal/qos"
 	"cool/internal/transport"
 )
@@ -18,6 +19,7 @@ type ORB struct {
 	adapter   *Adapter
 	principal []byte
 	codecs    map[string]Codec
+	ins       *instruments
 
 	mu        sync.Mutex
 	endpoints []endpoint
@@ -73,6 +75,12 @@ func WithMessageProtocol(c Codec) Option {
 	return optFunc(func(o *ORB) { o.codecs[c.Name()] = c })
 }
 
+// WithObserver installs an observability event observer (spans, QoS
+// negotiation outcomes) at construction time.
+func WithObserver(ob obs.Observer) Option {
+	return optFunc(func(o *ORB) { o.ins.tracer.SetObserver(ob) })
+}
+
 // New creates an ORB with the standard tcp and inproc transports
 // registered.
 func New(opts ...Option) *ORB {
@@ -83,12 +91,37 @@ func New(opts ...Option) *ORB {
 		conns:    make(map[connKey]*clientConn),
 		accepted: make(map[transport.Channel]struct{}),
 		codecs:   map[string]Codec{"giop": GIOPCodec{}},
+		ins:      newInstruments(),
 	}
+	o.registry.SetHooks(&transport.Hooks{
+		Opened: func(scheme string) {
+			o.ins.reg.Counter("transport.conns.opened{scheme=" + scheme + "}").Inc()
+			o.ins.reg.Gauge("transport.conns.active{scheme=" + scheme + "}").Inc()
+		},
+		Closed: func(scheme string) {
+			o.ins.reg.Counter("transport.conns.closed{scheme=" + scheme + "}").Inc()
+			o.ins.reg.Gauge("transport.conns.active{scheme=" + scheme + "}").Dec()
+		},
+		Failed: func(scheme string) {
+			o.ins.reg.Counter("transport.conns.failed{scheme=" + scheme + "}").Inc()
+		},
+	})
 	for _, opt := range opts {
 		opt.apply(o)
 	}
 	return o
 }
+
+// Metrics exposes the ORB's metric registry.
+func (o *ORB) Metrics() *obs.Registry { return o.ins.reg }
+
+// Tracer exposes the ORB's span tracer. Components integrated with the ORB
+// (e.g. the Da CaPo manager) emit their structured events through it.
+func (o *ORB) Tracer() *obs.Tracer { return o.ins.tracer }
+
+// SetObserver installs (or replaces, or with nil removes) the observer
+// receiving spans and structured events from this ORB.
+func (o *ORB) SetObserver(ob obs.Observer) { o.ins.tracer.SetObserver(ob) }
 
 // Adapter exposes the object adapter.
 func (o *ORB) Adapter() *Adapter { return o.adapter }
@@ -264,7 +297,7 @@ func (o *ORB) getConn(p ior.Profile, req qos.Set) (*clientConn, qos.Set, error) 
 			return nil, nil, err
 		}
 	}
-	c := newClientConn(ch, codec, granted)
+	c := newClientConn(ch, codec, granted, o.ins)
 	o.mu.Lock()
 	if old, ok := o.conns[key]; ok && !old.isClosed() {
 		// Lost a race; keep the existing connection.

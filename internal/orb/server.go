@@ -4,9 +4,11 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"time"
 
 	"cool/internal/cdr"
 	"cool/internal/giop"
+	"cool/internal/obs"
 	"cool/internal/qos"
 	"cool/internal/transport"
 )
@@ -82,10 +84,13 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 			// Malformed frame: answer MessageError and close (§2 GIOP
 			// error handling; the COOL protocol mirrors it).
 			if mef, merr := codec.MarshalMessageError(); merr == nil {
-				_ = ch.WriteMessage(mef)
+				if ch.WriteMessage(mef) == nil {
+					o.ins.msgOut(giop.MsgMessageError, len(mef))
+				}
 			}
 			return
 		}
+		o.ins.msgIn(m.Header.Type, len(frame))
 		switch m.Header.Type {
 		case giop.MsgRequest:
 			dispatch.Add(1)
@@ -93,14 +98,18 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 				defer dispatch.Done()
 				reply := o.handleRequest(codec, m, state)
 				if reply != nil {
-					_ = ch.WriteMessage(reply)
+					if ch.WriteMessage(reply) == nil {
+						o.ins.msgOut(giop.MsgReply, len(reply))
+					}
 				}
 			}(m)
 		case giop.MsgCancelRequest:
 			state.cancel(m.CancelRequest.RequestID)
 		case giop.MsgLocateRequest:
 			if reply := o.handleLocate(codec, m); reply != nil {
-				_ = ch.WriteMessage(reply)
+				if ch.WriteMessage(reply) == nil {
+					o.ins.msgOut(giop.MsgLocateReply, len(reply))
+				}
 			}
 		case giop.MsgCloseConnection:
 			return
@@ -119,8 +128,25 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 // or nil when no reply is due (oneway or canceled requests).
 func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState) []byte {
 	req := m.Request
+	ins := o.ins
+	stats := ins.server(req.Operation)
+	stats.requests.Inc()
+	// Join the client's trace when the Request carries a trace service
+	// context; otherwise the server span starts a trace of its own.
+	var span obs.Span
+	if trace, parent, ok := giop.DecodeTraceContext(req.ServiceContext); ok {
+		span = ins.tracer.StartChild(obs.TraceID(trace), obs.TraceID(parent), "server:"+req.Operation)
+	} else {
+		span = ins.tracer.StartSpan("server:" + req.Operation)
+	}
 
 	fail := func(exc *giop.SystemException) []byte {
+		ins.exception(exc.Name())
+		outcome := "error"
+		if exc.IsNACK() {
+			outcome = "nack"
+		}
+		span.End(outcome, exc.Name())
 		if !req.ResponseExpected {
 			return nil
 		}
@@ -144,6 +170,7 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 			if err != nil {
 				return fail(giop.MarshalException())
 			}
+			span.End("forward", "")
 			return frame
 		}
 		return fail(giop.ObjectNotExist())
@@ -156,11 +183,17 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 		var err error
 		granted, err = qos.Negotiate(req.QoS, e.capability)
 		if err != nil {
+			ins.qosOutcome(mServerQoS, "nack")
 			var ne *qos.NegotiationError
 			if errors.As(err, &ne) {
 				return fail(giop.NoResources(uint32(len(ne.Failed))))
 			}
 			return fail(giop.NoResources(0))
+		}
+		if granted.Equal(req.QoS) {
+			ins.qosOutcome(mServerQoS, "ack")
+		} else {
+			ins.qosOutcome(mServerQoS, "downgrade")
 		}
 	}
 
@@ -170,12 +203,20 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 		Args:      m.BodyDecoder(),
 		Principal: req.Principal,
 	}
+	dispatchStart := time.Now()
 	body, err := e.servant.Invoke(inv)
+	stats.dispatch.ObserveDuration(time.Since(dispatchStart))
 
 	if state != nil && state.takeCanceled(req.RequestID) {
+		span.End("canceled", "")
 		return nil // client abandoned the request
 	}
 	if !req.ResponseExpected {
+		if err == nil {
+			span.End("ok", "")
+		} else {
+			span.End("error", err.Error())
+		}
 		return nil
 	}
 
@@ -192,6 +233,7 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 		if merr != nil {
 			return fail(giop.MarshalException())
 		}
+		span.End("ok", "")
 		return frame
 	default:
 		var sysExc *giop.SystemException
@@ -216,6 +258,8 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 			if merr != nil {
 				return fail(giop.MarshalException())
 			}
+			ins.exception(userErr.ID)
+			span.End("user_exception", userErr.ID)
 			return frame
 		}
 		return fail(giop.UnknownException())

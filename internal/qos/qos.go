@@ -79,6 +79,27 @@ func (t ParamType) String() string {
 	return fmt.Sprintf("param(%d)", uint32(t))
 }
 
+var paramUnits = map[ParamType]string{
+	Throughput:  "kbit/s",
+	Latency:     "µs",
+	Jitter:      "µs",
+	Reliability: "loss/M",
+}
+
+// Unit returns the unit of measure of the dimension ("kbit/s", "µs",
+// "loss/M"), or "" for dimensionless and unknown types (ordering,
+// confidentiality and priority carry plain levels, not quantities).
+func (t ParamType) Unit() string { return paramUnits[t] }
+
+// Label returns the dimension name with its unit appended in parentheses,
+// e.g. "latency(µs)" — the form used in metrics labels and trace logs.
+func (t ParamType) Label() string {
+	if u := t.Unit(); u != "" {
+		return t.String() + "(" + u + ")"
+	}
+	return t.String()
+}
+
 // Known reports whether t is one of the predefined dimensions.
 func (t ParamType) Known() bool { return t >= Throughput && t <= maxParamType }
 
@@ -148,7 +169,7 @@ func (p Parameter) String() string {
 	if p.Max != NoLimit {
 		max = fmt.Sprint(p.Max)
 	}
-	return fmt.Sprintf("%s=%d[%d..%s]", p.Type, p.Request, p.Min, max)
+	return fmt.Sprintf("%s=%d%s[%d..%s]", p.Type, p.Request, p.Type.Unit(), p.Min, max)
 }
 
 // Set is an ordered collection of parameters, at most one per dimension —

@@ -30,6 +30,29 @@ func TestParamTypeString(t *testing.T) {
 	}
 }
 
+func TestParamTypeUnits(t *testing.T) {
+	if Throughput.Unit() != "kbit/s" || Latency.Unit() != "µs" || Reliability.Unit() != "loss/M" {
+		t.Errorf("units wrong: %q %q %q", Throughput.Unit(), Latency.Unit(), Reliability.Unit())
+	}
+	if Ordering.Unit() != "" || ParamType(999).Unit() != "" {
+		t.Error("dimensionless/unknown types should have empty unit")
+	}
+	if Latency.Label() != "latency(µs)" {
+		t.Errorf("Label = %q", Latency.Label())
+	}
+	if Priority.Label() != "priority" {
+		t.Errorf("Label = %q", Priority.Label())
+	}
+	p := Parameter{Type: Throughput, Request: 512, Min: 128, Max: NoLimit}
+	if got := p.String(); got != "throughput=512kbit/s[128..∞]" {
+		t.Errorf("Parameter.String() = %q", got)
+	}
+	p = Parameter{Type: Ordering, Request: 1, Min: 0, Max: 1}
+	if got := p.String(); got != "ordering=1[0..1]" {
+		t.Errorf("Parameter.String() = %q", got)
+	}
+}
+
 func TestLowerIsBetter(t *testing.T) {
 	lower := map[ParamType]bool{
 		Throughput: false, Latency: true, Jitter: true,

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRegistryHooks(t *testing.T) {
+	var opened, closed, failed atomic.Int64
+	r := NewRegistry(NewInprocManager())
+	r.SetHooks(&Hooks{
+		Opened: func(scheme string) {
+			if scheme != "inproc" {
+				t.Errorf("opened scheme = %q", scheme)
+			}
+			opened.Add(1)
+		},
+		Closed: func(string) { closed.Add(1) },
+		Failed: func(string) { failed.Add(1) },
+	})
+
+	m, err := r.Get("inproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := m.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan Channel, 1)
+	go func() {
+		ch, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+		}
+		accepted <- ch
+	}()
+	dialed, err := m.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	// Dial + accept = two channels opened.
+	if got := opened.Load(); got != 2 {
+		t.Errorf("opened = %d, want 2", got)
+	}
+
+	// Close both sides; double-closing one must not double-count.
+	dialed.Close()
+	dialed.Close()
+	srv.Close()
+	if got := closed.Load(); got != 2 {
+		t.Errorf("closed = %d, want 2", got)
+	}
+
+	// Failed dial counts once.
+	if _, err := m.Dial("no-such-endpoint"); err == nil {
+		t.Fatal("dial to bogus endpoint should fail")
+	}
+	if got := failed.Load(); got != 1 {
+		t.Errorf("failed = %d, want 1", got)
+	}
+
+	// Listener shutdown must not count as an accept failure.
+	l.Close()
+	if _, err := l.Accept(); err == nil {
+		t.Fatal("accept on closed listener should fail")
+	}
+	if got := failed.Load(); got != 1 {
+		t.Errorf("failed after listener close = %d, want 1", got)
+	}
+
+	// Removing hooks restores pass-through managers.
+	r.SetHooks(nil)
+	m2, _ := r.Get("inproc")
+	if _, wrapped := m2.(hookManager); wrapped {
+		t.Error("manager still wrapped after SetHooks(nil)")
+	}
+}

@@ -95,6 +95,7 @@ type Manager interface {
 type Registry struct {
 	mu       sync.RWMutex
 	managers map[string]Manager
+	hooks    *Hooks
 }
 
 // NewRegistry returns a registry containing the given managers.
@@ -123,6 +124,9 @@ func (r *Registry) Get(scheme string) (Manager, error) {
 	m, ok := r.managers[scheme]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, scheme)
+	}
+	if r.hooks != nil {
+		return hookManager{Manager: m, hooks: r.hooks}, nil
 	}
 	return m, nil
 }
