@@ -245,9 +245,11 @@ func BenchmarkRequestMarshal(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := giop.Unmarshal(frame); err != nil {
+				m, err := giop.UnmarshalPooled(frame)
+				if err != nil {
 					b.Fatal(err)
 				}
+				giop.ReleaseMessage(m) // recycles the message and the frame
 			}
 		})
 	}

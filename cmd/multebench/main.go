@@ -10,6 +10,10 @@
 //	multebench -quick                  # smaller sample counts
 //	multebench -stats                  # metrics snapshot + recent trace
 //	                                   # events after each run
+//	multebench -json                   # machine-readable output of the
+//	                                   # perf-regression set (transport,
+//	                                   # marshal, giop) — the format
+//	                                   # recorded in BENCH_PR*.json
 //
 // Output is plain text tables, one per experiment, in the same arrangement
 // as the paper (Figure 9: configurations × packet sizes, throughput in
@@ -17,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +43,7 @@ func run(args []string) error {
 	exp := fs.String("experiment", "all", "experiment to run: fig9|giop|negotiation|transport|config|marshal|obs|all")
 	quick := fs.Bool("quick", false, "smaller sample counts (noisier, faster)")
 	stats := fs.Bool("stats", false, "print a metrics snapshot and recent trace events after each run")
+	jsonOut := fs.Bool("json", false, "emit the perf-regression set (transport, marshal, giop) as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +59,10 @@ func run(args []string) error {
 	payload := 1024
 	if *quick {
 		n = 50
+	}
+
+	if *jsonOut {
+		return runJSON(n, payload, *quick)
 	}
 
 	runs := map[string]func() error{
@@ -81,6 +91,89 @@ func run(args []string) error {
 
 func header(title string) {
 	fmt.Printf("\n══ %s ══\n\n", title)
+}
+
+// jsonRT is RTStats in nanoseconds for machine consumption.
+type jsonRT struct {
+	Samples int   `json:"samples"`
+	MeanNs  int64 `json:"mean_ns"`
+	P50Ns   int64 `json:"p50_ns"`
+	P99Ns   int64 `json:"p99_ns"`
+}
+
+func toJSONRT(s experiments.RTStats) jsonRT {
+	return jsonRT{Samples: s.N, MeanNs: s.Mean.Nanoseconds(), P50Ns: s.P50.Nanoseconds(), P99Ns: s.P99.Nanoseconds()}
+}
+
+// jsonReport is the machine-readable result of the perf-regression set.
+// BENCH_PR*.json files record snapshots of this data (plus the matching
+// `go test -bench` numbers) across PRs.
+type jsonReport struct {
+	Timestamp string `json:"timestamp"`
+	Quick     bool   `json:"quick"`
+	Transport []struct {
+		Transport string `json:"transport"`
+		RT        jsonRT `json:"rt"`
+	} `json:"transport"`
+	Marshal []struct {
+		Version   string  `json:"version"`
+		QoSParams int     `json:"qos_params"`
+		WireBytes int     `json:"wire_bytes"`
+		EncodeNs  float64 `json:"encode_ns"`
+		DecodeNs  float64 `json:"decode_ns"`
+	} `json:"marshal"`
+	GIOP struct {
+		Plain jsonRT `json:"giop_1_0"`
+		QoS   jsonRT `json:"giop_9_9"`
+	} `json:"giop"`
+}
+
+// runJSON measures the perf-regression experiments and prints one JSON
+// document to stdout.
+func runJSON(n, payload int, quick bool) error {
+	var rep jsonReport
+	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	rep.Quick = quick
+
+	points, err := experiments.RunTransportComparison(n, payload)
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		rep.Transport = append(rep.Transport, struct {
+			Transport string `json:"transport"`
+			RT        jsonRT `json:"rt"`
+		}{p.Transport, toJSONRT(p.Stats)})
+	}
+
+	iters := 20000
+	if quick {
+		iters = 2000
+	}
+	rows, err := experiments.RunMarshalComparison(iters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rep.Marshal = append(rep.Marshal, struct {
+			Version   string  `json:"version"`
+			QoSParams int     `json:"qos_params"`
+			WireBytes int     `json:"wire_bytes"`
+			EncodeNs  float64 `json:"encode_ns"`
+			DecodeNs  float64 `json:"decode_ns"`
+		}{r.Version, r.QoSParams, r.WireBytes, r.EncodeNs, r.DecodeNs})
+	}
+
+	cmp, err := experiments.RunGIOPComparison(n, payload)
+	if err != nil {
+		return err
+	}
+	rep.GIOP.Plain = toJSONRT(cmp.Plain)
+	rep.GIOP.QoS = toJSONRT(cmp.QoS)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func runFig9(quick bool) error {

@@ -97,11 +97,12 @@ func NewORB(opts ...orb.Option) *ORB {
 
 // Re-exported ORB options.
 var (
-	WithName       = orb.WithName
-	WithTransport  = orb.WithTransport
-	WithPrincipal  = orb.WithPrincipal
-	WithCapability = orb.WithCapability
-	WithKey        = orb.WithKey
+	WithName           = orb.WithName
+	WithTransport      = orb.WithTransport
+	WithPrincipal      = orb.WithPrincipal
+	WithCapability     = orb.WithCapability
+	WithKey            = orb.WithKey
+	WithInlineDispatch = orb.WithInlineDispatch
 )
 
 // RefString returns the stringified ("IOR:…") form of a reference.

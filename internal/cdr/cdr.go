@@ -25,6 +25,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+
+	"cool/internal/bufpool"
 )
 
 // Byte order flags as they appear on the wire (CORBA 2.0 §12.3: boolean
@@ -67,6 +70,65 @@ func NewEncoderBuf(buf []byte, littleEndian bool) *Encoder {
 	return &Encoder{buf: buf, little: littleEndian}
 }
 
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// AcquireEncoder returns a pooled Encoder writing into a pooled buffer.
+// Steady-state acquisition performs no heap allocation. Finish with either
+// Detach (keep the bytes, recycle the shell) or ReleaseEncoder (recycle
+// both).
+func AcquireEncoder(littleEndian bool) *Encoder {
+	e := encPool.Get().(*Encoder)
+	if e.buf == nil {
+		e.buf = bufpool.Get(minEncBuf)
+	}
+	e.buf = e.buf[:0]
+	e.little = littleEndian
+	return e
+}
+
+// minEncBuf sizes fresh pooled encoder buffers. It matches the size class
+// that typical invocation frames (header + ~1 KiB payload) land in, so the
+// buffers recycled from written frames re-enter the same bufpool class the
+// encoder acquires from — a smaller seed would starve its class and turn
+// every acquire into a fresh allocation.
+const minEncBuf = 2048
+
+// grow ensures room for need more bytes, moving the stream to a larger
+// pooled buffer instead of letting append reallocate outside the arena.
+func (e *Encoder) grow(need int) {
+	if cap(e.buf)-len(e.buf) >= need {
+		return
+	}
+	nb := bufpool.Get(2 * (len(e.buf) + need))
+	nb = nb[:len(e.buf)]
+	copy(nb, e.buf)
+	bufpool.Put(e.buf)
+	e.buf = nb
+}
+
+// Detach returns the encoded stream and recycles the Encoder shell. The
+// returned buffer is exclusively owned by the caller; hand it to
+// bufpool.Put (directly or via a transport/codec release helper) when the
+// frame has been written or decoded, and do not use the Encoder afterwards.
+func (e *Encoder) Detach() []byte {
+	b := e.buf
+	e.buf = nil
+	e.little = false
+	encPool.Put(e)
+	return b
+}
+
+// ReleaseEncoder recycles an acquired Encoder and its buffer without
+// detaching the bytes. Use on error paths where the stream is abandoned.
+func ReleaseEncoder(e *Encoder) {
+	if e.buf != nil {
+		bufpool.Put(e.buf)
+		e.buf = nil
+	}
+	e.little = false
+	encPool.Put(e)
+}
+
 // LittleEndian reports whether the encoder writes little-endian values.
 func (e *Encoder) LittleEndian() bool { return e.little }
 
@@ -77,13 +139,19 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the current stream length in octets.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Align pads the stream with zero octets to a multiple of n (a power of
+// two, at most 8). It is exported for codec layers that splice pre-encoded
+// fragments whose own encoding began at an n-aligned offset.
+func (e *Encoder) Align(n int) { e.align(n) }
+
+var zeroPad [8]byte
+
 // align pads the stream with zero octets to a multiple of n (n must be a
-// power of two).
+// power of two, at most 8). The padding is one append of a static block,
+// not a byte loop.
 func (e *Encoder) align(n int) {
 	pad := (n - len(e.buf)%n) % n
-	for i := 0; i < pad; i++ {
-		e.buf = append(e.buf, 0)
-	}
+	e.buf = append(e.buf, zeroPad[:pad]...)
 }
 
 func (e *Encoder) order() binary.AppendByteOrder {
@@ -157,6 +225,7 @@ func (e *Encoder) WriteString(s string) {
 // octets.
 func (e *Encoder) WriteOctetSeq(p []byte) {
 	e.WriteULong(uint32(len(p)))
+	e.grow(len(p))
 	e.buf = append(e.buf, p...)
 }
 
@@ -202,6 +271,15 @@ type Decoder struct {
 // NewDecoder returns a Decoder over data in the given byte order.
 func NewDecoder(data []byte, littleEndian bool) *Decoder {
 	return &Decoder{data: data, little: littleEndian}
+}
+
+// Reset re-points the decoder at data with position pos, reusing the
+// Decoder value. It exists so hot paths can embed a Decoder and avoid the
+// per-message allocation of NewDecoder.
+func (d *Decoder) Reset(data []byte, littleEndian bool, pos int) {
+	d.data = data
+	d.little = littleEndian
+	d.pos = pos
 }
 
 // LittleEndian reports whether the decoder reads little-endian values.
@@ -330,24 +408,35 @@ func (d *Decoder) ReadDouble() (float64, error) {
 
 // ReadString consumes a CDR string and validates the NUL terminator.
 func (d *Decoder) ReadString() (string, error) {
-	n, err := d.ReadULong()
+	raw, err := d.ReadStringBytes()
 	if err != nil {
 		return "", err
 	}
+	return string(raw), nil
+}
+
+// ReadStringBytes consumes a CDR string like ReadString but returns the
+// raw octets (without the NUL) aliasing the decoder's buffer, performing no
+// allocation. Use when the caller interns or copies the value itself.
+func (d *Decoder) ReadStringBytes() ([]byte, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
 	if n == 0 {
-		return "", fmt.Errorf("%w: zero length (must include NUL)", ErrInvalidString)
+		return nil, fmt.Errorf("%w: zero length (must include NUL)", ErrInvalidString)
 	}
 	if int(n) > d.Remaining() {
-		return "", fmt.Errorf("%w: string length %d, %d remaining", ErrLengthOverflow, n, d.Remaining())
+		return nil, fmt.Errorf("%w: string length %d, %d remaining", ErrLengthOverflow, n, d.Remaining())
 	}
 	raw, err := d.ReadOctets(int(n))
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if raw[len(raw)-1] != 0 {
-		return "", fmt.Errorf("%w: missing NUL terminator", ErrInvalidString)
+		return nil, fmt.Errorf("%w: missing NUL terminator", ErrInvalidString)
 	}
-	return string(raw[:len(raw)-1]), nil
+	return raw[:len(raw)-1], nil
 }
 
 // ReadOctetSeq consumes a sequence<octet>. The returned slice aliases the

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cool/internal/bufpool"
 	"cool/internal/cdr"
 	"cool/internal/giop"
 	"cool/internal/qos"
@@ -118,7 +119,9 @@ func (r *reader) blob16() ([]byte, error) {
 func (r *reader) rest() []byte { return r.buf[r.pos:] }
 
 func start(version byte, t giop.MsgType) *writer {
-	w := &writer{buf: make([]byte, 0, 64)}
+	// Frames are drawn from the shared buffer arena: the ORB recycles
+	// outbound frames via transport.PutBuffer once written.
+	w := &writer{buf: bufpool.Get(64)}
 	w.buf = append(w.buf, magic[:]...)
 	w.u8(version)
 	w.u8(byte(t))
@@ -131,9 +134,10 @@ func (w *writer) encodeBody(fn func(*cdr.Encoder)) {
 	if fn == nil {
 		return
 	}
-	enc := cdr.NewEncoder(cdr.BigEndian)
+	enc := cdr.AcquireEncoder(cdr.BigEndian)
 	fn(enc)
 	w.buf = append(w.buf, enc.Bytes()...)
+	cdr.ReleaseEncoder(enc)
 }
 
 // MarshalRequest implements the codec interface.

@@ -243,8 +243,9 @@ func (echoServant) Invoke(inv *orb.Invocation) (orb.ReplyWriter, error) {
 		if err != nil {
 			return nil, giop.MarshalException()
 		}
-		out := append([]byte(nil), msg...)
-		return func(enc *cdr.Encoder) { enc.WriteOctetSeq(out) }, nil
+		// msg aliases the request frame, which stays valid until the reply
+		// writer has run — no copy needed.
+		return func(enc *cdr.Encoder) { enc.WriteOctetSeq(msg) }, nil
 	default:
 		return nil, giop.BadOperation()
 	}
@@ -285,7 +286,8 @@ func NewEnvInner(inner transport.Manager, schemes ...string) (*Env, error) {
 			return nil, err
 		}
 	}
-	ref, err := server.RegisterServant(echoServant{}, orb.WithCapability(qos.Unconstrained()))
+	ref, err := server.RegisterServant(echoServant{},
+		orb.WithCapability(qos.Unconstrained()), orb.WithInlineDispatch())
 	if err != nil {
 		client.Shutdown()
 		server.Shutdown()

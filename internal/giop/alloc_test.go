@@ -1,0 +1,100 @@
+package giop
+
+import (
+	"testing"
+
+	"cool/internal/cdr"
+	"cool/internal/qos"
+)
+
+// allocHdr builds the Request header used by the allocation budgets; the
+// payload mirrors BenchmarkRequestMarshal so budgets and benchmarks track
+// the same wire shape.
+func allocHdr(nqos int) *RequestHeader {
+	var s qos.Set
+	for i := 0; i < nqos; i++ {
+		s = append(s, qos.Parameter{Type: qos.Throughput, Request: uint32(i + 1), Max: qos.NoLimit})
+	}
+	return &RequestHeader{
+		RequestID:        7,
+		ResponseExpected: true,
+		ObjectKey:        []byte("object-key-0001"),
+		Operation:        "getFrame",
+		QoS:              s,
+	}
+}
+
+// TestRequestRoundTripAllocBudget pins the steady-state allocation count of
+// the pooled marshal/unmarshal path: with the encoder arena, frame pool,
+// pooled messages, operation interning, and scratch QoS/service-context
+// decoding, a full Request round trip must not allocate at all.
+func TestRequestRoundTripAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budget measured without -race")
+	}
+	variants := []struct {
+		name    string
+		version Version
+		nqos    int
+	}{
+		{"GIOP1.0", V1_0, 0},
+		{"GIOP9.9-0params", VQoS, 0},
+		{"GIOP9.9-2params", VQoS, 2},
+		{"GIOP9.9-4params", VQoS, 4},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			hdr := allocHdr(v.nqos)
+			roundTrip := func() {
+				frame, err := MarshalRequest(v.version, cdr.BigEndian, hdr, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := UnmarshalPooled(frame)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Request.Operation != "getFrame" || len(m.Request.QoS) != v.nqos {
+					t.Fatalf("bad decode: %+v", m.Request)
+				}
+				ReleaseMessage(m)
+			}
+			// Warm the pools and the operation intern table.
+			for i := 0; i < 32; i++ {
+				roundTrip()
+			}
+			if allocs := testing.AllocsPerRun(200, roundTrip); allocs > 0 {
+				t.Errorf("round trip allocated %.2f objects/op, budget is 0", allocs)
+			}
+		})
+	}
+}
+
+// TestReplyRoundTripAllocBudget is the server-direction counterpart.
+func TestReplyRoundTripAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budget measured without -race")
+	}
+	hdr := &ReplyHeader{RequestID: 7, Status: ReplyNoException}
+	body := func(enc *cdr.Encoder) { enc.WriteULong(42) }
+	roundTrip := func() {
+		frame, err := MarshalReply(V1_0, cdr.BigEndian, hdr, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := UnmarshalPooled(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Reply.RequestID != 7 {
+			t.Fatalf("bad decode: %+v", m.Reply)
+		}
+		ReleaseMessage(m)
+	}
+	for i := 0; i < 32; i++ {
+		roundTrip()
+	}
+	if allocs := testing.AllocsPerRun(200, roundTrip); allocs > 0 {
+		t.Errorf("reply round trip allocated %.2f objects/op, budget is 0", allocs)
+	}
+}

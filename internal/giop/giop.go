@@ -24,7 +24,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
+	"cool/internal/bufpool"
 	"cool/internal/cdr"
 	"cool/internal/qos"
 )
@@ -159,6 +161,12 @@ type RequestHeader struct {
 	// QoS is the qos_params field of the extended RequestHeader
 	// (paper Figure 2-ii). Only encoded when the message version is VQoS.
 	QoS qos.Set
+	// QoSFrag, when non-nil, is the pre-encoded wire form of QoS as
+	// produced by qos.EncodeSet from a 4-aligned stream position (the
+	// encoding contains only 4-byte values, so it is position-independent
+	// at any 4-aligned offset). MarshalRequest splices it instead of
+	// re-encoding QoS, letting callers cache the bytes per binding.
+	QoSFrag []byte
 	// Principal is the requesting_principal identity blob.
 	Principal []byte
 }
@@ -187,10 +195,14 @@ type LocateReplyHeader struct {
 	Status    LocateStatus
 }
 
-// Message is a decoded GIOP message.
+// Message is a decoded GIOP message. Decoded messages alias their frame:
+// ObjectKey, Principal, service-context data, and Body all point into the
+// received buffer, so a Message is valid only while its frame is.
 type Message struct {
 	Header Header
-	// Exactly one of the following is set, according to Header.Type.
+	// Exactly one of the following is set, according to Header.Type. For
+	// decoded messages they point at storage embedded in the Message
+	// itself, so decoding a header costs no extra allocation.
 	Request       *RequestHeader
 	Reply         *ReplyHeader
 	CancelRequest *CancelRequestHeader
@@ -204,18 +216,72 @@ type Message struct {
 	// bodyOffset is the offset of Body within the full message, needed to
 	// resume CDR alignment correctly when decoding.
 	bodyOffset int
+	// frame is the full received frame backing Body (nil for messages
+	// whose Body was set directly, e.g. by non-GIOP codecs).
+	frame []byte
+
+	// Embedded storage reused across decodes of a pooled Message.
+	reqStore    RequestHeader
+	replyStore  ReplyHeader
+	cancelStore CancelRequestHeader
+	locReqStore LocateRequestHeader
+	locRepStore LocateReplyHeader
+	qosStore    qos.Set
+	scStore     []ServiceContext
+	bodyDec     cdr.Decoder
+	pooled      bool
 }
 
 // BodyDecoder returns a CDR decoder positioned at the message body with the
-// alignment origin of the full GIOP stream preserved.
+// alignment origin of the full GIOP stream preserved. The decoder is
+// embedded in the Message and reads the frame in place (no copy): it is
+// reset on every call, so at most one body decode may be in progress per
+// message, and it must not be used after the message is released.
 func (m *Message) BodyDecoder() *cdr.Decoder {
-	// Re-create the full-stream view so alignment offsets match encoding.
-	full := make([]byte, m.bodyOffset+len(m.Body))
-	copy(full[m.bodyOffset:], m.Body)
-	dec := cdr.NewDecoder(full, m.Header.LittleEndian)
-	dec.ReadOctets(m.bodyOffset) // skip to body
-	return dec
+	if m.frame != nil {
+		m.bodyDec.Reset(m.frame, m.Header.LittleEndian, m.bodyOffset)
+	} else {
+		m.bodyDec.Reset(m.Body, m.Header.LittleEndian, 0)
+	}
+	return &m.bodyDec
 }
+
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// AcquireMessage returns a pooled Message for use with UnmarshalInto-style
+// decoding. Release with ReleaseMessage.
+func AcquireMessage() *Message {
+	m := msgPool.Get().(*Message)
+	m.pooled = true
+	return m
+}
+
+// ReleaseMessage returns a Message obtained from UnmarshalPooled (or
+// AcquireMessage) and the frame it decoded to their pools. The message, its
+// header fields, its BodyDecoder, and every slice aliasing the frame become
+// invalid. Messages produced by plain Unmarshal are ignored, so callers may
+// release unconditionally.
+func ReleaseMessage(m *Message) {
+	if m == nil || !m.pooled {
+		return
+	}
+	frame := m.frame
+	m.Request, m.Reply, m.CancelRequest, m.LocateRequest, m.LocateReply = nil, nil, nil, nil, nil
+	m.Body = nil
+	m.frame = nil
+	m.bodyOffset = 0
+	m.bodyDec.Reset(nil, false, 0)
+	m.pooled = false
+	msgPool.Put(m)
+	if frame != nil {
+		bufpool.Put(frame)
+	}
+}
+
+// ReleaseFrame returns a marshalled frame to the shared buffer arena once
+// it has been written to a transport. It is safe to call on any frame,
+// pooled or not.
+func ReleaseFrame(frame []byte) { bufpool.Put(frame) }
 
 // encodeHeaderPlaceholder appends a 12-octet header with a zero size field;
 // patchSize fixes the size once the body is known.
@@ -246,7 +312,10 @@ func encodeServiceContexts(enc *cdr.Encoder, scs []ServiceContext) {
 	}
 }
 
-func decodeServiceContexts(dec *cdr.Decoder) ([]ServiceContext, error) {
+// decodeServiceContexts reads the service-context list, appending to scs
+// (usually a truncated scratch slice owned by the Message) so repeated
+// decodes reuse its storage. Entry Data aliases the decoder's buffer.
+func decodeServiceContexts(dec *cdr.Decoder, scs []ServiceContext) ([]ServiceContext, error) {
 	n, err := dec.ReadULong()
 	if err != nil {
 		return nil, err
@@ -254,7 +323,6 @@ func decodeServiceContexts(dec *cdr.Decoder) ([]ServiceContext, error) {
 	if int64(n)*8 > int64(dec.Remaining()) {
 		return nil, fmt.Errorf("giop: service context count %d too large", n)
 	}
-	var scs []ServiceContext
 	for i := uint32(0); i < n; i++ {
 		var sc ServiceContext
 		if sc.ID, err = dec.ReadULong(); err != nil {
@@ -271,14 +339,18 @@ func decodeServiceContexts(dec *cdr.Decoder) ([]ServiceContext, error) {
 // MarshalRequest encodes a Request message. The version selects the header
 // layout: qos_params is emitted only for VQoS; passing QoS parameters with
 // V1_0 is an error (standard GIOP cannot carry them).
+//
+// The returned frame is drawn from the shared buffer arena: once it has
+// been written to a transport (which copies or consumes it), hand it back
+// via ReleaseFrame so steady-state marshalling allocates nothing.
 func MarshalRequest(v Version, littleEndian bool, hdr *RequestHeader, body func(*cdr.Encoder)) ([]byte, error) {
 	if !v.Supported() {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
 	}
-	if len(hdr.QoS) > 0 && !v.QoSExtended() {
+	if (len(hdr.QoS) > 0 || len(hdr.QoSFrag) > 0) && !v.QoSExtended() {
 		return nil, fmt.Errorf("giop: %v cannot carry qos_params; use VQoS", v)
 	}
-	enc := cdr.NewEncoder(littleEndian)
+	enc := cdr.AcquireEncoder(littleEndian)
 	encodeHeaderPlaceholder(enc, v, MsgRequest)
 	encodeServiceContexts(enc, hdr.ServiceContext)
 	enc.WriteULong(hdr.RequestID)
@@ -286,24 +358,32 @@ func MarshalRequest(v Version, littleEndian bool, hdr *RequestHeader, body func(
 	enc.WriteOctetSeq(hdr.ObjectKey)
 	enc.WriteString(hdr.Operation)
 	if v.QoSExtended() {
-		qos.EncodeSet(enc, hdr.QoS)
+		if hdr.QoSFrag != nil {
+			// qos_params encoded once on the binding: splice the cached
+			// bytes at the 4-aligned offset its encoding assumed.
+			enc.Align(4)
+			enc.WriteOctets(hdr.QoSFrag)
+		} else {
+			qos.EncodeSet(enc, hdr.QoS)
+		}
 	}
 	enc.WriteOctetSeq(hdr.Principal)
 	if body != nil {
 		body(enc)
 	}
-	frame := enc.Bytes()
+	frame := enc.Detach()
 	patchSize(frame, littleEndian)
 	return frame, nil
 }
 
 // MarshalReply encodes a Reply message. Replies are version-independent;
 // the version is echoed so a QoS-aware exchange stays self-describing.
+// The returned frame is pooled; see MarshalRequest.
 func MarshalReply(v Version, littleEndian bool, hdr *ReplyHeader, body func(*cdr.Encoder)) ([]byte, error) {
 	if !v.Supported() {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
 	}
-	enc := cdr.NewEncoder(littleEndian)
+	enc := cdr.AcquireEncoder(littleEndian)
 	encodeHeaderPlaceholder(enc, v, MsgReply)
 	encodeServiceContexts(enc, hdr.ServiceContext)
 	enc.WriteULong(hdr.RequestID)
@@ -311,7 +391,7 @@ func MarshalReply(v Version, littleEndian bool, hdr *ReplyHeader, body func(*cdr
 	if body != nil {
 		body(enc)
 	}
-	frame := enc.Bytes()
+	frame := enc.Detach()
 	patchSize(frame, littleEndian)
 	return frame, nil
 }
@@ -321,10 +401,10 @@ func MarshalCancelRequest(v Version, littleEndian bool, requestID uint32) ([]byt
 	if !v.Supported() {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
 	}
-	enc := cdr.NewEncoder(littleEndian)
+	enc := cdr.AcquireEncoder(littleEndian)
 	encodeHeaderPlaceholder(enc, v, MsgCancelRequest)
 	enc.WriteULong(requestID)
-	frame := enc.Bytes()
+	frame := enc.Detach()
 	patchSize(frame, littleEndian)
 	return frame, nil
 }
@@ -334,11 +414,11 @@ func MarshalLocateRequest(v Version, littleEndian bool, requestID uint32, object
 	if !v.Supported() {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
 	}
-	enc := cdr.NewEncoder(littleEndian)
+	enc := cdr.AcquireEncoder(littleEndian)
 	encodeHeaderPlaceholder(enc, v, MsgLocateRequest)
 	enc.WriteULong(requestID)
 	enc.WriteOctetSeq(objectKey)
-	frame := enc.Bytes()
+	frame := enc.Detach()
 	patchSize(frame, littleEndian)
 	return frame, nil
 }
@@ -349,14 +429,14 @@ func MarshalLocateReply(v Version, littleEndian bool, requestID uint32, status L
 	if !v.Supported() {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
 	}
-	enc := cdr.NewEncoder(littleEndian)
+	enc := cdr.AcquireEncoder(littleEndian)
 	encodeHeaderPlaceholder(enc, v, MsgLocateReply)
 	enc.WriteULong(requestID)
 	enc.WriteULong(uint32(status))
 	if body != nil {
 		body(enc)
 	}
-	frame := enc.Bytes()
+	frame := enc.Detach()
 	patchSize(frame, littleEndian)
 	return frame, nil
 }
@@ -375,9 +455,9 @@ func marshalBodyless(v Version, littleEndian bool, t MsgType) ([]byte, error) {
 	if !v.Supported() {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
 	}
-	enc := cdr.NewEncoder(littleEndian)
+	enc := cdr.AcquireEncoder(littleEndian)
 	encodeHeaderPlaceholder(enc, v, t)
-	frame := enc.Bytes()
+	frame := enc.Detach()
 	patchSize(frame, littleEndian)
 	return frame, nil
 }
@@ -412,31 +492,56 @@ func DecodeHeader(frame []byte) (Header, error) {
 	return h, nil
 }
 
-// Unmarshal decodes a complete GIOP message frame (header + body).
+// Unmarshal decodes a complete GIOP message frame (header + body) into a
+// freshly allocated Message that the caller may retain indefinitely (it
+// still aliases frame; see Message).
 func Unmarshal(frame []byte) (*Message, error) {
+	m := new(Message)
+	if err := decodeInto(m, frame); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnmarshalPooled decodes a frame into a pooled Message. On success the
+// Message takes ownership of frame: ReleaseMessage returns both to their
+// pools, and steady-state decoding allocates nothing (the operation string
+// is interned, headers live inside the Message, sequences alias the
+// frame). On error the caller keeps ownership of frame.
+func UnmarshalPooled(frame []byte) (*Message, error) {
+	m := AcquireMessage()
+	if err := decodeInto(m, frame); err != nil {
+		m.frame = nil
+		ReleaseMessage(m)
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodeInto(m *Message, frame []byte) error {
 	h, err := DecodeHeader(frame)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(frame) != HeaderSize+int(h.Size) {
-		return nil, fmt.Errorf("%w: header says %d body octets, frame has %d",
+		return fmt.Errorf("%w: header says %d body octets, frame has %d",
 			ErrTruncated, h.Size, len(frame)-HeaderSize)
 	}
-	m := &Message{Header: h}
-	dec := cdr.NewDecoder(frame, h.LittleEndian)
-	if _, err := dec.ReadOctets(HeaderSize); err != nil {
-		return nil, err
-	}
+	m.Header = h
+	dec := &m.bodyDec
+	dec.Reset(frame, h.LittleEndian, HeaderSize)
 
-	fail := func(err error) (*Message, error) {
-		return nil, fmt.Errorf("giop: decode %v: %w", h.Type, err)
+	fail := func(err error) error {
+		return fmt.Errorf("giop: decode %v: %w", h.Type, err)
 	}
 	switch h.Type {
 	case MsgRequest:
-		var rh RequestHeader
-		if rh.ServiceContext, err = decodeServiceContexts(dec); err != nil {
+		m.reqStore = RequestHeader{}
+		rh := &m.reqStore
+		if rh.ServiceContext, err = decodeServiceContexts(dec, m.scStore[:0]); err != nil {
 			return fail(err)
 		}
+		m.scStore = rh.ServiceContext[:0]
 		if rh.RequestID, err = dec.ReadULong(); err != nil {
 			return fail(err)
 		}
@@ -446,23 +551,28 @@ func Unmarshal(frame []byte) (*Message, error) {
 		if rh.ObjectKey, err = dec.ReadOctetSeq(); err != nil {
 			return fail(err)
 		}
-		if rh.Operation, err = dec.ReadString(); err != nil {
+		var op []byte
+		if op, err = dec.ReadStringBytes(); err != nil {
 			return fail(err)
 		}
+		rh.Operation = internOp(op)
 		if h.Version.QoSExtended() {
-			if rh.QoS, err = qos.DecodeSet(dec); err != nil {
+			if rh.QoS, err = qos.DecodeSetAppend(dec, m.qosStore[:0]); err != nil {
 				return fail(err)
 			}
+			m.qosStore = rh.QoS[:0]
 		}
 		if rh.Principal, err = dec.ReadOctetSeq(); err != nil {
 			return fail(err)
 		}
-		m.Request = &rh
+		m.Request = rh
 	case MsgReply:
-		var rh ReplyHeader
-		if rh.ServiceContext, err = decodeServiceContexts(dec); err != nil {
+		m.replyStore = ReplyHeader{}
+		rh := &m.replyStore
+		if rh.ServiceContext, err = decodeServiceContexts(dec, m.scStore[:0]); err != nil {
 			return fail(err)
 		}
+		m.scStore = rh.ServiceContext[:0]
 		if rh.RequestID, err = dec.ReadULong(); err != nil {
 			return fail(err)
 		}
@@ -471,24 +581,27 @@ func Unmarshal(frame []byte) (*Message, error) {
 			return fail(err)
 		}
 		rh.Status = ReplyStatus(st)
-		m.Reply = &rh
+		m.Reply = rh
 	case MsgCancelRequest:
-		var ch CancelRequestHeader
+		m.cancelStore = CancelRequestHeader{}
+		ch := &m.cancelStore
 		if ch.RequestID, err = dec.ReadULong(); err != nil {
 			return fail(err)
 		}
-		m.CancelRequest = &ch
+		m.CancelRequest = ch
 	case MsgLocateRequest:
-		var lh LocateRequestHeader
+		m.locReqStore = LocateRequestHeader{}
+		lh := &m.locReqStore
 		if lh.RequestID, err = dec.ReadULong(); err != nil {
 			return fail(err)
 		}
 		if lh.ObjectKey, err = dec.ReadOctetSeq(); err != nil {
 			return fail(err)
 		}
-		m.LocateRequest = &lh
+		m.LocateRequest = lh
 	case MsgLocateReply:
-		var lh LocateReplyHeader
+		m.locRepStore = LocateReplyHeader{}
+		lh := &m.locRepStore
 		if lh.RequestID, err = dec.ReadULong(); err != nil {
 			return fail(err)
 		}
@@ -497,13 +610,14 @@ func Unmarshal(frame []byte) (*Message, error) {
 			return fail(err)
 		}
 		lh.Status = LocateStatus(st)
-		m.LocateReply = &lh
+		m.LocateReply = lh
 	case MsgCloseConnection, MsgMessageError:
 		// No body.
 	}
 	m.bodyOffset = dec.Pos()
 	m.Body = frame[dec.Pos():]
-	return m, nil
+	m.frame = frame
+	return nil
 }
 
 // WriteFrame writes a complete marshalled frame to w.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package giop
+
+const raceEnabled = false

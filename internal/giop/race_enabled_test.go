@@ -1,0 +1,7 @@
+//go:build race
+
+package giop
+
+// raceEnabled skips allocation-budget assertions: the race detector's
+// instrumentation allocates on its own.
+const raceEnabled = true

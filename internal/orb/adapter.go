@@ -31,7 +31,11 @@ import (
 	"cool/internal/qos"
 )
 
-// Invocation carries one decoded request to a servant.
+// Invocation carries one decoded request to a servant. It is only valid
+// during request handling: the ORB recycles the record when Invoke
+// returns, and the buffers Args decodes from once the returned ReplyWriter
+// has run (so a writer may alias decoded arguments, but nothing may be
+// retained beyond that).
 type Invocation struct {
 	// Operation is the request's operation name.
 	Operation string
@@ -81,6 +85,9 @@ type entry struct {
 	// QoS-carrying request is NACKed unless its ranges reach zero
 	// service).
 	capability qos.Capability
+	// inline dispatches requests on the connection's read goroutine
+	// instead of the worker pool; see WithInlineDispatch.
+	inline bool
 }
 
 // Adapter is the object adapter: it maps object keys to servants and
@@ -118,6 +125,17 @@ func WithCapability(c qos.Capability) ServantOption {
 // WithKey fixes the object key instead of generating one.
 func WithKey(key string) ServantOption {
 	return servantOptFunc(func(e *entry) { e.key = key })
+}
+
+// WithInlineDispatch dispatches this servant's requests directly on the
+// server connection's read goroutine instead of handing them to the worker
+// pool — the zero-hop fast path for servants that never block. The
+// trade-offs: a slow Invoke stalls every other request multiplexed on the
+// connection, and CancelRequest frames queued behind an in-flight request
+// are only read after it completes (cancellation is therefore only checked
+// post-dispatch). Use it for short, non-blocking operations.
+func WithInlineDispatch() ServantOption {
+	return servantOptFunc(func(e *entry) { e.inline = true })
 }
 
 // Activate registers a servant and returns its object key.

@@ -12,11 +12,15 @@ import (
 	"cool/internal/ior"
 	"cool/internal/obs"
 	"cool/internal/qos"
+	"cool/internal/transport"
 )
 
 // ErrNoUsableProfile reports that no profile of the reference can satisfy
 // the requested QoS (the binding-time counterpart of the NACK).
 var ErrNoUsableProfile = errors.New("orb: no profile satisfies the requested QoS")
+
+// ErrCanceled reports Wait on a cancelled deferred invocation.
+var ErrCanceled = errors.New("orb: request was canceled")
 
 // Object is a client proxy for a remote (or colocated) object: the
 // hand-rolled equivalent of what generated stubs wrap. Generated stubs
@@ -34,7 +38,10 @@ type Object struct {
 	colocatedID atomic.Uint32
 }
 
-// binding is an established path to the object implementation.
+// binding is an established path to the object implementation. Its QoS
+// snapshot (reqQoS, qosFrag) is immutable for the binding's lifetime:
+// SetQoSParameter drops the whole binding, so per-invocation requests
+// reuse the snapshot without cloning or re-encoding.
 type binding struct {
 	colocated bool
 	conn      *clientConn
@@ -43,6 +50,13 @@ type binding struct {
 	granted   qos.Set
 	// reqKey identifies the connection-cache slot this binding uses.
 	reqKey string
+	// reqQoS is the QoS requirement snapshot taken at bind time. It must
+	// not be mutated: request headers alias it on the invocation hot path.
+	reqQoS qos.Set
+	// qosFrag is reqQoS pre-encoded by qos.EncodeSet from a 4-aligned
+	// origin, spliced into GIOP 9.9 Request headers instead of re-encoding
+	// the set on every call. nil for empty QoS or non-GIOP codecs.
+	qosFrag []byte
 }
 
 // Ref returns the object reference the proxy currently uses.
@@ -59,6 +73,7 @@ func (o *Object) Ref() ior.Ref {
 //
 // The binding itself is (re-)established lazily at the next invocation, as
 // in COOL, so an unsatisfiable requirement surfaces as an exception there.
+// Dropping the binding also invalidates its cached qos_params encoding.
 func (o *Object) SetQoSParameter(params qos.Set) error {
 	if err := params.Validate(); err != nil {
 		return err
@@ -102,6 +117,17 @@ func (o *Object) Colocated() (bool, error) {
 	return b.colocated, nil
 }
 
+// encodeQoSFrag renders s in its GIOP wire form starting from a 4-aligned
+// origin (the encoding holds only 4-byte values, so it is valid at any
+// 4-aligned splice point).
+func encodeQoSFrag(s qos.Set) []byte {
+	enc := cdr.AcquireEncoder(cdr.BigEndian)
+	qos.EncodeSet(enc, s)
+	frag := append([]byte(nil), enc.Bytes()...)
+	cdr.ReleaseEncoder(enc)
+	return frag
+}
+
 // bind establishes (or reuses) the binding for the current QoS
 // requirements: profile selection, colocation check, connection setup with
 // unilateral transport negotiation.
@@ -119,8 +145,14 @@ func (o *Object) bind() (*binding, error) {
 	if err != nil {
 		return nil, err
 	}
+	reqQoS := o.req.Clone()
+	var frag []byte
+	if len(reqQoS) > 0 && codec.Name() == "giop" {
+		frag = encodeQoSFrag(reqQoS)
+	}
 	if o.orb.isLocal(profile) {
-		b := &binding{colocated: true, codec: codec, profile: profile, granted: o.req.Clone()}
+		b := &binding{colocated: true, codec: codec, profile: profile,
+			granted: o.req.Clone(), reqQoS: reqQoS, qosFrag: frag}
 		o.binding = b
 		return b, nil
 	}
@@ -129,7 +161,8 @@ func (o *Object) bind() (*binding, error) {
 		o.recordNegotiation(profile, "bind_failure", err.Error())
 		return nil, err
 	}
-	b := &binding{conn: conn, codec: codec, profile: profile, granted: granted, reqKey: o.req.Key()}
+	b := &binding{conn: conn, codec: codec, profile: profile, granted: granted,
+		reqKey: o.req.Key(), reqQoS: reqQoS, qosFrag: frag}
 	o.binding = b
 	result := "ack"
 	if !granted.Equal(o.req) {
@@ -178,26 +211,39 @@ func (o *Object) invalidate() {
 	o.mu.Unlock()
 }
 
+// reqHdrPool recycles Request headers so the steady-state invocation path
+// does not allocate one per call (the header escapes through the Codec
+// interface and would otherwise be heap-allocated).
+var reqHdrPool = sync.Pool{New: func() any { return new(giop.RequestHeader) }}
+
 // buildRequest marshals a Request frame for the bound profile. The codec
-// carries qos_params whenever requirements are set (GIOP switches to 9.9,
-// the COOL protocol to its QoS-extended framing).
+// carries qos_params whenever requirements are set (GIOP splices the
+// binding's pre-encoded fragment and switches to 9.9, the COOL protocol to
+// its QoS-extended framing). The returned frame is pooled: conn.send (or
+// dispatchColocated) recycles it.
 func (o *Object) buildRequest(b *binding, id uint32, op string, expectReply bool, span obs.Span, args func(*cdr.Encoder)) ([]byte, error) {
-	hdr := &giop.RequestHeader{
-		RequestID:        id,
-		ResponseExpected: expectReply,
-		ObjectKey:        b.profile.ObjectKey,
-		Operation:        op,
-		QoS:              o.QoS(),
-		Principal:        o.orb.principal,
-	}
-	if !span.Trace.IsZero() {
+	hdr := reqHdrPool.Get().(*giop.RequestHeader)
+	hdr.RequestID = id
+	hdr.ResponseExpected = expectReply
+	hdr.ObjectKey = b.profile.ObjectKey
+	hdr.Operation = op
+	hdr.QoS = b.reqQoS
+	hdr.QoSFrag = b.qosFrag
+	hdr.Principal = o.orb.principal
+	if o.orb.ins.tracer.Enabled() && !span.Trace.IsZero() {
 		// Carry the trace context so the server-side span joins this trace.
-		// Codecs without service-context support (coolproto) drop it.
-		hdr.ServiceContext = []giop.ServiceContext{
-			giop.TraceContext(uint64(span.Trace), uint64(span.ID)),
-		}
+		// Codecs without service-context support (coolproto) drop it. Only
+		// attached when an observer is installed: otherwise nothing reads
+		// it and the encoding would be pure overhead.
+		hdr.ServiceContext = append(hdr.ServiceContext[:0],
+			giop.TraceContext(uint64(span.Trace), uint64(span.ID)))
+	} else {
+		hdr.ServiceContext = hdr.ServiceContext[:0]
 	}
-	return b.codec.MarshalRequest(hdr, args)
+	frame, err := b.codec.MarshalRequest(hdr, args)
+	hdr.ObjectKey, hdr.QoS, hdr.QoSFrag, hdr.Principal = nil, nil, nil, nil
+	reqHdrPool.Put(hdr)
+	return frame, err
 }
 
 // result carries a deferred reply.
@@ -206,7 +252,135 @@ type result struct {
 	err error
 }
 
-// start issues a request and returns a future for its reply.
+// recordCall finishes a synchronous invocation's observability: end-to-end
+// latency into the per-operation histogram and the client span's outcome.
+func recordCall(stats *clientOp, span obs.Span, outcome, detail string) {
+	stats.latency.ObserveDuration(time.Since(span.Start))
+	span.End(outcome, detail)
+}
+
+// classifyOutcome maps a decoded reply error onto the span outcome
+// vocabulary and flags QoS NACKs.
+func classifyOutcome(err error) (outcome, detail string, nack bool) {
+	if err == nil {
+		return "ok", "", false
+	}
+	var se *giop.SystemException
+	if errors.As(err, &se) {
+		if se.IsNACK() {
+			return "nack", se.Name(), true
+		}
+		return "error", se.Name(), false
+	}
+	var ue *giop.UserException
+	if errors.As(err, &ue) {
+		return "user_exception", ue.ID, false
+	}
+	var fwd *forwardError
+	if errors.As(err, &fwd) {
+		return "forward", "", false
+	}
+	return "error", err.Error(), false
+}
+
+// invokeOnce performs one synchronous two-way attempt: marshal into a
+// pooled frame, send, block directly on the pooled reply slot, decode, and
+// recycle message and buffers. The steady-state path allocates nothing and
+// crosses no extra goroutines beyond the connection's reader.
+func (o *Object) invokeOnce(op string, args func(*cdr.Encoder), out func(*cdr.Decoder) error) error {
+	b, err := o.bind()
+	if err != nil {
+		return err
+	}
+	ins := o.orb.ins
+	stats := ins.client(op)
+	stats.calls.Inc()
+	span := ins.tracer.StartSpan(stats.spanName)
+
+	if b.colocated {
+		id := o.colocatedID.Add(1)
+		frame, err := o.buildRequest(b, id, op, true, span, args)
+		if err != nil {
+			recordCall(stats, span, "error", "marshal failed")
+			return err
+		}
+		reply, err := o.orb.dispatchColocated(b.codec, frame)
+		if err != nil {
+			recordCall(stats, span, "error", err.Error())
+			return err
+		}
+		if reply == nil {
+			recordCall(stats, span, "ok", "")
+			return nil
+		}
+		m, err := codecUnmarshal(b.codec, reply)
+		if err != nil {
+			transport.PutBuffer(reply)
+			recordCall(stats, span, "error", err.Error())
+			return err
+		}
+		return o.finishInvoke(b, stats, span, m, out)
+	}
+
+	id, slot, err := b.conn.register()
+	if err != nil {
+		o.invalidate()
+		recordCall(stats, span, "error", "connection closed")
+		return err
+	}
+	frame, err := o.buildRequest(b, id, op, true, span, args)
+	if err != nil {
+		b.conn.unregister(id)
+		b.conn.releaseSlot(slot)
+		recordCall(stats, span, "error", "marshal failed")
+		return err
+	}
+	flen := len(frame)
+	if err := b.conn.send(frame); err != nil {
+		b.conn.unregister(id)
+		b.conn.releaseSlot(slot)
+		o.invalidate()
+		recordCall(stats, span, "error", "send failed")
+		return err
+	}
+	ins.msgOut(giop.MsgRequest, flen)
+	m, err := b.conn.await(slot)
+	if err != nil {
+		b.conn.unregister(id)
+		b.conn.releaseSlot(slot)
+		o.invalidate()
+		recordCall(stats, span, "error", err.Error())
+		return err
+	}
+	b.conn.releaseSlot(slot)
+	return o.finishInvoke(b, stats, span, m, out)
+}
+
+// finishInvoke decodes a two-way reply, recycles the message, and records
+// the outcome. It owns m.
+func (o *Object) finishInvoke(b *binding, stats *clientOp, span obs.Span, m *giop.Message, out func(*cdr.Decoder) error) error {
+	var err error
+	if m.Reply == nil {
+		err = fmt.Errorf("orb: expected Reply, got %v", m.Header.Type)
+	} else {
+		err = decodeReply(m, out)
+	}
+	codecRelease(b.codec, m)
+	outcome, detail, nack := classifyOutcome(err)
+	if nack {
+		o.orb.ins.qosOutcome(mClientQoS, "nack")
+		recordCall(stats, span, "nack", detail)
+		o.abortBinding(b)
+		return err
+	}
+	recordCall(stats, span, outcome, detail)
+	return err
+}
+
+// start issues a request and returns a future for its reply. Two-way
+// futures are goroutine-free: the Pending's Wait/Poll select directly on
+// the registered reply slot. Colocated requests dispatch inline, so their
+// Pending is born resolved.
 func (o *Object) start(op string, args func(*cdr.Encoder), expectReply bool) (*Pending, error) {
 	b, err := o.bind()
 	if err != nil {
@@ -215,7 +389,7 @@ func (o *Object) start(op string, args func(*cdr.Encoder), expectReply bool) (*P
 	ins := o.orb.ins
 	stats := ins.client(op)
 	stats.calls.Inc()
-	span := ins.tracer.StartSpan("client:" + op)
+	span := ins.tracer.StartSpan(stats.spanName)
 	if b.colocated {
 		id := o.colocatedID.Add(1)
 		frame, err := o.buildRequest(b, id, op, expectReply, span, args)
@@ -223,21 +397,20 @@ func (o *Object) start(op string, args func(*cdr.Encoder), expectReply bool) (*P
 			span.End("error", "marshal failed")
 			return nil, err
 		}
-		fut := make(chan result, 1)
-		go func() {
-			reply, err := o.orb.dispatchColocated(b.codec, frame)
-			if err != nil {
-				fut <- result{err: err}
-				return
-			}
-			if reply == nil {
-				fut <- result{}
-				return
-			}
-			m, err := b.codec.Unmarshal(reply)
-			fut <- result{m: m, err: err}
-		}()
-		return &Pending{o: o, fut: fut, oneway: !expectReply, span: span, stats: stats}, nil
+		p := &Pending{o: o, oneway: !expectReply, span: span, stats: stats}
+		reply, err := o.orb.dispatchColocated(b.codec, frame)
+		switch {
+		case err != nil:
+			p.res = &result{err: err}
+		case reply == nil:
+			p.res = &result{}
+		default:
+			// Unmarshal unpooled: the Pending may retain the reply
+			// indefinitely (bodyDecoder after Wait).
+			m, merr := b.codec.Unmarshal(reply)
+			p.res = &result{m: m, err: merr}
+		}
+		return p, nil
 	}
 
 	if !expectReply {
@@ -247,18 +420,17 @@ func (o *Object) start(op string, args func(*cdr.Encoder), expectReply bool) (*P
 			span.End("error", "marshal failed")
 			return nil, err
 		}
+		flen := len(frame)
 		if err := b.conn.send(frame); err != nil {
 			o.invalidate()
 			span.End("error", "send failed")
 			return nil, err
 		}
-		ins.msgOut(giop.MsgRequest, len(frame))
-		fut := make(chan result, 1)
-		fut <- result{}
-		return &Pending{o: o, fut: fut, oneway: true, span: span, stats: stats}, nil
+		ins.msgOut(giop.MsgRequest, flen)
+		return &Pending{o: o, oneway: true, span: span, stats: stats, res: &result{}}, nil
 	}
 
-	id, replyCh, err := b.conn.register()
+	id, slot, err := b.conn.register()
 	if err != nil {
 		o.invalidate()
 		span.End("error", "connection closed")
@@ -267,24 +439,27 @@ func (o *Object) start(op string, args func(*cdr.Encoder), expectReply bool) (*P
 	frame, err := o.buildRequest(b, id, op, true, span, args)
 	if err != nil {
 		b.conn.unregister(id)
+		b.conn.releaseSlot(slot)
 		span.End("error", "marshal failed")
 		return nil, err
 	}
+	flen := len(frame)
 	if err := b.conn.send(frame); err != nil {
 		o.invalidate()
 		span.End("error", "send failed")
 		return nil, err
 	}
-	ins.msgOut(giop.MsgRequest, len(frame))
-	fut := make(chan result, 1)
-	go func() {
-		m, err := b.conn.await(replyCh)
-		fut <- result{m: m, err: err}
-	}()
-	return &Pending{o: o, b: b, id: id, fut: fut, span: span, stats: stats}, nil
+	ins.msgOut(giop.MsgRequest, flen)
+	return &Pending{
+		o: o, b: b, id: id, slot: slot,
+		span: span, stats: stats,
+		resolved: make(chan struct{}),
+	}, nil
 }
 
 // decodeReply maps a Reply message onto the caller's decoder or an error.
+// Everything returned to the caller is copied out of the message, so the
+// message (and its frame) may be recycled as soon as decodeReply returns.
 func decodeReply(m *giop.Message, out func(*cdr.Decoder) error) error {
 	switch m.Reply.Status {
 	case giop.ReplyNoException:
@@ -314,6 +489,11 @@ func decodeReply(m *giop.Message, out func(*cdr.Decoder) error) error {
 		if err != nil {
 			return fmt.Errorf("orb: undecodable forward reference: %w", err)
 		}
+		// Deep-copy the object keys: they alias the reply frame, which is
+		// recycled once this reply is released.
+		for i := range ref.Profiles {
+			ref.Profiles[i].ObjectKey = append([]byte(nil), ref.Profiles[i].ObjectKey...)
+		}
 		return &forwardError{ref: ref}
 	default:
 		return fmt.Errorf("orb: unknown reply status %v", m.Reply.Status)
@@ -332,11 +512,7 @@ func (e *forwardError) Error() string { return "orb: location forward" }
 func (o *Object) Invoke(op string, args func(*cdr.Encoder), out func(*cdr.Decoder) error) error {
 	const maxForwards = 3
 	for attempt := 0; ; attempt++ {
-		p, err := o.start(op, args, true)
-		if err != nil {
-			return err
-		}
-		err = p.Wait(out)
+		err := o.invokeOnce(op, args, out)
 		var fwd *forwardError
 		if errors.As(err, &fwd) && attempt < maxForwards {
 			o.mu.Lock()
@@ -392,7 +568,7 @@ func (o *Object) Locate() (bool, error) {
 		_, ok := o.orb.adapter.lookup(b.profile.ObjectKey)
 		return ok, nil
 	}
-	id, replyCh, err := b.conn.register()
+	id, slot, err := b.conn.register()
 	if err != nil {
 		o.invalidate()
 		return false, err
@@ -400,38 +576,63 @@ func (o *Object) Locate() (bool, error) {
 	frame, err := b.codec.MarshalLocateRequest(id, b.profile.ObjectKey)
 	if err != nil {
 		b.conn.unregister(id)
+		b.conn.releaseSlot(slot)
 		return false, err
 	}
+	flen := len(frame)
 	if err := b.conn.send(frame); err != nil {
 		o.invalidate()
 		return false, err
 	}
-	o.orb.ins.msgOut(giop.MsgLocateRequest, len(frame))
-	m, err := b.conn.await(replyCh)
+	o.orb.ins.msgOut(giop.MsgLocateRequest, flen)
+	m, err := b.conn.await(slot)
 	if err != nil {
 		o.invalidate()
 		return false, err
 	}
+	b.conn.releaseSlot(slot)
 	if m.LocateReply == nil {
-		return false, fmt.Errorf("orb: expected LocateReply, got %v", m.Header.Type)
+		t := m.Header.Type
+		codecRelease(b.codec, m)
+		return false, fmt.Errorf("orb: expected LocateReply, got %v", t)
 	}
-	return m.LocateReply.Status == giop.LocateObjectHere, nil
+	here := m.LocateReply.Status == giop.LocateObjectHere
+	codecRelease(b.codec, m)
+	return here, nil
 }
 
-// Pending is an in-flight deferred invocation.
+// Pending is an in-flight deferred invocation. Unlike the pre-pooling
+// design there is no per-call await goroutine: Wait and Poll select
+// directly on the registered reply slot. The slot is intentionally not
+// returned to the connection's freelist — concurrent Wait/Poll/Cancel
+// callers may still be selecting on it, and recycling under them could
+// deliver another request's reply.
 type Pending struct {
 	o      *Object
 	b      *binding
 	id     uint32
-	fut    chan result
+	slot   *replySlot
 	oneway bool
 	span   obs.Span
 	stats  *clientOp
+
+	// resolved wakes blocked Wait callers when Poll or Cancel settles the
+	// invocation first. Closed at most once, under mu.
+	resolved chan struct{}
 
 	mu       sync.Mutex
 	res      *result
 	dead     bool
 	recorded bool
+	signaled bool
+}
+
+// signalLocked closes resolved once. Callers hold p.mu.
+func (p *Pending) signalLocked() {
+	if !p.signaled && p.resolved != nil {
+		p.signaled = true
+		close(p.resolved)
+	}
 }
 
 // record finishes the invocation's observability exactly once: end-to-end
@@ -450,32 +651,80 @@ func (p *Pending) record(outcome, detail string) {
 	p.span.End(outcome, detail)
 }
 
-// Poll reports whether the reply has arrived (always true for oneway).
+// Poll reports whether the reply has arrived (always true for oneway,
+// colocated, and cancelled requests). It never blocks.
 func (p *Pending) Poll() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.res != nil {
+	if p.res != nil || p.dead || p.slot == nil {
 		return true
 	}
 	select {
-	case r := <-p.fut:
-		p.res = &r
+	case m := <-p.slot.ch:
+		p.res = &result{m: m}
+		p.signalLocked()
 		return true
 	default:
-		return false
 	}
+	select {
+	case <-p.b.conn.done:
+		// Prefer a reply that was routed before teardown.
+		select {
+		case m := <-p.slot.ch:
+			p.res = &result{m: m}
+		default:
+			p.res = &result{err: p.b.conn.errNow()}
+		}
+		p.signalLocked()
+		return true
+	default:
+	}
+	return false
 }
 
-// Wait blocks for the reply and decodes it like Invoke.
+// Wait blocks for the reply and decodes it like Invoke. It does not hold
+// the Pending's lock while blocked, so concurrent Poll and Cancel stay
+// responsive; a Cancel that wins the race wakes Wait via the resolved
+// channel.
 func (p *Pending) Wait(out func(*cdr.Decoder) error) error {
 	p.mu.Lock()
+	if p.res == nil && !p.dead && p.slot != nil {
+		slot, conn, resolved := p.slot, p.b.conn, p.resolved
+		p.mu.Unlock()
+		select {
+		case m := <-slot.ch:
+			p.mu.Lock()
+			if p.res == nil && !p.dead {
+				p.res = &result{m: m}
+				p.signalLocked()
+			} else {
+				// Cancel won after the reply was already routed: drop it.
+				codecRelease(p.b.codec, m)
+			}
+		case <-conn.done:
+			var r result
+			select {
+			case m := <-slot.ch:
+				r = result{m: m}
+			default:
+				r = result{err: conn.errNow()}
+			}
+			p.mu.Lock()
+			if p.res == nil && !p.dead {
+				rr := r
+				p.res = &rr
+				p.signalLocked()
+			} else if r.m != nil {
+				codecRelease(p.b.codec, r.m)
+			}
+		case <-resolved:
+			p.mu.Lock()
+		}
+	}
 	if p.dead {
 		p.mu.Unlock()
-		return errors.New("orb: request was canceled")
-	}
-	if p.res == nil {
-		r := <-p.fut
-		p.res = &r
+		p.record("canceled", "")
+		return ErrCanceled
 	}
 	r := *p.res
 	p.mu.Unlock()
@@ -489,30 +738,14 @@ func (p *Pending) Wait(out func(*cdr.Decoder) error) error {
 		return nil
 	}
 	err := decodeReply(r.m, out)
-	var se *giop.SystemException
-	if errors.As(err, &se) && se.IsNACK() {
+	outcome, detail, nack := classifyOutcome(err)
+	if nack {
 		p.o.orb.ins.qosOutcome(mClientQoS, "nack")
-		p.record("nack", se.Name())
+		p.record("nack", detail)
 		p.o.abortBinding(p.b)
 		return err
 	}
-	switch {
-	case err == nil:
-		p.record("ok", "")
-	case se != nil:
-		p.record("error", se.Name())
-	default:
-		var ue *giop.UserException
-		var fwd *forwardError
-		switch {
-		case errors.As(err, &ue):
-			p.record("user_exception", ue.ID)
-		case errors.As(err, &fwd):
-			p.record("forward", "")
-		default:
-			p.record("error", err.Error())
-		}
-	}
+	p.record(outcome, detail)
 	return err
 }
 
@@ -526,24 +759,37 @@ func (p *Pending) bodyDecoder() *cdr.Decoder {
 	return p.res.m.BodyDecoder()
 }
 
-// Cancel abandons the invocation (the `cancel` mode): a CancelRequest is
-// sent so the server suppresses the reply; the local slot is released.
-// Canceling a completed or colocated request is a no-op returning nil.
+// Cancel abandons the invocation (the `cancel` mode): the request id is
+// unregistered (making any late reply an orphan, counted by the
+// orb.client.orphan_replies metric) and a CancelRequest is sent so the
+// server suppresses the reply. Canceling a completed or colocated request
+// is a no-op returning nil.
 func (p *Pending) Cancel() error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.res != nil || p.dead || p.oneway || p.b == nil || p.b.colocated {
+	if p.res != nil || p.dead || p.oneway || p.b == nil || p.slot == nil {
+		p.mu.Unlock()
 		return nil
 	}
 	p.dead = true
-	p.b.conn.unregister(p.id)
+	p.signalLocked()
+	slot, conn := p.slot, p.b.conn
+	p.mu.Unlock()
+	conn.unregister(p.id)
+	// A reply routed before unregister may sit in the slot; drop it. (A
+	// concurrent Wait may race us to it and drops it the same way.)
+	select {
+	case m := <-slot.ch:
+		codecRelease(p.b.codec, m)
+	default:
+	}
 	frame, err := p.b.codec.MarshalCancelRequest(p.id)
 	if err != nil {
 		return err
 	}
-	if err := p.b.conn.send(frame); err != nil {
+	flen := len(frame)
+	if err := conn.send(frame); err != nil {
 		return err
 	}
-	p.o.orb.ins.msgOut(giop.MsgCancelRequest, len(frame))
+	p.o.orb.ins.msgOut(giop.MsgCancelRequest, flen)
 	return nil
 }

@@ -35,22 +35,62 @@ type Codec interface {
 	Unmarshal(frame []byte) (*giop.Message, error)
 }
 
+// pooledCodec is an optional extension of Codec for protocols whose
+// decoded messages and frame buffers can be recycled. The ORB hot paths
+// probe for it with a type assertion: when present, frames read from a
+// transport are decoded into pooled messages and handed back (message and
+// frame together) via ReleaseMessage once the ORB is done with them,
+// honouring the transport.Channel buffer-ownership contract without
+// changing the Codec interface.
+type pooledCodec interface {
+	// UnmarshalPooled decodes one frame into a pooled message that takes
+	// ownership of the frame on success (on error the caller keeps it).
+	UnmarshalPooled(frame []byte) (*giop.Message, error)
+	// ReleaseMessage recycles a message from UnmarshalPooled and its frame.
+	ReleaseMessage(m *giop.Message)
+}
+
+// codecUnmarshal decodes via the pooled path when the codec supports it.
+func codecUnmarshal(c Codec, frame []byte) (*giop.Message, error) {
+	if pc, ok := c.(pooledCodec); ok {
+		return pc.UnmarshalPooled(frame)
+	}
+	return c.Unmarshal(frame)
+}
+
+// codecRelease recycles m (and its frame) if the codec pools messages.
+// Safe to call with any message, including nil.
+func codecRelease(c Codec, m *giop.Message) {
+	if pc, ok := c.(pooledCodec); ok {
+		pc.ReleaseMessage(m)
+	}
+}
+
 // GIOPCodec is the standard message protocol: GIOP 1.0, upgraded to the
 // QoS-extended 9.9 whenever a request carries QoS parameters (§4.2).
 type GIOPCodec struct{}
 
-var _ Codec = GIOPCodec{}
+var (
+	_ Codec       = GIOPCodec{}
+	_ pooledCodec = GIOPCodec{}
+)
+
+// UnmarshalPooled implements pooledCodec.
+func (GIOPCodec) UnmarshalPooled(frame []byte) (*giop.Message, error) {
+	return giop.UnmarshalPooled(frame)
+}
+
+// ReleaseMessage implements pooledCodec.
+func (GIOPCodec) ReleaseMessage(m *giop.Message) {
+	giop.ReleaseMessage(m)
+}
 
 // Name returns "giop".
 func (GIOPCodec) Name() string { return "giop" }
 
 // MarshalRequest implements Codec.
 func (GIOPCodec) MarshalRequest(hdr *giop.RequestHeader, body func(*cdr.Encoder)) ([]byte, error) {
-	version := giop.V1_0
-	if len(hdr.QoS) > 0 {
-		version = giop.VQoS
-	}
-	return giop.MarshalRequest(version, cdr.BigEndian, hdr, body)
+	return giop.MarshalRequest(giopRequestVersion(hdr), cdr.BigEndian, hdr, body)
 }
 
 // MarshalReply implements Codec, echoing the request's GIOP version.
@@ -89,4 +129,13 @@ func (GIOPCodec) MarshalMessageError() ([]byte, error) {
 // Unmarshal implements Codec.
 func (GIOPCodec) Unmarshal(frame []byte) (*giop.Message, error) {
 	return giop.Unmarshal(frame)
+}
+
+// MarshalRequest selects the QoS-extended version when the header carries
+// either a decoded QoS set or a pre-encoded qos_params fragment.
+func giopRequestVersion(hdr *giop.RequestHeader) giop.Version {
+	if len(hdr.QoS) > 0 || len(hdr.QoSFrag) > 0 {
+		return giop.VQoS
+	}
+	return giop.V1_0
 }

@@ -14,6 +14,17 @@ import (
 // errConnClosed reports an operation on a torn-down client connection.
 var errConnClosed = errors.New("orb: connection closed")
 
+// maxFreeSlots bounds the per-connection reply-slot freelist.
+const maxFreeSlots = 64
+
+// replySlot is a reusable single-reply mailbox. The channel has capacity 1
+// and receives at most one message per registration (route deletes the
+// pending entry and sends inside the same critical section), so a send
+// never blocks and a recycled slot never carries a stale reply.
+type replySlot struct {
+	ch chan *giop.Message
+}
+
 // clientConn multiplexes concurrent requests over one transport channel:
 // a background reader routes Reply messages to their callers by request id.
 type clientConn struct {
@@ -25,7 +36,8 @@ type clientConn struct {
 	nextID atomic.Uint32
 
 	mu      sync.Mutex
-	pending map[uint32]chan *giop.Message
+	pending map[uint32]*replySlot
+	free    []*replySlot
 	err     error
 	closed  bool
 	done    chan struct{}
@@ -37,7 +49,7 @@ func newClientConn(ch transport.Channel, codec Codec, granted qos.Set, ins *inst
 		codec:   codec,
 		granted: granted,
 		ins:     ins,
-		pending: make(map[uint32]chan *giop.Message),
+		pending: make(map[uint32]*replySlot),
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
@@ -51,8 +63,9 @@ func (c *clientConn) readLoop() {
 			c.teardown(fmt.Errorf("%w: %v", errConnClosed, err))
 			return
 		}
-		m, err := c.codec.Unmarshal(frame)
+		m, err := codecUnmarshal(c.codec, frame)
 		if err != nil {
+			transport.PutBuffer(frame)
 			c.teardown(fmt.Errorf("orb: bad frame from server: %w", err))
 			return
 		}
@@ -65,26 +78,41 @@ func (c *clientConn) readLoop() {
 		case giop.MsgLocateReply:
 			c.route(m.LocateReply.RequestID, m)
 		case giop.MsgCloseConnection:
+			codecRelease(c.codec, m)
 			c.teardown(errConnClosed)
 			return
 		case giop.MsgMessageError:
+			codecRelease(c.codec, m)
 			c.teardown(errors.New("orb: server reported a GIOP message error"))
 			return
 		default:
 			// Requests flowing to a client are a protocol violation.
+			codecRelease(c.codec, m)
 			c.teardown(fmt.Errorf("orb: unexpected %v from server", m.Header.Type))
 			return
 		}
 	}
 }
 
+// route delivers a reply to its registered slot. Lookup, delete, and send
+// happen under c.mu: after unregister (also under c.mu) returns, no send
+// into the slot is possible, which is what makes slot recycling and
+// cancellation race-free. Replies without a waiter are counted as orphans
+// and recycled.
 func (c *clientConn) route(id uint32, m *giop.Message) {
 	c.mu.Lock()
-	ch, ok := c.pending[id]
-	delete(c.pending, id)
-	c.mu.Unlock()
+	slot, ok := c.pending[id]
 	if ok {
-		ch <- m // buffered (1): never blocks
+		delete(c.pending, id)
+		slot.ch <- m // cap 1, one send per registration: never blocks
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	if !ok {
+		if !closed && c.ins != nil {
+			c.ins.orphanReply()
+		}
+		codecRelease(c.codec, m)
 	}
 }
 
@@ -96,14 +124,10 @@ func (c *clientConn) teardown(err error) {
 	}
 	c.closed = true
 	c.err = err
-	pending := c.pending
 	c.pending = nil
 	c.mu.Unlock()
 	close(c.done)
 	c.ch.Close()
-	for _, ch := range pending {
-		close(ch)
-	}
 }
 
 func (c *clientConn) close() { c.teardown(errConnClosed) }
@@ -114,64 +138,95 @@ func (c *clientConn) isClosed() bool {
 	return c.closed
 }
 
-// register allocates a request id and a reply slot.
-func (c *clientConn) register() (uint32, chan *giop.Message, error) {
-	id := c.nextID.Add(1)
-	ch := make(chan *giop.Message, 1)
+// errNow returns the teardown error (errConnClosed if none recorded yet).
+func (c *clientConn) errNow() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return 0, nil, c.err
+	if c.err != nil {
+		return c.err
 	}
-	c.pending[id] = ch
-	return id, ch, nil
+	return errConnClosed
 }
 
-// unregister abandons a pending request (cancel path).
+// register allocates a request id and a reply slot (reused from the
+// freelist when possible).
+func (c *clientConn) register() (uint32, *replySlot, error) {
+	id := c.nextID.Add(1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errConnClosed
+		}
+		return 0, nil, err
+	}
+	var slot *replySlot
+	if n := len(c.free); n > 0 {
+		slot = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		slot = &replySlot{ch: make(chan *giop.Message, 1)}
+	}
+	c.pending[id] = slot
+	c.mu.Unlock()
+	return id, slot, nil
+}
+
+// unregister abandons a pending request (cancel path). After it returns no
+// further reply can be delivered into the request's slot.
 func (c *clientConn) unregister(id uint32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.pending, id)
 }
 
-// send writes a frame.
+// releaseSlot recycles a slot. Callers must guarantee exclusive ownership:
+// the slot is unregistered (consumed or cancelled) and no other goroutine
+// is selecting on it — which is why only the synchronous invoke/locate
+// paths pool slots, while deferred Pendings (whose slots may have
+// concurrent Wait/Poll/Cancel observers) let theirs be garbage collected.
+func (c *clientConn) releaseSlot(slot *replySlot) {
+	select {
+	case m := <-slot.ch:
+		codecRelease(c.codec, m) // stale reply from a raced teardown drain
+	default:
+	}
+	c.mu.Lock()
+	if len(c.free) < maxFreeSlots {
+		c.free = append(c.free, slot)
+	}
+	c.mu.Unlock()
+}
+
+// send writes a frame and returns it to the shared buffer arena: per the
+// transport.Channel contract the channel is done with p when WriteMessage
+// returns, and every frame handed to send is one-shot (marshalled for this
+// call). Callers must not touch the frame's contents afterwards.
 func (c *clientConn) send(frame []byte) error {
-	if err := c.ch.WriteMessage(frame); err != nil {
+	err := c.ch.WriteMessage(frame)
+	transport.PutBuffer(frame)
+	if err != nil {
 		c.teardown(fmt.Errorf("%w: %v", errConnClosed, err))
 		return err
 	}
 	return nil
 }
 
-// await blocks for the reply to a registered request.
-func (c *clientConn) await(ch chan *giop.Message) (*giop.Message, error) {
+// await blocks for the reply to a registered request. On teardown it
+// prefers a reply that was routed before the connection died (route's
+// critical section happens before close(done)).
+func (c *clientConn) await(slot *replySlot) (*giop.Message, error) {
 	select {
-	case m, ok := <-ch:
-		if !ok {
-			c.mu.Lock()
-			err := c.err
-			c.mu.Unlock()
-			if err == nil {
-				err = errConnClosed
-			}
-			return nil, err
-		}
+	case m := <-slot.ch:
 		return m, nil
 	case <-c.done:
-		// Drain a reply that raced with teardown.
 		select {
-		case m, ok := <-ch:
-			if ok {
-				return m, nil
-			}
+		case m := <-slot.ch:
+			return m, nil
 		default:
 		}
-		c.mu.Lock()
-		err := c.err
-		c.mu.Unlock()
-		if err == nil {
-			err = errConnClosed
-		}
-		return nil, err
+		return nil, c.errNow()
 	}
 }

@@ -21,19 +21,24 @@ const (
 	mGIOPInBytes   = "giop.in.bytes"          // {type=}
 	mGIOPOutMsgs   = "giop.out.msgs"          // {type=}
 	mGIOPOutBytes  = "giop.out.bytes"         // {type=}
+	// mClientOrphans counts replies routed to a request id with no waiter
+	// (the request was cancelled or timed out before its reply arrived).
+	mClientOrphans = "orb.client.orphan_replies"
 )
 
-// clientOp caches the per-operation client-side metric handles so the
-// invocation hot path never composes metric names.
+// clientOp caches the per-operation client-side metric handles and the
+// span name so the invocation hot path never composes strings.
 type clientOp struct {
-	calls   *obs.Counter
-	latency *obs.Histogram
+	calls    *obs.Counter
+	latency  *obs.Histogram
+	spanName string // "client:" + op
 }
 
 // serverOp is the server-side counterpart.
 type serverOp struct {
 	requests *obs.Counter
 	dispatch *obs.Histogram
+	spanName string // "server:" + op
 }
 
 // instruments bundles the ORB's metric handles. One instance per ORB,
@@ -50,6 +55,10 @@ type instruments struct {
 
 	// GIOP message counters, indexed by MsgType (7 kinds).
 	inMsgs, inBytes, outMsgs, outBytes [int(giop.MsgMessageError) + 1]*obs.Counter
+
+	// orphanReplies counts replies that arrived for an unregistered
+	// request id (see mClientOrphans).
+	orphanReplies *obs.Counter
 }
 
 func newInstruments() *instruments {
@@ -68,8 +77,12 @@ func newInstruments() *instruments {
 		ins.outMsgs[t] = ins.reg.Counter(mGIOPOutMsgs + label)
 		ins.outBytes[t] = ins.reg.Counter(mGIOPOutBytes + label)
 	}
+	ins.orphanReplies = ins.reg.Counter(mClientOrphans)
 	return ins
 }
+
+// orphanReply counts one reply that found no registered waiter.
+func (ins *instruments) orphanReply() { ins.orphanReplies.Inc() }
 
 // client returns the cached client-side handles for an operation.
 func (ins *instruments) client(op string) *clientOp {
@@ -85,8 +98,9 @@ func (ins *instruments) client(op string) *clientOp {
 		return c
 	}
 	c = &clientOp{
-		calls:   ins.reg.Counter(mClientCalls + "{op=" + op + "}"),
-		latency: ins.reg.Histogram(mClientLatency+"{op="+op+"}", obs.LatencyBuckets()),
+		calls:    ins.reg.Counter(mClientCalls + "{op=" + op + "}"),
+		latency:  ins.reg.Histogram(mClientLatency+"{op="+op+"}", obs.LatencyBuckets()),
+		spanName: "client:" + op,
 	}
 	ins.clientOps[op] = c
 	return c
@@ -108,6 +122,7 @@ func (ins *instruments) server(op string) *serverOp {
 	s = &serverOp{
 		requests: ins.reg.Counter(mServerReqs + "{op=" + op + "}"),
 		dispatch: ins.reg.Histogram(mServerLatency+"{op="+op+"}", obs.LatencyBuckets()),
+		spanName: "server:" + op,
 	}
 	ins.serverOps[op] = s
 	return s

@@ -29,6 +29,13 @@ type ORB struct {
 	activated bool
 	shutdown  bool
 	wg        sync.WaitGroup
+
+	// dispatchQ feeds the bounded server dispatch worker pool, started
+	// lazily with the first listener and closed by Shutdown after all
+	// server loops have drained.
+	dispatchQ   chan serverTask
+	workerStart sync.Once
+	workerStop  sync.Once
 }
 
 // endpoint is one served transport address.
@@ -163,6 +170,7 @@ func (o *ORB) ListenOnProtocol(scheme, addr, protocol string) (string, error) {
 	o.activated = true
 	o.mu.Unlock()
 
+	o.workerStart.Do(o.startDispatchers)
 	o.wg.Add(1)
 	go o.acceptLoop(l, codec)
 	return l.Addr(), nil
@@ -349,6 +357,13 @@ func (o *ORB) Shutdown() {
 		ch.Close()
 	}
 	o.wg.Wait()
+	// All server loops have exited, so no task can be queued anymore:
+	// release the dispatch workers.
+	o.workerStop.Do(func() {
+		if o.dispatchQ != nil {
+			close(o.dispatchQ)
+		}
+	})
 }
 
 // trackAccepted registers an inbound connection for shutdown; it reports

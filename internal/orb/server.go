@@ -3,6 +3,7 @@ package orb
 import (
 	"errors"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -63,7 +64,51 @@ func (s *serverConnState) takeCanceled(id uint32) bool {
 	return false
 }
 
-// serveConn runs the GIOP server loop for one transport channel.
+// serverTask is one request handed to the dispatch worker pool. A plain
+// value (not a closure) so queueing a task does not allocate.
+type serverTask struct {
+	o     *ORB
+	codec Codec
+	ch    transport.Channel
+	m     *giop.Message
+	state *serverConnState
+	wg    *sync.WaitGroup
+}
+
+func (t serverTask) run() {
+	defer t.wg.Done()
+	t.o.completeRequest(t.codec, t.ch, t.m, t.state)
+}
+
+// dispatchWorkers sizes the shared worker pool for non-inline request
+// dispatch.
+func dispatchWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
+}
+
+// startDispatchers lazily starts the bounded dispatch worker pool. Workers
+// exit when the queue is closed (after Shutdown has drained all server
+// loops). They are deliberately not wg-tracked: Shutdown closes the queue
+// only after wg.Wait, so tracking them would deadlock.
+func (o *ORB) startDispatchers() {
+	o.dispatchQ = make(chan serverTask, dispatchWorkers())
+	for i := 0; i < dispatchWorkers(); i++ {
+		go func() {
+			for t := range o.dispatchQ {
+				t.run()
+			}
+		}()
+	}
+}
+
+// serveConn runs the GIOP server loop for one transport channel. Requests
+// for inline-dispatch servants are handled on this goroutine (no hop, no
+// allocation); everything else goes to the bounded worker pool, spilling
+// into a fresh goroutine when the pool is saturated so a slow servant can
+// never stall the read loop (cancellation depends on it staying live).
 func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 	defer o.wg.Done()
 	defer ch.Close()
@@ -79,53 +124,115 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 		if err != nil {
 			return // EOF or transport failure: drop the connection
 		}
-		m, err := codec.Unmarshal(frame)
+		m, err := codecUnmarshal(codec, frame)
 		if err != nil {
 			// Malformed frame: answer MessageError and close (§2 GIOP
-			// error handling; the COOL protocol mirrors it).
+			// error handling; the COOL protocol mirrors it). The frame was
+			// not adopted by a message, so recycle it here.
+			transport.PutBuffer(frame)
 			if mef, merr := codec.MarshalMessageError(); merr == nil {
 				if ch.WriteMessage(mef) == nil {
 					o.ins.msgOut(giop.MsgMessageError, len(mef))
 				}
+				transport.PutBuffer(mef)
 			}
 			return
 		}
 		o.ins.msgIn(m.Header.Type, len(frame))
 		switch m.Header.Type {
 		case giop.MsgRequest:
+			if e, ok := o.adapter.lookup(m.Request.ObjectKey); ok && e.inline {
+				o.completeRequest(codec, ch, m, state)
+				continue
+			}
 			dispatch.Add(1)
-			go func(m *giop.Message) {
-				defer dispatch.Done()
-				reply := o.handleRequest(codec, m, state)
-				if reply != nil {
-					if ch.WriteMessage(reply) == nil {
-						o.ins.msgOut(giop.MsgReply, len(reply))
-					}
-				}
-			}(m)
+			t := serverTask{o: o, codec: codec, ch: ch, m: m, state: state, wg: &dispatch}
+			select {
+			case o.dispatchQ <- t:
+			default:
+				go t.run()
+			}
 		case giop.MsgCancelRequest:
 			state.cancel(m.CancelRequest.RequestID)
+			codecRelease(codec, m)
 		case giop.MsgLocateRequest:
-			if reply := o.handleLocate(codec, m); reply != nil {
+			reply := o.handleLocate(codec, m)
+			codecRelease(codec, m)
+			if reply != nil {
 				if ch.WriteMessage(reply) == nil {
 					o.ins.msgOut(giop.MsgLocateReply, len(reply))
 				}
+				transport.PutBuffer(reply)
 			}
 		case giop.MsgCloseConnection:
+			codecRelease(codec, m)
 			return
 		case giop.MsgMessageError:
+			codecRelease(codec, m)
 			return
 		default:
 			// Replies and LocateReplies are client-bound; a server
 			// receiving one indicates a confused peer.
+			codecRelease(codec, m)
 			return
 		}
 	}
 }
 
+// completeRequest dispatches one request, writes the reply (if any), and
+// recycles the request message and both frames. It owns m.
+func (o *ORB) completeRequest(codec Codec, ch transport.Channel, m *giop.Message, state *serverConnState) {
+	reply := o.handleRequest(codec, m, state)
+	codecRelease(codec, m)
+	if reply == nil {
+		return
+	}
+	if ch.WriteMessage(reply) == nil {
+		o.ins.msgOut(giop.MsgReply, len(reply))
+	}
+	transport.PutBuffer(reply)
+}
+
+// replyHdrPool recycles Reply headers: the header escapes through the
+// Codec interface and would otherwise be heap-allocated per reply.
+var replyHdrPool = sync.Pool{New: func() any { return new(giop.ReplyHeader) }}
+
+// marshalReply encodes a reply with a pooled header.
+func marshalReply(codec Codec, m *giop.Message, id uint32, status giop.ReplyStatus, body func(*cdr.Encoder)) ([]byte, error) {
+	hdr := replyHdrPool.Get().(*giop.ReplyHeader)
+	*hdr = giop.ReplyHeader{RequestID: id, Status: status}
+	frame, err := codec.MarshalReply(m, hdr, body)
+	replyHdrPool.Put(hdr)
+	return frame, err
+}
+
+// invPool recycles Invocation records handed to servants; see the
+// Invocation lifetime note on Servant.Invoke.
+var invPool = sync.Pool{New: func() any { return new(Invocation) }}
+
+// failReply records a system exception outcome and marshals the exception
+// reply (nil for oneway requests).
+func (o *ORB) failReply(codec Codec, m *giop.Message, span obs.Span, exc *giop.SystemException) []byte {
+	o.ins.exception(exc.Name())
+	outcome := "error"
+	if exc.IsNACK() {
+		outcome = "nack"
+	}
+	span.End(outcome, exc.Name())
+	if !m.Request.ResponseExpected {
+		return nil
+	}
+	frame, err := marshalReply(codec, m, m.Request.RequestID, giop.ReplySystemException, exc.Encode)
+	if err != nil {
+		return nil
+	}
+	return frame
+}
+
 // handleRequest performs the server side of Figure 4: unmarshal QoS and
 // method, negotiate, dispatch, marshal results. It returns the reply frame,
-// or nil when no reply is due (oneway or canceled requests).
+// or nil when no reply is due (oneway or canceled requests). The returned
+// frame is pooled; the caller recycles it after writing.
 func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState) []byte {
 	req := m.Request
 	ins := o.ins
@@ -135,45 +242,22 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 	// context; otherwise the server span starts a trace of its own.
 	var span obs.Span
 	if trace, parent, ok := giop.DecodeTraceContext(req.ServiceContext); ok {
-		span = ins.tracer.StartChild(obs.TraceID(trace), obs.TraceID(parent), "server:"+req.Operation)
+		span = ins.tracer.StartChild(obs.TraceID(trace), obs.TraceID(parent), stats.spanName)
 	} else {
-		span = ins.tracer.StartSpan("server:" + req.Operation)
-	}
-
-	fail := func(exc *giop.SystemException) []byte {
-		ins.exception(exc.Name())
-		outcome := "error"
-		if exc.IsNACK() {
-			outcome = "nack"
-		}
-		span.End(outcome, exc.Name())
-		if !req.ResponseExpected {
-			return nil
-		}
-		frame, err := codec.MarshalReply(m, &giop.ReplyHeader{
-			RequestID: req.RequestID,
-			Status:    giop.ReplySystemException,
-		}, exc.Encode)
-		if err != nil {
-			return nil
-		}
-		return frame
+		span = ins.tracer.StartSpan(stats.spanName)
 	}
 
 	e, ok := o.adapter.lookup(req.ObjectKey)
 	if !ok {
 		if target, fwd := o.adapter.lookupForward(req.ObjectKey); fwd {
-			frame, err := codec.MarshalReply(m, &giop.ReplyHeader{
-				RequestID: req.RequestID,
-				Status:    giop.ReplyLocationForward,
-			}, target.Encode)
+			frame, err := marshalReply(codec, m, req.RequestID, giop.ReplyLocationForward, target.Encode)
 			if err != nil {
-				return fail(giop.MarshalException())
+				return o.failReply(codec, m, span, giop.MarshalException())
 			}
 			span.End("forward", "")
 			return frame
 		}
-		return fail(giop.ObjectNotExist())
+		return o.failReply(codec, m, span, giop.ObjectNotExist())
 	}
 
 	// Bilateral QoS negotiation: the object implementation either supports
@@ -186,9 +270,9 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 			ins.qosOutcome(mServerQoS, "nack")
 			var ne *qos.NegotiationError
 			if errors.As(err, &ne) {
-				return fail(giop.NoResources(uint32(len(ne.Failed))))
+				return o.failReply(codec, m, span, giop.NoResources(uint32(len(ne.Failed))))
 			}
-			return fail(giop.NoResources(0))
+			return o.failReply(codec, m, span, giop.NoResources(0))
 		}
 		if granted.Equal(req.QoS) {
 			ins.qosOutcome(mServerQoS, "ack")
@@ -197,15 +281,16 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 		}
 	}
 
-	inv := &Invocation{
-		Operation: req.Operation,
-		QoS:       granted,
-		Args:      m.BodyDecoder(),
-		Principal: req.Principal,
-	}
+	inv := invPool.Get().(*Invocation)
+	inv.Operation = req.Operation
+	inv.QoS = granted
+	inv.Args = m.BodyDecoder()
+	inv.Principal = req.Principal
 	dispatchStart := time.Now()
 	body, err := e.servant.Invoke(inv)
 	stats.dispatch.ObserveDuration(time.Since(dispatchStart))
+	*inv = Invocation{}
+	invPool.Put(inv)
 
 	if state != nil && state.takeCanceled(req.RequestID) {
 		span.End("canceled", "")
@@ -224,28 +309,22 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 	case err == nil:
 		var writer func(*cdr.Encoder)
 		if body != nil {
-			writer = func(enc *cdr.Encoder) { body(enc) }
+			writer = (func(*cdr.Encoder))(body)
 		}
-		frame, merr := codec.MarshalReply(m, &giop.ReplyHeader{
-			RequestID: req.RequestID,
-			Status:    giop.ReplyNoException,
-		}, writer)
+		frame, merr := marshalReply(codec, m, req.RequestID, giop.ReplyNoException, writer)
 		if merr != nil {
-			return fail(giop.MarshalException())
+			return o.failReply(codec, m, span, giop.MarshalException())
 		}
 		span.End("ok", "")
 		return frame
 	default:
 		var sysExc *giop.SystemException
 		if errors.As(err, &sysExc) {
-			return fail(sysExc)
+			return o.failReply(codec, m, span, sysExc)
 		}
 		var userErr *UserError
 		if errors.As(err, &userErr) {
-			frame, merr := codec.MarshalReply(m, &giop.ReplyHeader{
-				RequestID: req.RequestID,
-				Status:    giop.ReplyUserException,
-			}, func(enc *cdr.Encoder) {
+			frame, merr := marshalReply(codec, m, req.RequestID, giop.ReplyUserException, func(enc *cdr.Encoder) {
 				enc.WriteString(userErr.ID)
 				var data []byte
 				if userErr.Body != nil {
@@ -256,17 +335,18 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 				enc.WriteEncapsulation(data)
 			})
 			if merr != nil {
-				return fail(giop.MarshalException())
+				return o.failReply(codec, m, span, giop.MarshalException())
 			}
 			ins.exception(userErr.ID)
 			span.End("user_exception", userErr.ID)
 			return frame
 		}
-		return fail(giop.UnknownException())
+		return o.failReply(codec, m, span, giop.UnknownException())
 	}
 }
 
-// handleLocate answers a LocateRequest.
+// handleLocate answers a LocateRequest. The returned frame is pooled; the
+// caller recycles it after writing.
 func (o *ORB) handleLocate(codec Codec, m *giop.Message) []byte {
 	status := giop.LocateUnknownObject
 	var body func(*cdr.Encoder)
@@ -286,18 +366,23 @@ func (o *ORB) handleLocate(codec Codec, m *giop.Message) []byte {
 // dispatchColocated runs a marshalled request through the local object
 // adapter without touching a transport: COOL's colocation optimisation.
 // The request is still fully CDR-marshalled, so semantics (and marshalling
-// bugs) match the remote path exactly.
+// bugs) match the remote path exactly. It consumes frame; the returned
+// reply frame is pooled and owned by the caller.
 func (o *ORB) dispatchColocated(codec Codec, frame []byte) ([]byte, error) {
-	m, err := codec.Unmarshal(frame)
+	m, err := codecUnmarshal(codec, frame)
 	if err != nil {
+		transport.PutBuffer(frame)
 		return nil, err
 	}
 	if m.Header.Type != giop.MsgRequest {
+		codecRelease(codec, m)
 		return nil, errors.New("orb: colocated dispatch expects a Request")
 	}
 	reply := o.handleRequest(codec, m, nil)
+	responseExpected := m.Request.ResponseExpected
+	codecRelease(codec, m)
 	if reply == nil {
-		if !m.Request.ResponseExpected {
+		if !responseExpected {
 			return nil, nil
 		}
 		return nil, io.ErrUnexpectedEOF

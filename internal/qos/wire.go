@@ -23,6 +23,13 @@ func EncodeSet(enc *cdr.Encoder, s Set) {
 
 // DecodeSet reads a Set written by EncodeSet.
 func DecodeSet(dec *cdr.Decoder) (Set, error) {
+	return DecodeSetAppend(dec, nil)
+}
+
+// DecodeSetAppend reads a Set written by EncodeSet, appending to s (which
+// may be a truncated scratch slice) so a caller-managed buffer is reused
+// across decodes instead of allocating per message.
+func DecodeSetAppend(dec *cdr.Decoder, s Set) (Set, error) {
 	n, err := dec.ReadULong()
 	if err != nil {
 		return nil, fmt.Errorf("qos: set count: %w", err)
@@ -30,7 +37,6 @@ func DecodeSet(dec *cdr.Decoder) (Set, error) {
 	if int64(n)*16 > int64(dec.Remaining()) {
 		return nil, fmt.Errorf("qos: set count %d exceeds remaining buffer", n)
 	}
-	var s Set
 	for i := uint32(0); i < n; i++ {
 		var p Parameter
 		var v uint32

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"cool/internal/bufpool"
 	"cool/internal/qos"
 )
 
@@ -127,14 +128,15 @@ func newInprocPair(addr string) (client, server *inprocChannel) {
 }
 
 func (c *inprocChannel) WriteMessage(p []byte) error {
-	// Copy: the caller may reuse its buffer, and inproc must behave like a
-	// real transport that serialises onto the wire.
-	msg := make([]byte, len(p))
-	copy(msg, p)
+	// Copy into a pooled buffer: the caller may reuse its buffer, and
+	// inproc must behave like a real transport that serialises onto the
+	// wire. The receiver takes ownership and recycles via PutBuffer.
+	msg := append(bufpool.Get(len(p)), p...)
 	select {
 	case c.send <- msg:
 		return nil
 	case <-c.closed:
+		bufpool.Put(msg)
 		return ErrClosed
 	}
 }

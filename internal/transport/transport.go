@@ -28,8 +28,20 @@ import (
 	"fmt"
 	"sync"
 
+	"cool/internal/bufpool"
 	"cool/internal/qos"
 )
+
+// GetBuffer returns a zero-length buffer with capacity at least n from the
+// shared frame arena; PutBuffer recycles one. They are thin aliases of the
+// bufpool arena so transport users can honour the Channel ownership
+// contract without importing the pool package directly.
+func GetBuffer(n int) []byte { return bufpool.Get(n) }
+
+// PutBuffer returns a frame received from Channel.ReadMessage (or any
+// other buffer) to the shared arena. The caller must not retain any alias
+// of p afterwards.
+func PutBuffer(p []byte) { bufpool.Put(p) }
 
 // Errors shared by transport implementations.
 var (
@@ -46,11 +58,22 @@ var (
 // Channel is one established transport connection carrying whole messages.
 // Implementations must allow one concurrent reader and one concurrent
 // writer; Close may be called from any goroutine.
+//
+// Buffer ownership contract: WriteMessage treats p as borrowed for the
+// duration of the call only — the transport copies or transmits it before
+// returning, so the caller may immediately reuse or recycle p (the ORB
+// returns marshalled frames to the shared arena right after a write).
+// ReadMessage hands the returned buffer to the caller with exclusive
+// ownership: the transport never touches it again, so the caller may alias
+// it from decoded messages and, once the message is dropped, recycle it
+// via PutBuffer. Transports draw read buffers from the same arena, making
+// the steady-state receive path allocation-free.
 type Channel interface {
-	// WriteMessage sends one message.
+	// WriteMessage sends one message. p is borrowed only for the call.
 	WriteMessage(p []byte) error
 	// ReadMessage receives the next message. It returns io.EOF after the
-	// peer closed the connection.
+	// peer closed the connection. The returned buffer is owned by the
+	// caller; recycle with PutBuffer when done.
 	ReadMessage() ([]byte, error)
 	// SetQoSParameter performs the unilateral QoS negotiation between the
 	// message layer and the transport (§4.3): the transport maps the

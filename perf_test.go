@@ -1,0 +1,166 @@
+// Allocation budgets and concurrency stress for the zero-allocation
+// invocation hot path (see DESIGN.md "Performance").
+package cool_test
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	cool "cool"
+	"cool/internal/cdr"
+	"cool/internal/giop"
+	"cool/internal/orb"
+	"cool/internal/transport"
+)
+
+// inlineEcho echoes its argument; the reply writer aliases the request
+// frame (valid until the writer has run, per the Invocation contract).
+type inlineEcho struct{}
+
+func (inlineEcho) RepoID() string { return "IDL:perf/Echo:1.0" }
+
+func (inlineEcho) Invoke(inv *cool.Invocation) (cool.ReplyWriter, error) {
+	msg, err := inv.Args.ReadOctetSeq()
+	if err != nil {
+		return nil, giop.MarshalException()
+	}
+	return func(enc *cdr.Encoder) { enc.WriteOctetSeq(msg) }, nil
+}
+
+// echoEnv wires two ORBs over a shared in-process transport with an
+// inline-dispatch echo servant on the server side.
+func echoEnv(t testing.TB) (client *cool.ORB, obj *cool.Object) {
+	t.Helper()
+	inner := transport.NewInprocManager()
+	server := orb.New(orb.WithName("perf-server"), orb.WithTransport(inner))
+	client = orb.New(orb.WithName("perf-client"), orb.WithTransport(inner))
+	t.Cleanup(func() { client.Shutdown(); server.Shutdown() })
+	if _, err := server.ListenOn("inproc", "perf-echo"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.RegisterServant(inlineEcho{}, cool.WithInlineDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, client.Resolve(ref)
+}
+
+// TestWarmEchoAllocBudget pins the whole-process allocation count of a warm
+// two-way echo over inproc: pooled frames in both directions, pooled
+// messages and headers, reused reply slots, and inline server dispatch must
+// keep client + server combined at ≤ 2 allocations per invocation
+// (testing.AllocsPerRun counts mallocs globally, so the budget covers both
+// sides).
+func TestWarmEchoAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budget measured without -race")
+	}
+	_, obj := echoEnv(t)
+	payload := bytes.Repeat([]byte{0x5a}, 64)
+	args := func(enc *cdr.Encoder) { enc.WriteOctetSeq(payload) }
+	got := make([]byte, 0, 64)
+	out := func(dec *cdr.Decoder) error {
+		p, err := dec.ReadOctetSeq()
+		got = append(got[:0], p...)
+		return err
+	}
+	invoke := func() {
+		if err := obj.Invoke("echo", args, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ { // warm pools, intern table, metric handles
+		invoke()
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("echo mismatch: got %d bytes", len(got))
+	}
+	allocs := testing.AllocsPerRun(500, invoke)
+	if allocs > 2 {
+		t.Errorf("warm echo allocated %.2f objects/op, budget is 2", allocs)
+	}
+}
+
+// TestDeferredConcurrencyStress hammers one multiplexed connection with
+// concurrent InvokeDeferred/Poll/Cancel/Wait from many goroutines,
+// including Wait racing Cancel on the same Pending. Run under -race it
+// checks the goroutine-free future implementation for data races and for
+// reply-slot mix-ups (every completed echo must carry its own payload).
+func TestDeferredConcurrencyStress(t *testing.T) {
+	_, obj := echoEnv(t)
+	const goroutines = 16
+	const iters = 80
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(g)}, 32)
+			args := func(enc *cdr.Encoder) { enc.WriteOctetSeq(payload) }
+			out := func(dec *cdr.Decoder) error {
+				p, err := dec.ReadOctetSeq()
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(p, payload) {
+					return errors.New("cross-wired reply payload")
+				}
+				return nil
+			}
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0: // plain synchronous invoke interleaved
+					if err := obj.Invoke("echo", args, out); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1: // defer + wait
+					p, err := obj.InvokeDeferred("echo", args)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := p.Wait(out); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2: // defer + poll-spin + wait
+					p, err := obj.InvokeDeferred("echo", args)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for !p.Poll() {
+						runtime.Gosched()
+					}
+					if err := p.Wait(out); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3: // wait racing cancel
+					p, err := obj.InvokeDeferred("echo", args)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					done := make(chan error, 1)
+					go func() { done <- p.Wait(out) }()
+					cerr := p.Cancel()
+					if cerr != nil && !errors.Is(cerr, transport.ErrClosed) {
+						t.Error(cerr)
+						return
+					}
+					// Either the reply won (nil) or the cancel did.
+					if werr := <-done; werr != nil && !errors.Is(werr, orb.ErrCanceled) {
+						t.Error(werr)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

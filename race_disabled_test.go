@@ -1,0 +1,5 @@
+//go:build !race
+
+package cool_test
+
+const raceEnabled = false
