@@ -1,0 +1,88 @@
+// Command coollint runs the COOL static-analysis suite: custom analyzers
+// that enforce the pooling/ownership contracts of the zero-allocation
+// invocation path (see internal/analysis and DESIGN.md).
+//
+// Usage:
+//
+//	coollint [-list] [-only name,name] [patterns...]
+//
+// Patterns follow the loader's subset of go tool syntax: "./..." (default)
+// for the whole module, "dir/..." for a subtree, or a module-relative
+// directory. Diagnostics print as file:line:col: analyzer: message; the
+// exit status is 1 when any diagnostic is reported, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cool/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("coollint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var picked []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(stderr, "coollint: unknown analyzer %q\n", n)
+			return 2
+		}
+		analyzers = picked
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "coollint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "coollint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "coollint: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "coollint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -12,6 +12,7 @@ import (
 	"cool/internal/cdr"
 	"cool/internal/dacapo"
 	"cool/internal/dacapo/modules"
+	"cool/internal/leakcheck"
 	"cool/internal/naming"
 	"cool/internal/netsim"
 	"cool/internal/orb"
@@ -57,6 +58,7 @@ func (m *mediaImpl) Hint(uint32) {}
 // propagation delay and jitter; the naming service bootstraps the
 // reference; chic-generated stubs carry QoS-negotiated invocations.
 func TestFullSystemOverSimulatedWAN(t *testing.T) {
+	leakcheck.Check(t)
 	wan := netsim.Params{
 		BandwidthKbps: 10_000,
 		PropDelay:     3 * time.Millisecond,
@@ -185,6 +187,7 @@ func TestFullSystemOverSimulatedWAN(t *testing.T) {
 // data: we emulate that by configuring loss low enough for the 2-message
 // handshake and verifying the window ARQ keeps invocations intact.
 func TestFullSystemReliableOverLossyWAN(t *testing.T) {
+	leakcheck.Check(t)
 	wan := netsim.Params{
 		BandwidthKbps: 20_000,
 		PropDelay:     time.Millisecond,
@@ -252,6 +255,7 @@ func TestFullSystemReliableOverLossyWAN(t *testing.T) {
 // TestNetsimTransportDirect runs plain GIOP over the netsim transport to
 // pin the scheme into the ORB-visible registry contract.
 func TestNetsimTransportDirect(t *testing.T) {
+	leakcheck.Check(t)
 	inner := netsim.NewManager(netsim.Loopback())
 	server := orb.New(orb.WithTransport(inner))
 	client := orb.New(orb.WithTransport(inner))

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches `// want "substring"` expectation comments in fixtures.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+type expectation struct {
+	file string
+	line int
+	sub  string
+	hit  bool
+}
+
+// loadFixture type-checks one testdata package and collects its `want`
+// expectations.
+func loadFixture(t *testing.T, dir string) (*Package, []*expectation) {
+	t.Helper()
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("LoadDir(%s): no buildable package", dir)
+	}
+	var wants []*expectation
+	for file, src := range pkg.Src {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			wants = append(wants, &expectation{file: file, line: i + 1, sub: m[1]})
+		}
+	}
+	return pkg, wants
+}
+
+// runFixture applies one analyzer to a fixture package and matches the
+// diagnostics against its expectations, reporting both misses and
+// unexpected findings.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("missing fixture: %v", err)
+	}
+	pkg, wants := loadFixture(t, dir)
+	if len(wants) < 2 {
+		t.Fatalf("fixture %s declares %d expectations; need at least 2 positive cases", fixture, len(wants))
+	}
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.sub) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s:%d (want %q)", w.file, w.line, w.sub)
+		}
+	}
+}
+
+func TestPoolPairFixture(t *testing.T)   { runFixture(t, PoolPair, "poolpair") }
+func TestLockHoldFixture(t *testing.T)   { runFixture(t, LockHold, "lockhold") }
+func TestFrameAliasFixture(t *testing.T) { runFixture(t, FrameAlias, "framealias") }
+func TestObsConstFixture(t *testing.T)   { runFixture(t, ObsConst, "obsconst") }
+
+// TestLoaderModuleWide exercises the "./..." pattern against the real
+// module: every package must load and type-check through the stdlib-only
+// loader.
+func TestLoaderModuleWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide load is slow")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("Load ./... found only %d packages", len(pkgs))
+	}
+	seen := make(map[string]bool)
+	for _, p := range pkgs {
+		seen[p.Path] = true
+	}
+	for _, want := range []string{"cool/internal/orb", "cool/internal/bufpool", "cool/internal/giop"} {
+		if !seen[want] {
+			t.Errorf("Load ./... missing %s", want)
+		}
+	}
+}
+
+// TestSuppressionScopes pins the //coollint:allow comment semantics: a
+// whole-line comment suppresses the next line, a trailing comment its own,
+// and names must match the reporting analyzer.
+func TestSuppressionScopes(t *testing.T) {
+	pkg, _ := loadFixture(t, mustAbs(t, filepath.Join("testdata", "src", "framealias")))
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{FrameAlias})
+	for _, d := range diags {
+		if strings.Contains(d.Pos.Filename, "framealias.go") {
+			// allowedAliasingSite must not appear.
+			if d.Pos.Line > 70 {
+				t.Errorf("suppressed site still reported: %s", d)
+			}
+		}
+	}
+}
+
+func mustAbs(t *testing.T, p string) string {
+	t.Helper()
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FrameAlias flags stores that let frame-aliasing data outlive a pooled
+// message: slices (and decoders) derived from a giop.Message body alias
+// the transport frame, which is recycled when the message is released.
+// Stashing such a slice in a struct field or package variable is a
+// use-after-free waiting for the next frame reuse.
+//
+// Taint sources (intraprocedural):
+//
+//   - calling BodyDecoder / Body / Frame on a *giop.Message
+//   - cdr.Decoder methods returning aliasing slices: ReadOctetSeq,
+//     ReadOctets, ReadStringBytes
+//
+// Violations: assigning a tainted value to a struct field, map/slice
+// element, dereference, or package-level variable. Sanitizers break the
+// taint: string(x), append([]byte(nil), x...), copy into a fresh buffer,
+// and cdr's Read* value decoders (which copy by construction).
+//
+// Known-good aliasing sites (the server dispatch path hands the decoder
+// to the invocation for the duration of the request) carry
+// //coollint:allow framealias annotations.
+var FrameAlias = &Analyzer{
+	Name: "framealias",
+	Doc:  "no storing frame-aliasing slices beyond the pooled message lifetime",
+	Run:  runFrameAlias,
+}
+
+func runFrameAlias(pass *Pass) {
+	fa := &frameAliasChecker{pass: pass}
+	// Each declared function is one analysis scope; closures inside it are
+	// walked as part of the enclosing body so captured taint is visible.
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				fa.checkBody(fn.Body)
+			}
+		}
+	}
+}
+
+type frameAliasChecker struct {
+	pass *Pass
+	// tainted holds local variables carrying frame-aliasing data in the
+	// body under analysis.
+	tainted map[types.Object]bool
+}
+
+func (fa *frameAliasChecker) checkBody(body *ast.BlockStmt) {
+	fa.tainted = make(map[types.Object]bool)
+
+	// Two passes: first propagate taint through local assignments (a
+	// simple fixed point over the body, flow-insensitive), then report
+	// escaping stores.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, l := range as.Lhs {
+				var r ast.Expr
+				switch {
+				case len(as.Lhs) == len(as.Rhs):
+					r = as.Rhs[i]
+				case len(as.Rhs) == 1:
+					// Multi-value form (v, err := call): every result of a
+					// tainted call is tainted.
+					r = as.Rhs[0]
+				}
+				if r == nil || !fa.taintedExpr(r) {
+					continue
+				}
+				id, ok := ast.Unparen(l).(*ast.Ident)
+				if !ok {
+					continue // escaping store: handled in the report pass
+				}
+				obj := objOf(fa.pass.Info, id)
+				if obj == nil || fa.tainted[obj] {
+					continue
+				}
+				if v, ok := obj.(*types.Var); ok && v.Parent() == fa.pass.Pkg.Scope() {
+					continue // package-level: handled in the report pass
+				}
+				fa.tainted[obj] = true
+				changed = true
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		rhsFor := func(i int) ast.Expr {
+			if len(as.Lhs) == len(as.Rhs) {
+				return as.Rhs[i]
+			}
+			if len(as.Rhs) == 1 {
+				return as.Rhs[0]
+			}
+			return nil
+		}
+		for i, l := range as.Lhs {
+			r := rhsFor(i)
+			if r == nil || !fa.taintedExpr(r) {
+				continue
+			}
+			if fa.escapingStore(l) {
+				fa.pass.Reportf(as.Pos(),
+					"frame-aliasing data stored into %s outlives the pooled message; copy it or annotate the site", exprText(l))
+			}
+		}
+		return true
+	})
+}
+
+// escapingStore reports whether assigning to l persists the value beyond
+// the local frame: fields, elements, dereferences, package variables.
+func (fa *frameAliasChecker) escapingStore(l ast.Expr) bool {
+	switch x := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		obj := objOf(fa.pass.Info, x)
+		if v, ok := obj.(*types.Var); ok {
+			return v.Parent() == fa.pass.Pkg.Scope()
+		}
+		return false
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// taintedExpr reports whether e carries frame-aliasing data.
+func (fa *frameAliasChecker) taintedExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := objOf(fa.pass.Info, x)
+		return obj != nil && fa.tainted[obj]
+	case *ast.SliceExpr:
+		return fa.taintedExpr(x.X)
+	case *ast.IndexExpr:
+		// Indexing a byte slice yields a byte (a copy); only slices of
+		// slices stay tainted, which this codebase does not use. Treat
+		// element reads as clean.
+		return false
+	case *ast.UnaryExpr:
+		return fa.taintedExpr(x.X)
+	case *ast.CallExpr:
+		return fa.taintedCall(x)
+	case *ast.SelectorExpr:
+		// Fields of a tainted decoder/message value alias the frame.
+		return fa.taintedExpr(x.X)
+	}
+	return false
+}
+
+// taintedCall classifies call results: message body accessors and
+// aliasing decoder reads produce taint; conversions and copying helpers
+// sanitize it.
+func (fa *frameAliasChecker) taintedCall(call *ast.CallExpr) bool {
+	info := fa.pass.Info
+
+	// string(x), []byte(string) and friends copy: conversions sanitize.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return false
+	}
+
+	// Builtins: append copies into the destination slice, which is only
+	// tainted if the destination was; copy returns an int.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := objOf(info, id); obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				if id.Name == "append" && len(call.Args) > 0 {
+					return fa.taintedExpr(call.Args[0])
+				}
+				return false
+			}
+		}
+	}
+
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return false
+	}
+
+	recvTainted := func() bool {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return ok && fa.taintedExpr(sel.X)
+	}
+
+	// The message body accessor: the source of all frame aliasing.
+	if isMethod(callee, "cool/internal/giop", "BodyDecoder") {
+		return true
+	}
+
+	// Aliasing decoder reads: tainted when the decoder is (BodyDecoder
+	// results are always tainted; standalone decoders over copied bytes
+	// are not).
+	switch {
+	case isMethod(callee, "cool/internal/cdr", "ReadOctetSeq"),
+		isMethod(callee, "cool/internal/cdr", "ReadOctets"),
+		isMethod(callee, "cool/internal/cdr", "ReadStringBytes"):
+		return recvTainted()
+	}
+	return false
+}

@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the absolute directory holding the sources.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Src maps absolute file names to raw content (for annotation parsing).
+	Src   map[string][]byte
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages of the enclosing module without
+// shelling out to the go command: module-internal imports are resolved
+// against the module root and type-checked recursively; everything else
+// (the standard library) goes through importer.Default's export data.
+type Loader struct {
+	// ModuleRoot is the absolute directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module's import path ("cool").
+	ModulePath string
+	// IncludeTests adds _test.go files of the package itself (not external
+	// test packages) to the loaded syntax.
+	IncludeTests bool
+
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader locates the module containing dir (walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       token.NewFileSet(),
+		std:        importer.Default(),
+		loaded:     make(map[string]*loadResult),
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", file)
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves patterns to packages. Supported patterns: "./..." (every
+// package under the module root), a module-relative directory ("./internal/orb"
+// or "internal/orb"), or a directory pattern ending in "/..." for a subtree.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	addDir := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		pat = strings.TrimPrefix(pat, "./")
+		switch {
+		case pat == "..." || pat == "":
+			if err := l.walkPackageDirs(l.ModuleRoot, addDir); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			sub := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			if err := l.walkPackageDirs(sub, addDir); err != nil {
+				return nil, err
+			}
+		default:
+			addDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(pat)))
+		}
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	var errs []string
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	if len(errs) > 0 {
+		return pkgs, fmt.Errorf("analysis: load failed:\n%s", strings.Join(errs, "\n"))
+	}
+	return pkgs, nil
+}
+
+// walkPackageDirs visits every directory under root that contains .go
+// files, skipping testdata, hidden directories, and nested modules.
+func (l *Loader) walkPackageDirs(root string, visit func(string)) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				visit(path)
+				break
+			}
+		}
+		return nil
+	})
+}
+
+// LoadDir loads and type-checks the package in one directory. It returns
+// (nil, nil) for directories whose .go files are all excluded by build
+// constraints.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(abs)
+}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	if res, ok := l.loaded[dir]; ok {
+		return res.pkg, res.err
+	}
+	// Reserve the slot to fail fast on import cycles.
+	l.loaded[dir] = &loadResult{err: fmt.Errorf("analysis: import cycle through %s", dir)}
+	pkg, err := l.typeCheckDir(dir)
+	l.loaded[dir] = &loadResult{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// typeCheckDir does the real work of loadDir.
+func (l *Loader) typeCheckDir(dir string) (*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+
+	pkg := &Package{
+		Path: l.importPathFor(dir),
+		Dir:  dir,
+		Fset: l.fset,
+		Src:  make(map[string][]byte),
+	}
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(l.fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", full, err)
+		}
+		pkg.Src[full] = src
+		pkg.Files = append(pkg.Files, file)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &moduleImporter{l: l},
+		Error:    func(error) {}, // collect through the returned error only
+	}
+	tpkg, err := conf.Check(pkg.Path, l.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// importPathFor maps an absolute directory to its module import path; for
+// directories outside the module tree it falls back to the directory name.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// moduleImporter resolves module-internal imports by recursive loading and
+// defers everything else to the standard importer.
+type moduleImporter struct {
+	l *Loader
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := m.l
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.loadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no buildable sources for %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHold flags potentially blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held: channel sends and receives, selects
+// without a default clause, and sync.WaitGroup.Wait / sync.Cond.Wait. A
+// goroutine parked on a channel while holding an ORB-internal lock stalls
+// every other invocation that needs the lock — the deadlock class the
+// zero-allocation hot path is most exposed to.
+//
+// The analysis runs a lock-set dataflow over each function body: Lock and
+// RLock calls add the receiver to the held set, Unlock and RUnlock remove
+// it (deferred unlocks keep the lock held until return, which is the
+// point: blocking before the return still happens under the lock).
+// Selects where every communication is paired with a default never block
+// and are not reported.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no blocking channel operation or Wait while a mutex is held",
+	Run:  runLockHold,
+}
+
+func runLockHold(pass *Pass) {
+	lh := &lockHoldChecker{pass: pass}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					lh.checkBody(fn.Body)
+				}
+			case *ast.FuncLit:
+				lh.checkBody(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+type lockHoldChecker struct {
+	pass     *Pass
+	reported map[reportKey]bool
+}
+
+// lockSet is the set of mutex objects possibly held, keyed by a stable
+// description of the receiver (object for identifiers, rendered path for
+// selector chains like c.mu).
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func (s lockSet) union(o lockSet) (lockSet, bool) {
+	grew := false
+	for k := range o {
+		if !s[k] {
+			s[k] = true
+			grew = true
+		}
+	}
+	return s, grew
+}
+
+func (lh *lockHoldChecker) checkBody(body *ast.BlockStmt) {
+	g, ok := buildCFG(body)
+	if !ok {
+		return
+	}
+	lh.reported = make(map[reportKey]bool)
+
+	entry := make(map[*cfgBlock]lockSet)
+	type workItem struct {
+		blk   *cfgBlock
+		state lockSet
+	}
+	work := []workItem{{blk: g.entry, state: lockSet{}}}
+	visited := map[*cfgBlock]bool{g.entry: true}
+
+	for len(work) > 0 {
+		item := work[len(work)-1]
+		work = work[:len(work)-1]
+		state := item.state.clone()
+		for _, at := range item.blk.atoms {
+			state = lh.transfer(at, state)
+		}
+		for _, e := range item.blk.succs {
+			old, ok := entry[e.to]
+			if !ok {
+				entry[e.to] = state.clone()
+				if !visited[e.to] {
+					visited[e.to] = true
+				}
+				work = append(work, workItem{blk: e.to, state: state.clone()})
+				continue
+			}
+			merged, grew := old.union(state)
+			if grew {
+				entry[e.to] = merged
+				work = append(work, workItem{blk: e.to, state: merged.clone()})
+			}
+		}
+	}
+}
+
+// transfer applies one atom: update the lock set for Lock/Unlock calls and
+// report blocking operations while the set is non-empty.
+func (lh *lockHoldChecker) transfer(at atom, state lockSet) lockSet {
+	// Select headers carry no stmt/expr payload; check them directly.
+	if at.kind == atomSelect {
+		if len(state) > 0 {
+			lh.checkBlocking(at, at.sel, state)
+		}
+		return state
+	}
+	node := atomNode(at)
+	if node == nil {
+		return state
+	}
+
+	// Blocking checks first: a blocking operation in an atom that also
+	// unlocks reports against the lock set on entry.
+	if len(state) > 0 {
+		lh.checkBlocking(at, node, state)
+	}
+
+	// Lock-set updates (skip nested function literals: separate analysis).
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, recv, ok := lh.mutexOp(call)
+		if !ok {
+			return true
+		}
+		switch name {
+		case "Lock", "RLock":
+			// A deferred Lock would be nonsense; only count direct calls.
+			if !inDefer(at.stmt, call) {
+				state[recv] = true
+			}
+		case "Unlock", "RUnlock":
+			// Deferred unlocks run at return: the lock stays held for the
+			// rest of the function, so leave the set alone.
+			if !inDefer(at.stmt, call) {
+				delete(state, recv)
+			}
+		}
+		return true
+	})
+	return state
+}
+
+// inDefer reports whether stmt is a defer statement wrapping call (either
+// directly or via a closure).
+func inDefer(stmt ast.Stmt, call *ast.CallExpr) bool {
+	ds, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	if ds.Call == call {
+		return true
+	}
+	return containsNode(ds.Call, call)
+}
+
+// mutexOp decodes a call of the form x.Lock()/x.Unlock()/x.RLock()/
+// x.RUnlock() where the method is declared in package sync, returning the
+// method name and a stable key for the receiver.
+func (lh *lockHoldChecker) mutexOp(call *ast.CallExpr) (name, recv string, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	callee := calleeOf(lh.pass.Info, call)
+	fn, okFn := callee.(*types.Func)
+	if !okFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return sel.Sel.Name, lh.recvKey(sel.X), true
+}
+
+// recvKey renders a stable identity for a mutex receiver expression.
+func (lh *lockHoldChecker) recvKey(e ast.Expr) string {
+	if id := rootIdent(e); id != nil {
+		if obj := objOf(lh.pass.Info, id); obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + exprText(e)
+		}
+	}
+	return exprText(e)
+}
+
+// checkBlocking reports blocking operations in an atom while locks are
+// held.
+func (lh *lockHoldChecker) checkBlocking(at atom, node ast.Node, state lockSet) {
+	held := lh.heldNames(state)
+
+	// Select headers: blocking only without a default clause.
+	if at.kind == atomSelect {
+		hasDefault := false
+		for _, c := range at.sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			lh.reportOnce(at.sel.Pos(), "select without default may block while %s is held", held)
+		}
+		return
+	}
+	// Communication clauses of a select block as part of the select header,
+	// already handled above.
+	if at.comm {
+		return
+	}
+
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			lh.reportOnce(x.Pos(), "channel send may block while %s is held", held)
+			return true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				lh.reportOnce(x.Pos(), "channel receive may block while %s is held", held)
+			}
+			return true
+		case *ast.CallExpr:
+			if callee := calleeOf(lh.pass.Info, x); callee != nil {
+				if fn, ok := callee.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+					lh.reportOnce(x.Pos(), "sync %s.Wait may block while %s is held", recvTypeName(fn), held)
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "WaitGroup"
+	}
+	if n := namedOf(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return "WaitGroup"
+}
+
+// heldNames renders one representative held lock for diagnostics (the
+// lexically smallest key, for determinism), with the package-path prefix
+// stripped: "cool/internal/orb.c.mu" -> "c.mu".
+func (lh *lockHoldChecker) heldNames(state lockSet) string {
+	best := ""
+	for k := range state {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	slash := strings.LastIndexByte(best, '/')
+	if dot := strings.IndexByte(best[slash+1:], '.'); dot >= 0 {
+		return best[slash+1+dot+1:]
+	}
+	return best
+}
+
+func (lh *lockHoldChecker) reportOnce(pos token.Pos, format string, args ...any) {
+	key := reportKey{pos: pos, msg: format}
+	if lh.reported[key] {
+		return
+	}
+	lh.reported[key] = true
+	lh.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsConst requires metric and span names handed to internal/obs to be
+// built without function calls: names assembled with fmt.Sprintf (or any
+// call) in a hot path allocate per invocation and defeat the registry's
+// interning. Constant expressions and constant concatenation
+// ("prefix" + suffixConst, or concatenating string variables) pass; any
+// call inside the name argument is reported.
+//
+// Checked sinks (first string argument):
+//
+//	(*obs.Registry).Counter / Gauge / Histogram
+//	(*obs.Tracer).StartSpan / StartChild
+var ObsConst = &Analyzer{
+	Name: "obsconst",
+	Doc:  "metric and span names must not be built with function calls",
+	Run:  runObsConst,
+}
+
+// obsSinks maps method names of internal/obs types to the index of their
+// name argument.
+var obsSinks = map[string]int{
+	"Counter":    0,
+	"Gauge":      0,
+	"Histogram":  0,
+	"StartSpan":  0,
+	"StartChild": 2,
+}
+
+func runObsConst(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			argIdx, ok := obsSinkOf(pass.Info, call)
+			if !ok || argIdx >= len(call.Args) {
+				return true
+			}
+			name := call.Args[argIdx]
+			if bad := firstCallIn(pass.Info, name); bad != nil {
+				pass.Reportf(bad.Pos(),
+					"metric/span name built with a call; use a constant (names are interned once, calls run per invocation)")
+			}
+			return true
+		})
+	}
+}
+
+// obsSinkOf reports whether call targets an internal/obs name sink and
+// which argument carries the name.
+func obsSinkOf(info *types.Info, call *ast.CallExpr) (int, bool) {
+	callee := calleeOf(info, call)
+	fn, ok := callee.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "cool/internal/obs" {
+		return 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return 0, false
+	}
+	idx, ok := obsSinks[fn.Name()]
+	return idx, ok
+}
+
+// firstCallIn returns the first call expression inside e that is not a
+// type conversion, or nil when e is call-free.
+func firstCallIn(info *types.Info, e ast.Expr) *ast.CallExpr {
+	var bad *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Conversions like qos.Level(x).String()? A conversion itself is
+		// fine; a method call is not. Only conversions are exempt.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		bad = call
+		return false
+	})
+	return bad
+}

@@ -1,0 +1,75 @@
+// Package framealias is a coollint test fixture: stores of frame-aliasing
+// data the framealias analyzer must flag or accept.
+package framealias
+
+import (
+	"cool/internal/cdr"
+	"cool/internal/giop"
+)
+
+type session struct {
+	lastKey  []byte
+	lastBody *cdr.Decoder
+}
+
+var lastPrincipal []byte
+
+// --- violations ---
+
+func storeDecoderInField(s *session, m *giop.Message) {
+	s.lastBody = m.BodyDecoder() // want "outlives the pooled message"
+}
+
+func storeDerivedSliceInField(s *session, m *giop.Message) {
+	dec := m.BodyDecoder()
+	key, _ := dec.ReadOctetSeq()
+	s.lastKey = key // want "outlives the pooled message"
+}
+
+func storeInPackageVar(m *giop.Message) {
+	dec := m.BodyDecoder()
+	p, _ := dec.ReadOctetSeq()
+	lastPrincipal = p // want "outlives the pooled message"
+}
+
+func storeSubsliceInMap(index map[string][]byte, m *giop.Message) {
+	dec := m.BodyDecoder()
+	b, _ := dec.ReadOctetSeq()
+	index["k"] = b[:4] // want "outlives the pooled message"
+}
+
+// --- clean shapes ---
+
+func localUseOnly(m *giop.Message) int {
+	dec := m.BodyDecoder()
+	b, _ := dec.ReadOctetSeq()
+	n := 0
+	for _, c := range b {
+		n += int(c)
+	}
+	return n
+}
+
+func copiedBeforeStore(s *session, m *giop.Message) {
+	dec := m.BodyDecoder()
+	b, _ := dec.ReadOctetSeq()
+	s.lastKey = append([]byte(nil), b...) // fresh backing array
+}
+
+func stringConversionCopies(m *giop.Message) string {
+	dec := m.BodyDecoder()
+	b, _ := dec.ReadOctetSeq()
+	s := string(b)
+	return s
+}
+
+func standaloneDecoderIsClean(s *session, frame []byte) {
+	own := append([]byte(nil), frame...)
+	dec := cdr.NewDecoder(own, false)
+	b, _ := dec.ReadOctetSeq()
+	s.lastKey = b // decoder over an owned copy, not a pooled frame
+}
+
+func allowedAliasingSite(s *session, m *giop.Message) {
+	s.lastBody = m.BodyDecoder() //coollint:allow framealias -- consumed before release
+}

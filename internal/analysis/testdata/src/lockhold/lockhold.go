@@ -1,0 +1,92 @@
+// Package lockhold is a coollint test fixture: blocking operations under
+// held mutexes the lockhold analyzer must flag or accept.
+package lockhold
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+	v  int
+}
+
+// --- violations ---
+
+func sendWhileLocked(b *box) {
+	b.mu.Lock()
+	b.ch <- 1 // want "channel send may block while b.mu is held"
+	b.mu.Unlock()
+}
+
+func receiveWhileRLocked(b *box) int {
+	b.rw.RLock()
+	v := <-b.ch // want "channel receive may block"
+	b.rw.RUnlock()
+	return v
+}
+
+func selectWhileLocked(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "select without default may block"
+	case v := <-b.ch:
+		b.v = v
+	case b.ch <- 2:
+	}
+}
+
+func waitWhileLocked(b *box) {
+	b.mu.Lock()
+	b.wg.Wait() // want "Wait may block"
+	b.mu.Unlock()
+}
+
+func blockAfterDeferredUnlock(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 3 // want "channel send may block"
+}
+
+// --- clean shapes ---
+
+func sendAfterUnlock(b *box) {
+	b.mu.Lock()
+	b.v++
+	b.mu.Unlock()
+	b.ch <- 1
+}
+
+func pollWhileLocked(b *box) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func sendWithoutLock(b *box) {
+	b.ch <- 1
+}
+
+func lockInBranchUnlockedBeforeSend(b *box, cond bool) {
+	if cond {
+		b.mu.Lock()
+		b.v++
+		b.mu.Unlock()
+	}
+	b.ch <- 1
+}
+
+func closureHasOwnScope(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// The goroutine body runs outside the lock scope of this function.
+	go func() {
+		b.ch <- 9
+	}()
+}

@@ -1,0 +1,52 @@
+// Package obsconst is a coollint test fixture: metric/span name shapes the
+// obsconst analyzer must flag or accept.
+package obsconst
+
+import (
+	"fmt"
+
+	"cool/internal/obs"
+)
+
+const prefix = "orb_"
+
+func sprintfMetricName(r *obs.Registry, peer string) {
+	r.Counter(fmt.Sprintf("orb_requests_%s", peer)).Inc() // want "built with a call"
+}
+
+func callInSpanName(t *obs.Tracer, op func() string) {
+	s := t.StartSpan(prefix + op()) // want "built with a call"
+	s.End("ok", "")
+}
+
+func callInChildName(t *obs.Tracer, parent obs.Span, op func() string) {
+	s := t.StartChild(parent.Trace, parent.ID, op()) // want "built with a call"
+	s.End("ok", "")
+}
+
+func sprintfHistogramName(r *obs.Registry, n int) {
+	r.Histogram(fmt.Sprintf("lat_%d", n), nil).Observe(1) // want "built with a call"
+}
+
+// --- clean shapes ---
+
+func constantName(r *obs.Registry) {
+	r.Counter("orb_requests_total").Inc()
+}
+
+func constantConcat(r *obs.Registry, suffix string) {
+	// Concatenating string values allocates at worst; only calls are
+	// flagged.
+	r.Gauge(prefix + suffix).Set(1)
+}
+
+func constantSpan(t *obs.Tracer) {
+	s := t.StartSpan(prefix + "invoke")
+	s.End("ok", "")
+}
+
+func callOutsideName(t *obs.Tracer, parent obs.Span) {
+	// Calls in non-name arguments are fine.
+	s := t.StartChild(parent.Trace, parent.ID, "child_op")
+	s.End("ok", "")
+}

@@ -1,0 +1,143 @@
+// Package poolpair is a coollint test fixture: acquire/release shapes the
+// poolpair analyzer must flag or accept. Diagnostics are asserted with
+// want-comments on the offending line.
+package poolpair
+
+import (
+	"cool/internal/bufpool"
+	"cool/internal/cdr"
+	"cool/internal/giop"
+)
+
+type holder struct {
+	raw []byte
+	enc *cdr.Encoder
+}
+
+var sink []byte
+
+// --- violations ---
+
+func leakOnErrorPath(bad bool) []byte {
+	e := cdr.AcquireEncoder(false) // want "not released on every path"
+	e.WriteULong(7)
+	if bad {
+		return nil // leaks e
+	}
+	return e.Detach()
+}
+
+func doubleRelease() {
+	b := bufpool.Get(64)
+	bufpool.Put(b)
+	bufpool.Put(b) // want "released again"
+}
+
+func useAfterRelease() byte {
+	b := bufpool.Get(64)
+	b = b[:1]
+	bufpool.Put(b)
+	return b[0] // want "used after"
+}
+
+func discardedResult() {
+	bufpool.Get(128) // want "discarded"
+}
+
+func fieldStoreWithoutOwner(h *holder) {
+	h.enc = cdr.AcquireEncoder(true) // want "without //coollint:owner"
+}
+
+func storeTrackedIntoField(h *holder) {
+	b := bufpool.Get(32) // acquired here...
+	h.raw = b            // want "stored into h.raw without //coollint:owner"
+}
+
+//coollint:acquires buffer
+func makeScratch() []byte { return bufpool.Get(256) }
+
+func annotatedAcquireLeak(bad bool) {
+	s := makeScratch() // want "not released on every path"
+	if bad {
+		return
+	}
+	bufpool.Put(s)
+}
+
+func messageLeakDespiteGuard(frame []byte) error {
+	m, err := giop.UnmarshalPooled(frame) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if m.Header.Type == giop.MsgCloseConnection {
+		return nil // leaks m
+	}
+	giop.ReleaseMessage(m)
+	return nil
+}
+
+// --- clean shapes ---
+
+func releaseOnAllPaths(bad bool) []byte {
+	e := cdr.AcquireEncoder(false)
+	e.WriteULong(7)
+	if bad {
+		cdr.ReleaseEncoder(e)
+		return nil
+	}
+	return e.Detach()
+}
+
+func deferredRelease() {
+	b := bufpool.Get(64)
+	defer bufpool.Put(b)
+	b = append(b, 1)
+}
+
+func deferredClosureRelease() {
+	e := cdr.AcquireEncoder(true)
+	defer func() { cdr.ReleaseEncoder(e) }()
+	e.WriteULong(1)
+}
+
+func errorCorrelated(frame []byte) error {
+	m, err := giop.UnmarshalPooled(frame)
+	if err != nil {
+		return err // callee reclaimed m: nothing to release
+	}
+	giop.ReleaseMessage(m)
+	return nil
+}
+
+func ownershipReturned() []byte {
+	b := bufpool.Get(512)
+	return b // caller owns it now
+}
+
+func ownerAnnotatedStore(h *holder) {
+	h.raw = bufpool.Get(64) //coollint:owner the holder adopts the buffer
+}
+
+func ownershipPassedOn(frame []byte) {
+	b := bufpool.Get(len(frame))
+	copy(b, frame)
+	consume(b) // buffers pass ownership with the value
+}
+
+func consume(b []byte) { sink = b }
+
+//coollint:releases
+func recycleScratch(b []byte) { bufpool.Put(b) }
+
+func annotatedReleaseHelper() {
+	s := makeScratch()
+	recycleScratch(s)
+}
+
+func loopAcquireRelease(n int) {
+	for i := 0; i < n; i++ {
+		b := bufpool.Get(64)
+		b = append(b, byte(i))
+		bufpool.Put(b)
+	}
+}

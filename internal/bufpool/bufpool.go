@@ -65,9 +65,12 @@ func Get(n int) []byte {
 			b := h.b
 			h.b = nil
 			spare.Put(h)
+			trackGet(b)
 			return b[:0]
 		}
-		return make([]byte, 0, minClass<<c)
+		b := make([]byte, 0, minClass<<c)
+		trackGet(b)
+		return b
 	}
 	return make([]byte, 0, n)
 }
@@ -80,6 +83,7 @@ func Put(b []byte) {
 	if c < 0 || cap(b) > maxClass {
 		return
 	}
+	trackPut(b)
 	h := spare.Get().(*buf)
 	h.b = b[:0:cap(b)]
 	pools[c].Put(h)

@@ -1,0 +1,90 @@
+//go:build pooldebug
+
+package bufpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"unsafe"
+)
+
+// DebugEnabled reports whether the pooldebug runtime verifier is compiled
+// in (`go test -tags pooldebug`).
+const DebugEnabled = true
+
+// poisonByte overwrites released buffers so stale aliases read garbage
+// instead of the next frame's bytes.
+const poisonByte = 0xDB
+
+type debugEntry struct {
+	// buf pins the backing array: while an entry exists its address cannot
+	// be reused by a fresh allocation, so pointer keys stay unambiguous.
+	buf   []byte
+	stack string
+}
+
+var (
+	debugMu sync.Mutex
+	// liveBufs holds buffers handed out by Get and not yet returned.
+	liveBufs = map[unsafe.Pointer]debugEntry{}
+	// freeBufs holds buffers returned by Put and not yet re-acquired.
+	freeBufs = map[unsafe.Pointer]debugEntry{}
+)
+
+func debugStack() string {
+	var sb [16384]byte
+	n := runtime.Stack(sb[:], false)
+	return string(sb[:n])
+}
+
+// trackGet registers a buffer leaving the arena through Get.
+func trackGet(b []byte) {
+	key := unsafe.Pointer(unsafe.SliceData(b))
+	debugMu.Lock()
+	delete(freeBufs, key)
+	liveBufs[key] = debugEntry{buf: b[:0:cap(b)], stack: debugStack()}
+	debugMu.Unlock()
+}
+
+// trackPut checks and registers a buffer re-entering the arena through
+// Put, panicking with the competing stacks on a double release, and
+// poisons the buffer contents. Runs before the buffer re-enters the
+// sync.Pool, so the poison cannot race a legitimate re-acquisition.
+func trackPut(b []byte) {
+	key := unsafe.Pointer(unsafe.SliceData(b))
+	now := debugStack()
+	debugMu.Lock()
+	if prev, ok := freeBufs[key]; ok {
+		debugMu.Unlock()
+		panic(fmt.Sprintf("bufpool: double Put of buffer cap=%d\n--- first release:\n%s\n--- second release:\n%s", cap(b), prev.stack, now))
+	}
+	delete(liveBufs, key)
+	freeBufs[key] = debugEntry{buf: b[:0:cap(b)], stack: now}
+	debugMu.Unlock()
+	p := b[:cap(b)]
+	for i := range p {
+		p[i] = poisonByte
+	}
+}
+
+// Leaks formats every buffer currently held outside the arena with its
+// acquisition stack. At a quiescent point (after releasing everything) a
+// non-empty result means a leaked acquisition.
+func Leaks() []string {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	var out []string
+	for _, e := range liveBufs {
+		out = append(out, fmt.Sprintf("bufpool: leaked buffer cap=%d acquired at:\n%s", cap(e.buf), e.stack))
+	}
+	return out
+}
+
+// DebugReset forgets all tracking state (test isolation).
+func DebugReset() {
+	debugMu.Lock()
+	liveBufs = map[unsafe.Pointer]debugEntry{}
+	freeBufs = map[unsafe.Pointer]debugEntry{}
+	debugMu.Unlock()
+}

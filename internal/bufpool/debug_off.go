@@ -1,0 +1,16 @@
+//go:build !pooldebug
+
+package bufpool
+
+// DebugEnabled reports whether the pooldebug runtime verifier is compiled
+// in. In normal builds the hooks below are empty and inline to nothing.
+const DebugEnabled = false
+
+func trackGet([]byte) {}
+func trackPut([]byte) {}
+
+// Leaks always returns nil without the pooldebug tag.
+func Leaks() []string { return nil }
+
+// DebugReset is a no-op without the pooldebug tag.
+func DebugReset() {}

@@ -79,7 +79,7 @@ var encPool = sync.Pool{New: func() any { return new(Encoder) }}
 func AcquireEncoder(littleEndian bool) *Encoder {
 	e := encPool.Get().(*Encoder)
 	if e.buf == nil {
-		e.buf = bufpool.Get(minEncBuf)
+		e.buf = bufpool.Get(minEncBuf) //coollint:owner encoder keeps its backing buffer
 	}
 	e.buf = e.buf[:0]
 	e.little = littleEndian
@@ -99,7 +99,7 @@ func (e *Encoder) grow(need int) {
 	if cap(e.buf)-len(e.buf) >= need {
 		return
 	}
-	nb := bufpool.Get(2 * (len(e.buf) + need))
+	nb := bufpool.Get(2 * (len(e.buf) + need)) //coollint:owner becomes the encoder's buffer below
 	nb = nb[:len(e.buf)]
 	copy(nb, e.buf)
 	bufpool.Put(e.buf)

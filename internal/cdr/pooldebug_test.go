@@ -1,0 +1,51 @@
+//go:build pooldebug
+
+package cdr_test
+
+import (
+	"strings"
+	"testing"
+
+	"cool/internal/bufpool"
+	"cool/internal/cdr"
+)
+
+// TestLeakedEncoderIsReported deliberately leaks a pooled encoder and
+// asserts the pooldebug leak report names its buffer acquisition.
+func TestLeakedEncoderIsReported(t *testing.T) {
+	bufpool.DebugReset()
+
+	leaked := cdr.AcquireEncoder(false)
+	leaked.WriteULong(42)
+
+	leaks := bufpool.Leaks()
+	if len(leaks) == 0 {
+		t.Fatal("pooldebug reported no leaks despite an unreleased encoder")
+	}
+	joined := strings.Join(leaks, "\n")
+	if !strings.Contains(joined, "leaked buffer") || !strings.Contains(joined, "AcquireEncoder") {
+		t.Fatalf("leak report does not point at the encoder acquisition:\n%s", joined)
+	}
+
+	cdr.ReleaseEncoder(leaked)
+	if rest := bufpool.Leaks(); len(rest) != 0 {
+		t.Fatalf("leaks remain after ReleaseEncoder:\n%s", strings.Join(rest, "\n"))
+	}
+}
+
+// TestDetachThenReleaseIsDoubleFree pins the Detach contract: the detached
+// bytes belong to the caller, and handing them back twice trips the
+// verifier.
+func TestDetachThenReleaseIsDoubleFree(t *testing.T) {
+	bufpool.DebugReset()
+	e := cdr.AcquireEncoder(false)
+	e.WriteULong(7)
+	frame := e.Detach()
+	bufpool.Put(frame)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("second Put of the detached frame did not panic")
+		}
+	}()
+	bufpool.Put(frame)
+}

@@ -118,14 +118,28 @@ func (r *reader) blob16() ([]byte, error) {
 
 func (r *reader) rest() []byte { return r.buf[r.pos:] }
 
+// start opens a frame in a buffer drawn from the shared arena. On success
+// the finished frame is returned to the ORB, which recycles it via
+// transport.PutBuffer once written; error paths must hand the buffer back
+// through discard instead.
+//
+//coollint:acquires buffer
 func start(version byte, t giop.MsgType) *writer {
-	// Frames are drawn from the shared buffer arena: the ORB recycles
-	// outbound frames via transport.PutBuffer once written.
 	w := &writer{buf: bufpool.Get(64)}
 	w.buf = append(w.buf, magic[:]...)
 	w.u8(version)
 	w.u8(byte(t))
 	return w
+}
+
+// discard recycles the frame buffer of an abandoned writer.
+//
+//coollint:releases
+func (w *writer) discard() {
+	if w.buf != nil {
+		bufpool.Put(w.buf)
+		w.buf = nil
+	}
 }
 
 // encodeBody runs fn against a standalone CDR encoder (big-endian,
@@ -154,16 +168,20 @@ func (Codec) MarshalRequest(hdr *giop.RequestHeader, body func(*cdr.Encoder)) ([
 	}
 	w.u8(flags)
 	if err := w.blob16(hdr.ObjectKey); err != nil {
+		w.discard()
 		return nil, err
 	}
 	if err := w.blob16([]byte(hdr.Operation)); err != nil {
+		w.discard()
 		return nil, err
 	}
 	if err := w.blob16(hdr.Principal); err != nil {
+		w.discard()
 		return nil, err
 	}
 	if version == verQoS {
 		if len(hdr.QoS) > 0xFFFF {
+			w.discard()
 			return nil, fmt.Errorf("coolproto: %d qos parameters exceed 16-bit count", len(hdr.QoS))
 		}
 		w.buf = binary.LittleEndian.AppendUint16(w.buf, uint16(len(hdr.QoS)))
@@ -199,6 +217,7 @@ func (Codec) MarshalLocateRequest(requestID uint32, objectKey []byte) ([]byte, e
 	w := start(verPlain, giop.MsgLocateRequest)
 	w.u32(requestID)
 	if err := w.blob16(objectKey); err != nil {
+		w.discard()
 		return nil, err
 	}
 	return w.buf, nil

@@ -1,0 +1,48 @@
+//go:build pooldebug
+
+package coolproto
+
+import (
+	"strings"
+	"testing"
+
+	"cool/internal/bufpool"
+	"cool/internal/giop"
+)
+
+// TestMarshalErrorPathsRecycleFrame pins the error-path ownership contract:
+// a writer abandoned because a field overflows its 16-bit length prefix
+// must hand its frame buffer back to the pool instead of leaking it.
+func TestMarshalErrorPathsRecycleFrame(t *testing.T) {
+	oversized := make([]byte, 0x10000)
+	var c Codec
+
+	cases := []struct {
+		name string
+		call func() ([]byte, error)
+	}{
+		{"request/object-key", func() ([]byte, error) {
+			return c.MarshalRequest(&giop.RequestHeader{ObjectKey: oversized, Operation: "op"}, nil)
+		}},
+		{"request/operation", func() ([]byte, error) {
+			return c.MarshalRequest(&giop.RequestHeader{Operation: string(oversized)}, nil)
+		}},
+		{"request/principal", func() ([]byte, error) {
+			return c.MarshalRequest(&giop.RequestHeader{Operation: "op", Principal: oversized}, nil)
+		}},
+		{"locate-request/object-key", func() ([]byte, error) {
+			return c.MarshalLocateRequest(9, oversized)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bufpool.DebugReset()
+			if _, err := tc.call(); err == nil {
+				t.Fatal("oversized field did not error")
+			}
+			if leaks := bufpool.Leaks(); len(leaks) != 0 {
+				t.Fatalf("error path leaked the frame buffer:\n%s", strings.Join(leaks, "\n"))
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package giop
 import (
 	"testing"
 
+	"cool/internal/bufpool"
 	"cool/internal/cdr"
 	"cool/internal/qos"
 )
@@ -31,6 +32,9 @@ func allocHdr(nqos int) *RequestHeader {
 func TestRequestRoundTripAllocBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; budget measured without -race")
+	}
+	if bufpool.DebugEnabled {
+		t.Skip("pooldebug bookkeeping allocates; budget measured without -tags pooldebug")
 	}
 	variants := []struct {
 		name    string
@@ -74,6 +78,9 @@ func TestRequestRoundTripAllocBudget(t *testing.T) {
 func TestReplyRoundTripAllocBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; budget measured without -race")
+	}
+	if bufpool.DebugEnabled {
+		t.Skip("pooldebug bookkeeping allocates; budget measured without -tags pooldebug")
 	}
 	hdr := &ReplyHeader{RequestID: 7, Status: ReplyNoException}
 	body := func(enc *cdr.Encoder) { enc.WriteULong(42) }

@@ -1,0 +1,80 @@
+//go:build pooldebug
+
+package giop
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The pooldebug verifier shadows the message pool: every pooled message is
+// tracked from acquisition to release, a second release of the same
+// message panics with both stacks, and DebugLeaks reports messages still
+// outstanding at a quiescent point.
+
+type msgDebugEntry struct {
+	stack string
+}
+
+var (
+	msgDebugMu sync.Mutex
+	// liveMsgs: acquired and not yet released.
+	liveMsgs = map[*Message]msgDebugEntry{}
+	// releasedMsgs: released and not yet re-acquired. Map keys hold the
+	// shells strongly, matching the msgPool reference.
+	releasedMsgs = map[*Message]msgDebugEntry{}
+)
+
+func msgDebugStack() string {
+	var sb [16384]byte
+	n := runtime.Stack(sb[:], false)
+	return string(sb[:n])
+}
+
+// trackMsgAcquire registers a message leaving the pool.
+func trackMsgAcquire(m *Message) {
+	msgDebugMu.Lock()
+	delete(releasedMsgs, m)
+	liveMsgs[m] = msgDebugEntry{stack: msgDebugStack()}
+	msgDebugMu.Unlock()
+}
+
+// trackMsgRelease runs at the top of ReleaseMessage, before the pooled
+// flag is cleared: a non-pooled message that sits in the released set was
+// already handed back once — the double release ReleaseMessage itself
+// cannot see.
+func trackMsgRelease(m *Message) {
+	msgDebugMu.Lock()
+	if !m.pooled {
+		if prev, ok := releasedMsgs[m]; ok {
+			msgDebugMu.Unlock()
+			panic(fmt.Sprintf("giop: double ReleaseMessage\n--- first release:\n%s\n--- second release:\n%s", prev.stack, msgDebugStack()))
+		}
+		msgDebugMu.Unlock()
+		return // plain Unmarshal message: release is a documented no-op
+	}
+	delete(liveMsgs, m)
+	releasedMsgs[m] = msgDebugEntry{stack: msgDebugStack()}
+	msgDebugMu.Unlock()
+}
+
+// DebugLeaks formats every pooled message still outstanding with its
+// acquisition stack.
+func DebugLeaks() []string {
+	msgDebugMu.Lock()
+	defer msgDebugMu.Unlock()
+	var out []string
+	for _, e := range liveMsgs {
+		out = append(out, "giop: leaked pooled message acquired at:\n"+e.stack)
+	}
+	return out
+}
+
+// DebugReset forgets all tracking state (test isolation).
+func DebugReset() {
+	msgDebugMu.Lock()
+	liveMsgs = map[*Message]msgDebugEntry{}
+	releasedMsgs = map[*Message]msgDebugEntry{}
+	msgDebugMu.Unlock()
+}

@@ -1,0 +1,12 @@
+//go:build !pooldebug
+
+package giop
+
+func trackMsgAcquire(*Message) {}
+func trackMsgRelease(*Message) {}
+
+// DebugLeaks always returns nil without the pooldebug tag.
+func DebugLeaks() []string { return nil }
+
+// DebugReset is a no-op without the pooldebug tag.
+func DebugReset() {}

@@ -253,6 +253,7 @@ var msgPool = sync.Pool{New: func() any { return new(Message) }}
 func AcquireMessage() *Message {
 	m := msgPool.Get().(*Message)
 	m.pooled = true
+	trackMsgAcquire(m)
 	return m
 }
 
@@ -262,7 +263,11 @@ func AcquireMessage() *Message {
 // invalid. Messages produced by plain Unmarshal are ignored, so callers may
 // release unconditionally.
 func ReleaseMessage(m *Message) {
-	if m == nil || !m.pooled {
+	if m == nil {
+		return
+	}
+	trackMsgRelease(m)
+	if !m.pooled {
 		return
 	}
 	frame := m.frame

@@ -1,0 +1,64 @@
+//go:build pooldebug
+
+package giop
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLeakedMessageIsReported deliberately keeps a pooled message and
+// asserts the verifier's leak report points at the acquisition.
+func TestLeakedMessageIsReported(t *testing.T) {
+	DebugReset()
+	m := AcquireMessage()
+	leaks := DebugLeaks()
+	if len(leaks) != 1 {
+		t.Fatalf("DebugLeaks() = %d entries, want 1", len(leaks))
+	}
+	if !strings.Contains(leaks[0], "leaked pooled message") || !strings.Contains(leaks[0], "AcquireMessage") {
+		t.Fatalf("leak report does not point at AcquireMessage:\n%s", leaks[0])
+	}
+	m.frame = nil
+	ReleaseMessage(m)
+	if rest := DebugLeaks(); len(rest) != 0 {
+		t.Fatalf("leaks remain after ReleaseMessage:\n%s", strings.Join(rest, "\n"))
+	}
+}
+
+// TestDoubleReleaseMessagePanics pins the double-release detection that
+// the production pooled flag silently forgives.
+func TestDoubleReleaseMessagePanics(t *testing.T) {
+	DebugReset()
+	m := AcquireMessage()
+	ReleaseMessage(m)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second ReleaseMessage did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "double ReleaseMessage") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	ReleaseMessage(m)
+}
+
+// TestPooledRoundTripStaysBalanced decodes and releases through the
+// pooled path and asserts the verifier sees a balanced ledger.
+func TestPooledRoundTripStaysBalanced(t *testing.T) {
+	DebugReset()
+	frame, err := MarshalCancelRequest(V1_0, false, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := UnmarshalPooled(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ReleaseMessage(m)
+	if leaks := DebugLeaks(); len(leaks) != 0 {
+		t.Fatalf("pooled round trip leaked:\n%s", strings.Join(leaks, "\n"))
+	}
+}

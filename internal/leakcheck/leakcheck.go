@@ -1,0 +1,49 @@
+// Package leakcheck asserts that tests leave no goroutines behind. ORB
+// Shutdown must reap every read loop, listener accept loop, and Da CaPo
+// worker it started; a goroutine that outlives Shutdown holds pooled
+// buffers and connection state alive and eventually corrupts reuse.
+//
+// Usage: call Check(t) before starting ORBs (and before registering the
+// Cleanup that shuts them down — cleanups run last-in-first-out, so the
+// leak assertion then runs after Shutdown has finished).
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long the post-test assertion waits for goroutines that are
+// mid-teardown (a read loop observing a closed channel, a netsim queue
+// draining) to exit before declaring them leaked. Generous because the
+// full suite runs itself a second time under -tags pooldebug, and that
+// child process competes for the same cores. A variable so the package's
+// own failure-path test does not have to wait it out.
+var grace = 15 * time.Second
+
+// Check snapshots the running goroutine count and registers a cleanup
+// that fails the test if the count has not returned to the baseline once
+// all other cleanups (including ORB Shutdown) have run.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		var after int
+		deadline := time.Now().Add(grace)
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: %d goroutines still running after shutdown, %d at test start\n%s",
+			after, before, buf)
+	})
+}

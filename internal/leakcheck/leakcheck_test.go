@@ -1,0 +1,61 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorderTB captures the cleanup and failure that Check registers so the
+// failing path can be exercised without failing this test.
+type recorderTB struct {
+	testing.TB
+	cleanups []func()
+	failure  string
+}
+
+func (r *recorderTB) Helper()           {}
+func (r *recorderTB) Cleanup(fn func()) { r.cleanups = append(r.cleanups, fn) }
+func (r *recorderTB) Errorf(format string, args ...any) {
+	r.failure = format
+}
+
+func (r *recorderTB) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestCheckPassesWhenGoroutinesExit(t *testing.T) {
+	rec := &recorderTB{TB: t}
+	Check(rec)
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() { <-stop; close(done) }()
+	close(stop)
+	<-done
+	rec.runCleanups()
+	if rec.failure != "" {
+		t.Fatalf("Check failed a clean test: %s", rec.failure)
+	}
+}
+
+func TestCheckReportsLingeringGoroutine(t *testing.T) {
+	old := grace
+	grace = 200 * time.Millisecond
+	defer func() { grace = old }()
+	rec := &recorderTB{TB: t}
+	Check(rec)
+	stop := make(chan struct{})
+	exited := make(chan struct{})
+	go func() { <-stop; close(exited) }()
+	rec.runCleanups()
+	close(stop)
+	<-exited
+	if !strings.Contains(rec.failure, "goroutines still running") {
+		t.Fatalf("Check did not flag the lingering goroutine (failure=%q)", rec.failure)
+	}
+	// Give the runtime a beat so the helper goroutine is gone before the
+	// real test's own accounting (if any) runs.
+	time.Sleep(10 * time.Millisecond)
+}

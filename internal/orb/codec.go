@@ -51,6 +51,8 @@ type pooledCodec interface {
 }
 
 // codecUnmarshal decodes via the pooled path when the codec supports it.
+//
+//coollint:acquires message
 func codecUnmarshal(c Codec, frame []byte) (*giop.Message, error) {
 	if pc, ok := c.(pooledCodec); ok {
 		return pc.UnmarshalPooled(frame)
@@ -60,6 +62,8 @@ func codecUnmarshal(c Codec, frame []byte) (*giop.Message, error) {
 
 // codecRelease recycles m (and its frame) if the codec pools messages.
 // Safe to call with any message, including nil.
+//
+//coollint:releases
 func codecRelease(c Codec, m *giop.Message) {
 	if pc, ok := c.(pooledCodec); ok {
 		pc.ReleaseMessage(m)

@@ -86,9 +86,12 @@ func (c *clientConn) readLoop() {
 			c.teardown(errors.New("orb: server reported a GIOP message error"))
 			return
 		default:
-			// Requests flowing to a client are a protocol violation.
+			// Requests flowing to a client are a protocol violation. Read
+			// the type before the release: the recycled message may be
+			// repopulated by another connection concurrently.
+			t := m.Header.Type
 			codecRelease(c.codec, m)
-			c.teardown(fmt.Errorf("orb: unexpected %v from server", m.Header.Type))
+			c.teardown(fmt.Errorf("orb: unexpected %v from server", t))
 			return
 		}
 	}
@@ -104,7 +107,7 @@ func (c *clientConn) route(id uint32, m *giop.Message) {
 	slot, ok := c.pending[id]
 	if ok {
 		delete(c.pending, id)
-		slot.ch <- m // cap 1, one send per registration: never blocks
+		slot.ch <- m //coollint:allow lockhold -- cap 1, one send per registration: never blocks
 	}
 	closed := c.closed
 	c.mu.Unlock()

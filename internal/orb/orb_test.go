@@ -11,6 +11,7 @@ import (
 	"cool/internal/dacapo"
 	"cool/internal/dacapo/modules"
 	"cool/internal/giop"
+	"cool/internal/leakcheck"
 	"cool/internal/netsim"
 	"cool/internal/orb"
 	"cool/internal/qos"
@@ -92,6 +93,9 @@ type refLike = *orb.Object
 // client ORB wired to the same in-process network and Da CaPo link.
 func newEnv(t *testing.T, servantCap qos.Capability, schemes ...string) (*orb.ORB, *orb.ORB, *echoServant, *orb.Object) {
 	t.Helper()
+	// Registered before the Shutdown cleanup below, so the leak assertion
+	// runs after both ORBs have shut down.
+	leakcheck.Check(t)
 	inner := transport.NewInprocManager()
 	lib := modules.NewLibrary()
 	link := netsim.LAN().Capability()

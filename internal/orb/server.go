@@ -284,7 +284,9 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 	inv := invPool.Get().(*Invocation)
 	inv.Operation = req.Operation
 	inv.QoS = granted
-	inv.Args = m.BodyDecoder()
+	// The invocation only lives until Invoke returns below, well inside the
+	// message's lifetime, and is scrubbed before re-pooling.
+	inv.Args = m.BodyDecoder() //coollint:allow framealias
 	inv.Principal = req.Principal
 	dispatchStart := time.Now()
 	body, err := e.servant.Invoke(inv)

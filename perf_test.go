@@ -8,8 +8,10 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	cool "cool"
+	"cool/internal/bufpool"
 	"cool/internal/cdr"
 	"cool/internal/giop"
 	"cool/internal/orb"
@@ -57,6 +59,9 @@ func echoEnv(t testing.TB) (client *cool.ORB, obj *cool.Object) {
 func TestWarmEchoAllocBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; budget measured without -race")
+	}
+	if bufpool.DebugEnabled {
+		t.Skip("pooldebug bookkeeping allocates; budget measured without -tags pooldebug")
 	}
 	_, obj := echoEnv(t)
 	payload := bytes.Repeat([]byte{0x5a}, 64)
@@ -163,4 +168,82 @@ func TestDeferredConcurrencyStress(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// gatedEcho parks inside Invoke until released, so a test can order the
+// reply's arrival relative to a client-side Cancel. Registered with inline
+// dispatch it also parks the server connection's read loop, which queues
+// the CancelRequest behind the in-flight request — deterministically
+// producing a reply that reaches the client after Cancel unregistered the
+// request id.
+type gatedEcho struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (gatedEcho) RepoID() string { return "IDL:perf/GatedEcho:1.0" }
+
+func (g gatedEcho) Invoke(*cool.Invocation) (cool.ReplyWriter, error) {
+	g.entered <- struct{}{}
+	<-g.release
+	return func(enc *cdr.Encoder) { enc.WriteULong(99) }, nil
+}
+
+// TestCancelRacesLateReply pins the Pending.Cancel/Wait contract against a
+// reply that lands after cancellation: Wait must settle with ErrCanceled,
+// and the late reply must be counted as an orphan and recycled (the
+// pooldebug run of this test verifies the recycle — a dropped orphan shows
+// up in the buffer ledger, a double release panics).
+func TestCancelRacesLateReply(t *testing.T) {
+	inner := transport.NewInprocManager()
+	server := orb.New(orb.WithName("late-server"), orb.WithTransport(inner))
+	client := orb.New(orb.WithName("late-client"), orb.WithTransport(inner))
+	t.Cleanup(func() { client.Shutdown(); server.Shutdown() })
+	if _, err := server.ListenOn("inproc", "late-echo"); err != nil {
+		t.Fatal(err)
+	}
+	g := gatedEcho{entered: make(chan struct{}), release: make(chan struct{})}
+	ref, err := server.RegisterServant(g, cool.WithInlineDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := client.Resolve(ref)
+
+	orphans := func() uint64 {
+		return cool.Metrics(client).Snapshot().Counter("orb.client.orphan_replies")
+	}
+
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		p, err := obj.InvokeDeferred("echo", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-g.entered // the servant is parked; no reply has been written yet
+
+		waitErr := make(chan error, 1)
+		go func() { waitErr <- p.Wait(nil) }()
+
+		if err := p.Cancel(); err != nil {
+			t.Fatal(err)
+		}
+		if werr := <-waitErr; !errors.Is(werr, orb.ErrCanceled) {
+			t.Fatalf("Wait racing Cancel = %v, want ErrCanceled", werr)
+		}
+		if p.Poll() != true {
+			t.Fatal("Poll after Cancel reported in-flight")
+		}
+
+		// Unpark the servant: the reply is written now, after the request
+		// id was unregistered, and must be orphaned on the client.
+		g.release <- struct{}{}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for orphans() < rounds {
+		if time.Now().After(deadline) {
+			t.Fatalf("orphan replies = %d, want %d", orphans(), rounds)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }

@@ -1,0 +1,27 @@
+// The pooldebug suite driver: runs the whole test suite once more with the
+// pooldebug runtime verifier compiled in (buffer poisoning, double-release
+// panics, leak ledgers). The build tag below keeps the driver out of the
+// child run — the suite must not recurse into itself.
+
+//go:build !pooldebug
+
+package cool_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestPoolDebugSuite re-runs `go test ./...` under -tags pooldebug. Any
+// pooling-contract violation anywhere in the tree fails this test with the
+// verifier's panic (double release, with both stacks) or a leak report.
+func TestPoolDebugSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pooldebug suite re-runs all tests; skipped in -short")
+	}
+	cmd := exec.Command("go", "test", "-count=1", "-tags", "pooldebug", "./...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go test -tags pooldebug ./... failed: %v\n%s", err, out)
+	}
+}
