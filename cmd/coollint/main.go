@@ -1,22 +1,34 @@
 // Command coollint runs the COOL static-analysis suite: custom analyzers
-// that enforce the pooling/ownership contracts of the zero-allocation
-// invocation path (see internal/analysis and DESIGN.md).
+// that enforce the pooling/ownership, wire-bounds, and binding-lifecycle
+// contracts of the invocation path (see internal/analysis and DESIGN.md).
 //
 // Usage:
 //
-//	coollint [-list] [-only name,name] [patterns...]
+//	coollint [-list] [-only name,name] [-json] [-stats]
+//	         [-baseline file] [-write-baseline file] [patterns...]
 //
 // Patterns follow the loader's subset of go tool syntax: "./..." (default)
 // for the whole module, "dir/..." for a subtree, or a module-relative
-// directory. Diagnostics print as file:line:col: analyzer: message; the
-// exit status is 1 when any diagnostic is reported, 2 on load errors.
+// directory. Diagnostics print as file:line:col: analyzer: message (or as
+// a JSON array with -json); the exit status is 1 when any diagnostic is
+// reported, 2 on load errors.
+//
+// A baseline snapshot freezes the current findings: -write-baseline
+// records them, and -baseline tolerates exactly the recorded findings,
+// failing only on new ones. -stats appends a summary of findings silenced
+// by //coollint:allow annotations.
 package main
 
 import (
-	"flag"
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+
+	"flag"
 
 	"cool/internal/analysis"
 )
@@ -25,11 +37,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("coollint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	stats := fs.Bool("stats", false, "print a summary of suppressed findings")
+	baseline := fs.String("baseline", "", "compare findings against a baseline snapshot; only new findings fail")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings to a baseline snapshot and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,13 +92,149 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	diags := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d.String())
+	diags, suppressed := analysis.RunAnalyzersDetail(pkgs, analyzers)
+
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, loader.ModuleRoot, diags); err != nil {
+			fmt.Fprintf(stderr, "coollint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "coollint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
 	}
+	if *baseline != "" {
+		kept, stale, err := filterBaseline(*baseline, loader.ModuleRoot, diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "coollint: %v\n", err)
+			return 2
+		}
+		if stale > 0 {
+			fmt.Fprintf(stderr, "coollint: %d baseline entrie(s) no longer fire; refresh with -write-baseline\n", stale)
+		}
+		diags = kept
+	}
+
+	if *asJSON {
+		if err := emitJSON(stdout, loader.ModuleRoot, diags); err != nil {
+			fmt.Fprintf(stderr, "coollint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+
+	if *stats {
+		printSuppressionStats(stdout, suppressed)
+	}
+
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "coollint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// baselineKey renders one finding in the stable, module-relative form the
+// baseline file stores.
+func baselineKey(root string, d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s:%d: %s: %s", relPath(root, d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// relPath maps an absolute filename to a module-root-relative slash path,
+// keeping baselines and JSON output portable across checkouts.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// writeBaselineFile snapshots the findings, one per line, sorted.
+func writeBaselineFile(path, root string, diags []analysis.Diagnostic) error {
+	lines := make([]string, len(diags))
+	for i, d := range diags {
+		lines[i] = baselineKey(root, d)
+	}
+	sort.Strings(lines)
+	out := strings.Join(lines, "\n")
+	if out != "" {
+		out += "\n"
+	}
+	return os.WriteFile(path, []byte(out), 0o644)
+}
+
+// filterBaseline drops findings recorded in the baseline (as a multiset)
+// and reports how many baseline entries no longer fire.
+func filterBaseline(path, root string, diags []analysis.Diagnostic) (kept []analysis.Diagnostic, stale int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	known := make(map[string]int)
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			known[line]++
+		}
+	}
+	for _, d := range diags {
+		key := baselineKey(root, d)
+		if known[key] > 0 {
+			known[key]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, n := range known {
+		stale += n
+	}
+	return kept, stale, nil
+}
+
+// emitJSON renders diagnostics as a JSON array of position/message
+// records with module-relative paths.
+func emitJSON(w io.Writer, root string, diags []analysis.Diagnostic) error {
+	type rec struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	out := make([]rec, len(diags))
+	for i, d := range diags {
+		out[i] = rec{
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// printSuppressionStats summarizes //coollint:allow usage per analyzer so
+// suppression debt stays visible.
+func printSuppressionStats(w io.Writer, suppressed []analysis.Diagnostic) {
+	if len(suppressed) == 0 {
+		fmt.Fprintln(w, "suppressions: none")
+		return
+	}
+	perAnalyzer := make(map[string]int)
+	for _, d := range suppressed {
+		perAnalyzer[d.Analyzer]++
+	}
+	names := make([]string, 0, len(perAnalyzer))
+	for n := range perAnalyzer {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "suppressions: %d finding(s) silenced by //coollint:allow\n", len(suppressed))
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-12s %d\n", n, perAnalyzer[n])
+	}
 }

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture is a module-relative package that always produces diagnostics
+// for its namesake analyzer.
+const fixture = "internal/analysis/testdata/src/obsconst"
+
+// cleanPkg is a module-relative package with no findings.
+const cleanPkg = "internal/bufpool"
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCodeClean(t *testing.T) {
+	code, stdout, stderr := runCmd(t, cleanPkg)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("clean run printed diagnostics:\n%s", stdout)
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	code, stdout, stderr := runCmd(t, fixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "obsconst") {
+		t.Fatalf("diagnostics missing analyzer name:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Fatalf("summary missing from stderr:\n%s", stderr)
+	}
+}
+
+func TestExitCodeLoadError(t *testing.T) {
+	code, _, stderr := runCmd(t, "no/such/dir")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+}
+
+func TestExitCodeUnknownAnalyzer(t *testing.T) {
+	code, _, stderr := runCmd(t, "-only", "nosuch", cleanPkg)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Fatalf("stderr missing unknown-analyzer message:\n%s", stderr)
+	}
+}
+
+func TestListNamesAllAnalyzers(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"poolpair", "lockhold", "framealias", "obsconst", "wiretaint", "bindstate", "goroleak"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestOnlyRestrictsAnalyzers(t *testing.T) {
+	// The obsconst fixture trips obsconst but not goroleak: restricting to
+	// goroleak must come back clean.
+	code, stdout, stderr := runCmd(t, "-only", "goroleak", fixture)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if code, _, _ := runCmd(t, "-only", "obsconst", fixture); code != 1 {
+		t.Fatalf("-only obsconst exit = %d, want 1", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-json", fixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var recs []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &recs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(recs) == 0 {
+		t.Fatal("JSON output is empty")
+	}
+	for _, r := range recs {
+		if r.Analyzer != "obsconst" {
+			t.Errorf("unexpected analyzer %q", r.Analyzer)
+		}
+		if filepath.IsAbs(r.File) || !strings.HasPrefix(r.File, "internal/analysis/testdata/") {
+			t.Errorf("file not module-relative: %q", r.File)
+		}
+		if r.Line <= 0 || r.Col <= 0 {
+			t.Errorf("missing position: %+v", r)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.txt")
+
+	code, _, stderr := runCmd(t, "-write-baseline", base, fixture)
+	if code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "obsconst") {
+		t.Fatalf("baseline missing findings:\n%s", data)
+	}
+
+	// Every finding is in the baseline: the compare run passes.
+	code, stdout, _ := runCmd(t, "-baseline", base, fixture)
+	if code != 0 {
+		t.Fatalf("-baseline exit = %d, want 0\nstdout:\n%s", code, stdout)
+	}
+
+	// An empty baseline tolerates nothing: everything is new again.
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCmd(t, "-baseline", empty, fixture); code != 1 {
+		t.Fatalf("empty-baseline exit = %d, want 1", code)
+	}
+
+	// A stale baseline (findings fixed) is reported but does not fail.
+	code, _, stderr = runCmd(t, "-baseline", base, cleanPkg)
+	if code != 0 {
+		t.Fatalf("stale-baseline exit = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "no longer fire") {
+		t.Fatalf("stale baseline not reported:\n%s", stderr)
+	}
+}
+
+func TestSuppressionStats(t *testing.T) {
+	// The framealias fixture carries //coollint:allow sites; -stats must
+	// surface them. Findings still exist, so the exit code stays 1.
+	code, stdout, _ := runCmd(t, "-stats", "-only", "framealias", "internal/analysis/testdata/src/framealias")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "suppressions:") {
+		t.Fatalf("missing suppression summary:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "framealias") || strings.Contains(stdout, "suppressions: none") {
+		t.Fatalf("suppression summary should count framealias sites:\n%s", stdout)
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	cool "cool"
 	"cool/examples/mediaserver/mediagen"
+	"cool/internal/cdr"
 	"cool/internal/qos"
 	"cool/internal/transport"
 )
@@ -208,5 +210,17 @@ func TestConcurrentGeneratedCalls(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestDecodeFrameInfoListHostileLength(t *testing.T) {
+	// A forged sequence count larger than the remaining payload must be
+	// rejected before make() sizes a slice off it.
+	enc := cdr.NewEncoder(cdr.BigEndian)
+	enc.WriteULong(0xFFFFFFFF)
+	dec := cdr.NewDecoder(enc.Bytes(), cdr.BigEndian)
+	if _, err := mediagen.DecodeFrameInfoList(dec); err == nil ||
+		!strings.Contains(err.Error(), "sequence length exceeds message") {
+		t.Fatalf("hostile length not rejected: %v", err)
 	}
 }

@@ -9,23 +9,45 @@
 // module carries zero dependencies and the analyzers need nothing beyond
 // type-resolved syntax.
 //
+// Analysis is interprocedural: before any analyzer runs, a Program is
+// built over every loaded package — a module-wide call graph plus one
+// Summary per function (wire-taint flow from parameters to results,
+// alloc/loop sinks, bounds-guard facts, pool acquire/release effects,
+// frame-aliasing results, and join/loop-forever facts for goroutines),
+// computed bottom-up over the condensation of strongly connected
+// components. Analyzers consult summaries at call sites, so contracts
+// hold through un-annotated helpers.
+//
 // Analyzers:
 //
 //   - poolpair:   every acquired pool object (cdr.AcquireEncoder,
-//     giop.UnmarshalPooled/AcquireMessage, bufpool.Get, and functions
-//     annotated //coollint:acquires) is released on all control-flow
+//     giop.UnmarshalPooled/AcquireMessage, bufpool.Get, functions
+//     annotated //coollint:acquires, and helpers whose summaries show
+//     them acquiring or releasing) is released on all control-flow
 //     paths, never released twice, and never used after release.
 //   - lockhold:   no blocking channel operation, select without default,
 //     or sync Wait while a sync.Mutex/RWMutex is held.
 //   - framealias: no storing of slices or decoders derived from a pooled
-//     message body into struct fields or package variables.
+//     message body into struct fields or package variables, including
+//     aliases obtained through wrapper functions.
 //   - obsconst:   metric and span names handed to internal/obs are built
 //     from compile-time constants (no calls in the name expression).
+//   - wiretaint:  integers decoded from the wire (cdr.Decoder reads,
+//     binary.ByteOrder loads) must be bounds-checked before they size an
+//     allocation or bound a loop, directly or through helper calls.
+//   - bindstate:  explicit-binding lifecycle typestate — no invocations
+//     or SetQoSParameter through proxies of a shut-down ORB, no
+//     discarded SetQoSParameter errors, every deferred-invocation
+//     Pending consumed by Wait/Poll/Cancel.
+//   - goroleak:   every spawned goroutine that can loop forever has a
+//     join or stop edge (WaitGroup, context, closable channel) or an
+//     explicit //coollint:detached declaration.
 //
 // Intended exceptions are declared in the source with line annotations:
 //
 //	//coollint:owner            this acquisition intentionally escapes
 //	//coollint:allow <analyzer> suppress one analyzer on this line
+//	//coollint:detached         this goroutine intentionally has no join
 //
 // and on function declarations:
 //
@@ -57,7 +79,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{PoolPair, LockHold, FrameAlias, ObsConst}
+	return []*Analyzer{PoolPair, LockHold, FrameAlias, ObsConst, WireTaint, BindState, GoroLeak}
 }
 
 // Pass carries one analyzer's view of one package.
@@ -67,10 +89,16 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Prog is the module-wide interprocedural view (call graph and
+	// per-function summaries) shared by every pass of one run.
+	Prog *Program
 
 	// suppress maps file -> line -> analyzer names allowed there.
 	suppress map[*token.File]map[int]map[string]bool
 	diags    *[]Diagnostic
+	// suppressed collects findings silenced by //coollint:allow, for the
+	// suppression-stats summary.
+	suppressed *[]Diagnostic
 }
 
 // Diagnostic is one finding.
@@ -89,6 +117,13 @@ func (d Diagnostic) String() string {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.allowed(pos) {
+		if p.suppressed != nil {
+			*p.suppressed = append(*p.suppressed, Diagnostic{
+				Pos:      position,
+				Analyzer: p.Analyzer.Name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -224,7 +259,16 @@ func ownerAnnotated(fset *token.FileSet, file *ast.File, pos token.Pos) bool {
 // RunAnalyzers applies every analyzer to every package and returns the
 // combined findings sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	diags, _ := RunAnalyzersDetail(pkgs, analyzers)
+	return diags
+}
+
+// RunAnalyzersDetail is RunAnalyzers plus the findings silenced by
+// //coollint:allow annotations (for suppression statistics). The
+// interprocedural Program is built once over all packages and shared by
+// every pass.
+func RunAnalyzersDetail(pkgs []*Package, analyzers []*Analyzer) (diags, suppressed []Diagnostic) {
+	prog := BuildProgram(pkgs)
 	for _, pkg := range pkgs {
 		suppress := make(map[*token.File]map[int]map[string]bool)
 		for _, f := range pkg.Files {
@@ -234,17 +278,25 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				suppress: suppress,
-				diags:    &diags,
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Prog:       prog,
+				suppress:   suppress,
+				diags:      &diags,
+				suppressed: &suppressed,
 			}
 			a.Run(pass)
 		}
 	}
+	sortDiagnostics(suppressed)
+	sortDiagnostics(diags)
+	return diags, suppressed
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -258,5 +310,4 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }

@@ -8,18 +8,26 @@ import (
 	"testing"
 )
 
-// wantRe matches `// want "substring"` expectation comments in fixtures.
-var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+// wantClauseRe extracts each quoted regexp from a `// want "re" "re"`
+// expectation comment.
+var (
+	wantLineRe   = regexp.MustCompile(`// want ("[^"]+"(?: "[^"]+")*)`)
+	wantClauseRe = regexp.MustCompile(`"([^"]+)"`)
+)
 
+// expectation is one golden diagnostic: an exact file:line position plus a
+// regexp the message must match. hit marks it consumed so each expected
+// diagnostic must appear exactly once.
 type expectation struct {
 	file string
 	line int
-	sub  string
+	re   *regexp.Regexp
 	hit  bool
 }
 
 // loadFixture type-checks one testdata package and collects its `want`
-// expectations.
+// expectations. A line may carry several clauses: `// want "re1" "re2"`
+// expects two diagnostics on that line.
 func loadFixture(t *testing.T, dir string) (*Package, []*expectation) {
 	t.Helper()
 	loader, err := NewLoader(dir)
@@ -36,20 +44,26 @@ func loadFixture(t *testing.T, dir string) (*Package, []*expectation) {
 	var wants []*expectation
 	for file, src := range pkg.Src {
 		for i, line := range strings.Split(string(src), "\n") {
-			m := wantRe.FindStringSubmatch(line)
+			m := wantLineRe.FindStringSubmatch(line)
 			if m == nil {
 				continue
 			}
-			wants = append(wants, &expectation{file: file, line: i + 1, sub: m[1]})
+			for _, clause := range wantClauseRe.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(clause[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, clause[1], err)
+				}
+				wants = append(wants, &expectation{file: file, line: i + 1, re: re})
+			}
 		}
 	}
 	return pkg, wants
 }
 
-// runFixture applies one analyzer to a fixture package and matches the
-// diagnostics against its expectations, reporting both misses and
-// unexpected findings.
-func runFixture(t *testing.T, a *Analyzer, fixture string) {
+// runFixture applies analyzers to a fixture package and matches the
+// diagnostics against its expectations: every diagnostic must match an
+// unconsumed want at its exact file:line, and every want must be hit.
+func runFixture(t *testing.T, fixture string, analyzers ...*Analyzer) {
 	t.Helper()
 	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
 	if err != nil {
@@ -62,11 +76,11 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	if len(wants) < 2 {
 		t.Fatalf("fixture %s declares %d expectations; need at least 2 positive cases", fixture, len(wants))
 	}
-	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	diags := RunAnalyzers([]*Package{pkg}, analyzers)
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
-			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.sub) {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
 				w.hit = true
 				matched = true
 				break
@@ -78,15 +92,25 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("missing diagnostic at %s:%d (want %q)", w.file, w.line, w.sub)
+			t.Errorf("missing diagnostic at %s:%d (want %q)", w.file, w.line, w.re)
 		}
 	}
 }
 
-func TestPoolPairFixture(t *testing.T)   { runFixture(t, PoolPair, "poolpair") }
-func TestLockHoldFixture(t *testing.T)   { runFixture(t, LockHold, "lockhold") }
-func TestFrameAliasFixture(t *testing.T) { runFixture(t, FrameAlias, "framealias") }
-func TestObsConstFixture(t *testing.T)   { runFixture(t, ObsConst, "obsconst") }
+func TestPoolPairFixture(t *testing.T)   { runFixture(t, "poolpair", PoolPair) }
+func TestLockHoldFixture(t *testing.T)   { runFixture(t, "lockhold", LockHold) }
+func TestFrameAliasFixture(t *testing.T) { runFixture(t, "framealias", FrameAlias) }
+func TestObsConstFixture(t *testing.T)   { runFixture(t, "obsconst", ObsConst) }
+func TestWireTaintFixture(t *testing.T)  { runFixture(t, "wiretaint", WireTaint) }
+func TestBindStateFixture(t *testing.T)  { runFixture(t, "bindstate", BindState) }
+func TestGoroLeakFixture(t *testing.T)   { runFixture(t, "goroleak", GoroLeak) }
+
+// TestInterprocFixture drives poolpair and framealias through helper
+// boundaries: acquires, releases and aliasing facts must flow via the
+// interprocedural summaries, not annotations.
+func TestInterprocFixture(t *testing.T) {
+	runFixture(t, "interproc", PoolPair, FrameAlias)
+}
 
 // TestLoaderModuleWide exercises the "./..." pattern against the real
 // module: every package must load and type-check through the stdlib-only

@@ -198,8 +198,10 @@ func (fa *frameAliasChecker) taintedCall(call *ast.CallExpr) bool {
 		return ok && fa.taintedExpr(sel.X)
 	}
 
-	// The message body accessor: the source of all frame aliasing.
-	if isMethod(callee, "cool/internal/giop", "BodyDecoder") {
+	// The message body accessors: the source of all frame aliasing.
+	if isMethod(callee, "cool/internal/giop", "BodyDecoder") ||
+		isMethod(callee, "cool/internal/giop", "Body") ||
+		isMethod(callee, "cool/internal/giop", "Frame") {
 		return true
 	}
 
@@ -212,5 +214,40 @@ func (fa *frameAliasChecker) taintedCall(call *ast.CallExpr) bool {
 		isMethod(callee, "cool/internal/cdr", "ReadStringBytes"):
 		return recvTainted()
 	}
+
+	// Helpers whose interprocedural summary says a result aliases
+	// receiver/parameter memory: the result carries frame taint when the
+	// operand it aliases is tainted — or is a pooled giop.Message, whose
+	// innards alias the transport frame by construction.
+	if sum := fa.pass.Prog.summaryOf(callee); sum != nil && sum.aliasResults != 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if fa.taintedExpr(sel.X) || isGIOPMessage(sel.X, info) {
+				return true
+			}
+		}
+		for _, a := range call.Args {
+			if fa.taintedExpr(a) || isGIOPMessage(a, info) {
+				return true
+			}
+		}
+	}
 	return false
+}
+
+// isGIOPMessage reports whether e is a (pointer to) giop.Message value.
+func isGIOPMessage(e ast.Expr, info *types.Info) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Message" && obj.Pkg() != nil && obj.Pkg().Path() == "cool/internal/giop"
 }

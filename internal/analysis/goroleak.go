@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak requires every `go` statement to have a statically
+// identifiable join or stop edge — the static complement to the runtime
+// goroutine accounting in internal/leakcheck. A spawned body is accepted
+// when, directly or through callee summaries, it:
+//
+//   - calls Done on a sync.WaitGroup (the spawner can Wait for it),
+//   - observes a context.Context (Done or Err),
+//   - receives from / ranges over / selects on a channel that is
+//     close()d somewhere in the analyzed packages, or
+//   - cannot loop forever (no unconditional for, no range over a
+//     never-closed channel): a bounded body terminates by itself.
+//
+// Intentionally unsupervised goroutines carry a //coollint:detached
+// annotation on the `go` line (or the line above), with prose after
+// "--" saying what stops them.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement needs a join/stop edge or a //coollint:detached declaration",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		f := file
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lineDirective(pass.Fset, f, gs.Pos(), "detached") {
+				return true
+			}
+			joins, loops, known := spawnedFacts(pass, gs.Call)
+			if !known {
+				return true // function value / external callee: cannot judge
+			}
+			if joins || !loops {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine can loop forever with no join or stop edge (WaitGroup.Done, context, or closed channel); join it or annotate //coollint:detached with the stop reason")
+			return true
+		})
+	}
+}
+
+// spawnedFacts resolves the payload of a go statement to its join/loop
+// facts. known is false when the payload cannot be analyzed (a function
+// value, or a callee outside the analyzed packages).
+func spawnedFacts(pass *Pass, call *ast.CallExpr) (joins, loops, known bool) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		joins, loops = bodyFacts(pass.Prog, pass.Info, lit.Body)
+		return joins, loops, true
+	}
+	callee := calleeOf(pass.Info, call)
+	if callee == nil {
+		return false, false, false
+	}
+	if sum := pass.Prog.summaryOf(callee); sum != nil {
+		return sum.joins, sum.loopsForever, true
+	}
+	return false, false, false
+}
+
+// bodyFacts combines the local stop-edge scan with the summaries of the
+// body's direct callees.
+func bodyFacts(prog *Program, info *types.Info, body ast.Node) (joins, loops bool) {
+	joins, loops = scanJoins(prog, info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // nested goroutines are their own problem
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sum := prog.summaryOf(calleeOf(info, call)); sum != nil {
+			joins = joins || sum.joins
+			loops = loops || sum.loopsForever
+		}
+		return true
+	})
+	return joins, loops
+}
+
+// lineDirective reports whether the line of pos (or the line above it)
+// carries a //coollint:<key> annotation in file. Text after "--" is
+// explanatory prose.
+func lineDirective(fset *token.FileSet, file *ast.File, pos token.Pos, key string) bool {
+	prefix := "//coollint:" + key
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, prefix) {
+				continue
+			}
+			cl := fset.Position(c.Slash).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}

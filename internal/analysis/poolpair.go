@@ -227,6 +227,11 @@ func (pp *poolPairChecker) isAcquire(call *ast.CallExpr) (kind, what string, ok 
 			}
 		}
 	}
+	// Any analyzed function whose interprocedural summary says it returns
+	// ownership of a pool object — annotated or not, same package or not.
+	if sum := pp.pass.Prog.summaryOf(obj); sum != nil && sum.acquires != "" {
+		return sum.acquires, obj.Name(), true
+	}
 	return "", "", false
 }
 
@@ -718,5 +723,36 @@ func (pp *poolPairChecker) isReleaseOf(call *ast.CallExpr, acq *acquisition) boo
 			}
 		}
 	}
+
+	// Release through an un-annotated helper (any analyzed package): the
+	// interprocedural summary records which parameter it frees and of what
+	// kind. The call-site argument index is mapped to the callee's
+	// receiver-first parameter index.
+	if sum := pp.pass.Prog.summaryOf(callee); sum != nil {
+		recvOffset := 0
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recvOffset = 1
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && rootsAt(info, sel.X, acq.obj) != nil {
+				if len(sum.releasesParam) > 0 && releaseKindMatches(sum.releasesParam[0], acq.kind) {
+					return true
+				}
+			}
+		}
+		for i, a := range call.Args {
+			if rootsAt(info, a, acq.obj) == nil {
+				continue
+			}
+			idx := i + recvOffset
+			if idx < len(sum.releasesParam) && releaseKindMatches(sum.releasesParam[idx], acq.kind) {
+				return true
+			}
+		}
+	}
 	return false
+}
+
+// releaseKindMatches reports whether a summary's released kind frees an
+// acquisition of kind acq ("any" comes from //coollint:releases).
+func releaseKindMatches(released, acq string) bool {
+	return released == acq || released == "any"
 }

@@ -1,0 +1,108 @@
+// Package goroleak is a coollint test fixture: go statements with and
+// without statically identifiable join/stop edges. Diagnostics are
+// asserted with want-comments.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+var (
+	events = make(chan int)
+	stop   = make(chan struct{})
+	// orphaned is never closed anywhere in this package: ranging over it
+	// can block forever.
+	orphaned = make(chan int)
+)
+
+// shutdownFixture closes stop, making it a module-wide stop edge.
+func shutdownFixture() { close(stop) }
+
+// spin loops forever with no stop edge of any kind.
+func spin() {
+	for {
+		_ = len(events)
+	}
+}
+
+// spinIndirect reaches the forever-loop through a helper, so the loop
+// fact must flow through the callee summary.
+func spinIndirect() { spin() }
+
+// --- violations ---
+
+func spawnNamedForever() {
+	go spin() // want "goroutine can loop forever with no join or stop edge"
+}
+
+func spawnIndirectForever() {
+	go spinIndirect() // want "goroutine can loop forever with no join or stop edge"
+}
+
+func spawnLitForever() {
+	go func() { // want "goroutine can loop forever with no join or stop edge"
+		for {
+			_ = len(events)
+		}
+	}()
+}
+
+func spawnRangeNeverClosed() {
+	go func() { // want "goroutine can loop forever with no join or stop edge"
+		for v := range orphaned {
+			_ = v
+		}
+	}()
+}
+
+// --- accepted shapes ---
+
+func spawnWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			_ = len(events)
+		}
+	}()
+}
+
+func spawnContext(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-events:
+				_ = v
+			}
+		}
+	}()
+}
+
+func spawnClosedChannel() {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-events:
+				_ = v
+			}
+		}
+	}()
+}
+
+func spawnBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+func spawnDeclaredDetached() {
+	//coollint:detached -- stopped by process exit; fixture documentation case
+	go spin()
+}

@@ -1,0 +1,66 @@
+// Package interproc is a coollint test fixture for the interprocedural
+// summaries: acquire, release and aliasing effects must flow through
+// un-annotated helpers so poolpair and framealias see across call
+// boundaries.
+package interproc
+
+import (
+	"cool/internal/cdr"
+	"cool/internal/giop"
+)
+
+// fresh is an acquire helper with no //coollint:acquires annotation: the
+// summary must infer that it returns an owned encoder.
+func fresh() *cdr.Encoder {
+	return cdr.AcquireEncoder(false)
+}
+
+// finish is a release helper with no //coollint:releases annotation: the
+// summary must infer that it frees its encoder parameter.
+func finish(e *cdr.Encoder) {
+	cdr.ReleaseEncoder(e)
+}
+
+// --- poolpair through helpers ---
+
+func leakFromHelper(bad bool) *cdr.Encoder {
+	e := fresh() // want "result of fresh is not released on every path"
+	e.WriteULong(1)
+	if bad {
+		return nil
+	}
+	return e
+}
+
+func releaseViaHelper() {
+	e := fresh()
+	e.WriteULong(2)
+	finish(e)
+}
+
+func doubleReleaseViaHelper() {
+	e := fresh()
+	finish(e)
+	cdr.ReleaseEncoder(e) // want "released again"
+}
+
+// --- framealias through helpers ---
+
+type holder struct {
+	dec *cdr.Decoder
+}
+
+// decOf wraps the message body accessor: its summary must mark the result
+// as aliasing the (pooled) message parameter.
+func decOf(m *giop.Message) *cdr.Decoder {
+	return m.BodyDecoder()
+}
+
+func stashDecoder(h *holder, m *giop.Message) {
+	h.dec = decOf(m) // want "frame-aliasing data stored into h.dec"
+}
+
+func copyIsClean(m *giop.Message) []byte {
+	b, _ := decOf(m).ReadOctetSeq()
+	return append([]byte(nil), b...)
+}

@@ -1,0 +1,109 @@
+// Package wiretaint is a coollint test fixture: wire-derived sizes that
+// must (or need not) be bounds-checked before they size an allocation or
+// bound a loop. Diagnostics are asserted with want-comments.
+package wiretaint
+
+import (
+	"encoding/binary"
+
+	"cool/internal/cdr"
+)
+
+const maxItems = 1024
+
+// --- violations ---
+
+func allocUnchecked(d *cdr.Decoder) []byte {
+	n, _ := d.ReadULong()
+	return make([]byte, n) // want "wire-derived allocation size is not bounds-checked"
+}
+
+func loopUnchecked(d *cdr.Decoder) int {
+	n, _ := d.ReadUShort()
+	total := 0
+	for i := 0; i < int(n); i++ { // want "wire-derived loop bound is not bounds-checked"
+		total += i
+	}
+	return total
+}
+
+func binaryOrderUnchecked(frame []byte) []uint32 {
+	count := binary.BigEndian.Uint32(frame[:4])
+	return make([]uint32, count) // want "wire-derived allocation size is not bounds-checked"
+}
+
+// allocate is a sink helper: it sizes an allocation from its argument
+// without any bound, so callers must guard before handing a wire value in.
+func allocate(n uint32) []byte {
+	return make([]byte, n)
+}
+
+func sinkThroughHelper(d *cdr.Decoder) []byte {
+	n, _ := d.ReadULong()
+	return allocate(n) // want "wire-derived size handed to allocate"
+}
+
+// readLen is a source helper: it returns a decoded length unguarded, so
+// the taint must flow to the caller through the summary.
+func readLen(d *cdr.Decoder) uint32 {
+	v, _ := d.ReadULong()
+	return v
+}
+
+func sourceThroughHelper(d *cdr.Decoder) []byte {
+	return make([]byte, readLen(d)) // want "wire-derived allocation size is not bounds-checked"
+}
+
+// --- clean shapes ---
+
+func guardedByConst(d *cdr.Decoder) []byte {
+	n, _ := d.ReadULong()
+	if n > maxItems {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func guardedByRemaining(d *cdr.Decoder) []byte {
+	n, _ := d.ReadULong()
+	if int(n) > d.Remaining() {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func sanitizedByMod(d *cdr.Decoder) []byte {
+	n, _ := d.ReadULong()
+	return make([]byte, n%64)
+}
+
+func sanitizedByMask(d *cdr.Decoder) []byte {
+	n, _ := d.ReadULong()
+	return make([]byte, n&0xFF)
+}
+
+// readLenChecked guards before returning, so its result is clean in
+// callers: the summary records the guarded return.
+func readLenChecked(d *cdr.Decoder) uint32 {
+	v, _ := d.ReadULong()
+	if v > maxItems {
+		return 0
+	}
+	return v
+}
+
+func cleanSourceHelper(d *cdr.Decoder) []byte {
+	return make([]byte, readLenChecked(d))
+}
+
+func guardedLoop(d *cdr.Decoder) int {
+	n, _ := d.ReadUShort()
+	if n > maxItems {
+		return 0
+	}
+	total := 0
+	for i := 0; i < int(n); i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,735 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireTaint enforces the hostile-peer allocation discipline: any integer
+// derived from wire data — cdr.Decoder reads, encoding/binary byte-order
+// reads, or results of module functions that return such values — is
+// untrusted and must pass a bounds guard before it reaches an allocation
+// size (make), a loop bound, or a helper that allocates from it.
+//
+// Guards are comparisons that bound the tainted value against something
+// the process controls:
+//
+//   - a relational comparison (< <= > >=) against a constant expression
+//     (MaxMessageSize, maxFragCount, literals) or against an expression
+//     containing len/cap or a Remaining/Len/Cap method call
+//   - an equality comparison (== !=) only when the other side contains
+//     len/cap or a Remaining-style call (length reconciliation like
+//     len(frame) != HeaderSize+int(h.Size)); equality against a bare
+//     constant (count == 0) does not bound the value
+//   - a call to a function whose summary says it bounds that parameter
+//     (d.need(n), dec.ReadOctets(n))
+//
+// Comparisons against plain variables (loop induction `i < n`) never
+// guard. The analysis is position-ordered within a function — the guard
+// must precede the sink — and interprocedural through function summaries:
+// helper results carry taint, helper parameters that reach sinks
+// unguarded make the call site a sink, and helper-internal guards
+// sanitize at the call site.
+var WireTaint = &Analyzer{
+	Name: "wiretaint",
+	Doc:  "wire-derived sizes must be bounds-checked before allocation or loop use",
+	Run:  runWireTaint,
+}
+
+// Taint bit assignments: bit 0 is wire-derived data, bit i+1 is
+// "flows from parameter i" (receiver-first indexing).
+const wireBit uint64 = 1
+
+func paramBit(i int) uint64 {
+	if i >= 62 {
+		return 0
+	}
+	return 1 << uint(i+1)
+}
+
+// taintKey names one tracked lvalue: a variable, or a field path rooted
+// at a variable (h.Size -> {obj(h), "Size"}).
+type taintKey struct {
+	obj  types.Object
+	path string
+}
+
+// taintEnv is the per-function taint state.
+type taintEnv struct {
+	prog   *Program
+	info   *types.Info
+	params []*types.Var
+	// env maps tracked lvalues to their taint bits (unguarded view).
+	env map[taintKey]uint64
+	// guards maps lvalues to the position of their earliest bounds guard.
+	guards map[taintKey]token.Pos
+}
+
+func runWireTaint(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var params []*types.Var
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				params = receiverFirstParams(obj)
+			}
+			te := newTaintEnv(pass.Prog, pass.Info, params)
+			te.analyze(fn.Body)
+			te.reportSinks(fn.Body, pass)
+		}
+	}
+}
+
+func newTaintEnv(prog *Program, info *types.Info, params []*types.Var) *taintEnv {
+	te := &taintEnv{
+		prog:   prog,
+		info:   info,
+		params: params,
+		env:    make(map[taintKey]uint64),
+		guards: make(map[taintKey]token.Pos),
+	}
+	for i, p := range params {
+		te.env[taintKey{obj: p}] = paramBit(i)
+	}
+	return te
+}
+
+// analyze runs the three phases over one body: an unguarded propagation
+// fixpoint, guard collection, then a guard-aware re-propagation so values
+// copied from an already-guarded variable come out clean.
+func (te *taintEnv) analyze(body *ast.BlockStmt) {
+	te.propagate(body, false)
+	te.collectGuards(body)
+	// Reset locals (keep parameter seeds) and re-propagate with guards.
+	te.env = make(map[taintKey]uint64)
+	for i, p := range te.params {
+		te.env[taintKey{obj: p}] = paramBit(i)
+	}
+	te.propagate(body, true)
+}
+
+// propagate runs the assignment fixpoint. When guarded is set, reads of a
+// variable after its guard position yield no taint.
+func (te *taintEnv) propagate(body *ast.BlockStmt, guarded bool) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				changed = te.transferAssign(s, guarded) || changed
+			case *ast.DeclStmt:
+				if gd, ok := s.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							changed = te.transferValueSpec(vs, guarded) || changed
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lookupAt reads a key's taint, masking everything once the value was
+// guarded before the use position.
+func (te *taintEnv) lookupAt(k taintKey, at token.Pos, guarded bool) uint64 {
+	bits := te.env[k]
+	if bits == 0 {
+		return 0
+	}
+	if guarded {
+		if gp, ok := te.guards[k]; ok && gp < at {
+			return 0
+		}
+	}
+	return bits
+}
+
+// set merges bits into a key, reporting growth.
+func (te *taintEnv) set(k taintKey, bits uint64) bool {
+	if bits == 0 || k.obj == nil {
+		return false
+	}
+	old := te.env[k]
+	if old|bits == old {
+		return false
+	}
+	te.env[k] = old | bits
+	return true
+}
+
+// lvalKey resolves an assignable expression to a tracked key: plain
+// identifiers and field paths rooted at an identifier.
+func (te *taintEnv) lvalKey(e ast.Expr) (taintKey, bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := objOf(te.info, x); obj != nil {
+			return taintKey{obj: obj}, true
+		}
+	case *ast.SelectorExpr:
+		if k, ok := te.lvalKey(x.X); ok {
+			if k.path != "" {
+				k.path += "."
+			}
+			k.path += x.Sel.Name
+			return k, true
+		}
+	case *ast.StarExpr:
+		return te.lvalKey(x.X)
+	}
+	return taintKey{}, false
+}
+
+func (te *taintEnv) transferAssign(s *ast.AssignStmt, guarded bool) bool {
+	changed := false
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, l := range s.Lhs {
+			bits := te.taintOf(s.Rhs[i], s.Pos(), guarded)
+			if k, ok := te.lvalKey(l); ok {
+				changed = te.set(k, bits) || changed
+			}
+		}
+		return changed
+	}
+	// Multi-value form: per-result bits for calls, nothing for comma-ok.
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			results := te.callResultBits(call, s.Pos(), guarded)
+			for i, l := range s.Lhs {
+				if i >= len(results) {
+					break
+				}
+				if k, ok := te.lvalKey(l); ok {
+					changed = te.set(k, results[i]) || changed
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func (te *taintEnv) transferValueSpec(vs *ast.ValueSpec, guarded bool) bool {
+	changed := false
+	if len(vs.Values) == len(vs.Names) {
+		for i, name := range vs.Names {
+			bits := te.taintOf(vs.Values[i], vs.Pos(), guarded)
+			if obj := objOf(te.info, name); obj != nil {
+				changed = te.set(taintKey{obj: obj}, bits) || changed
+			}
+		}
+	} else if len(vs.Values) == 1 {
+		if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			results := te.callResultBits(call, vs.Pos(), guarded)
+			for i, name := range vs.Names {
+				if i >= len(results) {
+					break
+				}
+				if obj := objOf(te.info, name); obj != nil {
+					changed = te.set(taintKey{obj: obj}, results[i]) || changed
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// taintOf computes the taint bits of an expression at a use position.
+func (te *taintEnv) taintOf(e ast.Expr, at token.Pos, guarded bool) uint64 {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := objOf(te.info, x); obj != nil {
+			return te.lookupAt(taintKey{obj: obj}, at, guarded)
+		}
+	case *ast.SelectorExpr:
+		var bits uint64
+		if k, ok := te.lvalKey(x); ok {
+			bits = te.lookupAt(k, at, guarded)
+		}
+		return bits | te.taintOf(x.X, at, guarded)
+	case *ast.CallExpr:
+		results := te.callResultBits(x, at, guarded)
+		if len(results) > 0 {
+			return results[0]
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return 0 // booleans carry no size taint
+		case token.REM, token.AND:
+			// n % const and n & const are bounded by the constant.
+			if isConstExpr(te.info, x.Y) {
+				return 0
+			}
+		}
+		return te.taintOf(x.X, at, guarded) | te.taintOf(x.Y, at, guarded)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			return 0 // channel payloads are not tracked
+		}
+		return te.taintOf(x.X, at, guarded)
+	case *ast.StarExpr:
+		return te.taintOf(x.X, at, guarded)
+	case *ast.IndexExpr:
+		return te.taintOf(x.X, at, guarded)
+	case *ast.SliceExpr:
+		return te.taintOf(x.X, at, guarded)
+	case *ast.TypeAssertExpr:
+		return te.taintOf(x.X, at, guarded)
+	}
+	return 0
+}
+
+// callResultBits computes per-result taint for a call: conversions pass
+// taint through, intrinsic wire reads produce it, module summaries
+// instantiate it, and everything else is clean.
+func (te *taintEnv) callResultBits(call *ast.CallExpr, at token.Pos, guarded bool) []uint64 {
+	// Conversions keep the operand's taint: int(n) is as hostile as n.
+	if tv, ok := te.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return []uint64{te.taintOf(call.Args[0], at, guarded)}
+	}
+
+	// Builtins: len/cap of anything are process-controlled; min is
+	// bounded when any argument is clean; max keeps every taint.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := objOf(te.info, id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "min":
+				var bits uint64
+				for _, a := range call.Args {
+					ab := te.taintOf(a, at, guarded)
+					if ab == 0 {
+						return []uint64{0}
+					}
+					bits |= ab
+				}
+				return []uint64{bits}
+			case "max":
+				var bits uint64
+				for _, a := range call.Args {
+					bits |= te.taintOf(a, at, guarded)
+				}
+				return []uint64{bits}
+			}
+			return []uint64{0}
+		}
+	}
+
+	callee := calleeOf(te.info, call)
+	if callee == nil {
+		return []uint64{0}
+	}
+	if isWireSource(callee) {
+		return []uint64{wireBit}
+	}
+
+	sum := te.prog.summaryOf(callee)
+	if sum == nil {
+		return []uint64{0}
+	}
+	argBits := te.callArgBits(call, callee, sum, at, guarded)
+	out := make([]uint64, len(sum.resultBits))
+	for j, rb := range sum.resultBits {
+		var bits uint64
+		if rb&wireBit != 0 {
+			bits |= wireBit
+		}
+		for i := 0; i < sum.nParams; i++ {
+			if rb&paramBit(i) != 0 && i < len(argBits) {
+				bits |= argBits[i]
+			}
+		}
+		out[j] = bits
+	}
+	return out
+}
+
+// callArgBits maps call-site argument taint onto the callee's
+// receiver-first parameter indexes.
+func (te *taintEnv) callArgBits(call *ast.CallExpr, callee types.Object, sum *Summary, at token.Pos, guarded bool) []uint64 {
+	bits := make([]uint64, sum.nParams)
+	idx := 0
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if len(bits) > 0 {
+				bits[0] = te.taintOf(sel.X, at, guarded)
+			}
+		}
+		idx = 1
+	}
+	for _, a := range call.Args {
+		if idx >= len(bits) {
+			// Variadic overflow: fold into the last parameter.
+			if len(bits) > 0 {
+				bits[len(bits)-1] |= te.taintOf(a, at, guarded)
+			}
+			continue
+		}
+		bits[idx] = te.taintOf(a, at, guarded)
+		idx++
+	}
+	return bits
+}
+
+// isWireSource classifies the intrinsic taint sources: integer reads on
+// cdr.Decoder and encoding/binary byte-order reads. (Module helpers that
+// wrap these are covered by summaries; the intrinsics keep single-package
+// runs like the test fixtures sound.)
+func isWireSource(callee types.Object) bool {
+	switch {
+	case isMethod(callee, "cool/internal/cdr", "ReadOctet"),
+		isMethod(callee, "cool/internal/cdr", "ReadChar"),
+		isMethod(callee, "cool/internal/cdr", "ReadShort"),
+		isMethod(callee, "cool/internal/cdr", "ReadUShort"),
+		isMethod(callee, "cool/internal/cdr", "ReadLong"),
+		isMethod(callee, "cool/internal/cdr", "ReadULong"),
+		isMethod(callee, "cool/internal/cdr", "ReadLongLong"),
+		isMethod(callee, "cool/internal/cdr", "ReadULongLong"):
+		return true
+	case isMethod(callee, "encoding/binary", "Uint16"),
+		isMethod(callee, "encoding/binary", "Uint32"),
+		isMethod(callee, "encoding/binary", "Uint64"):
+		return true
+	}
+	return false
+}
+
+// collectGuards scans for bounds guards: bounding comparisons and calls
+// into summarized guard helpers. For-loop conditions are excluded — a
+// loop bound is a sink, not a guard.
+func (te *taintEnv) collectGuards(body *ast.BlockStmt) {
+	var forConds = make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Cond != nil {
+			forConds[fs.Cond] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if forConds[x] {
+				return true
+			}
+			te.guardFromCompare(x)
+		case *ast.CallExpr:
+			te.guardFromCall(x)
+		}
+		return true
+	})
+}
+
+// guardFromCompare records a guard when a comparison bounds a tainted
+// side against a bounding expression.
+func (te *taintEnv) guardFromCompare(be *ast.BinaryExpr) {
+	relational := false
+	switch be.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		relational = true
+	case token.EQL, token.NEQ:
+	default:
+		return
+	}
+	try := func(tainted, other ast.Expr) {
+		if te.taintOf(tainted, be.Pos(), false) == 0 {
+			return
+		}
+		bounding := containsLenOrRemaining(te.info, other)
+		if relational && !bounding {
+			// Constants bound outright. An untainted struct field
+			// (ack >= m.next) is process-maintained state and bounds too;
+			// a bare local (loop induction `i < n`) never does.
+			bounding = isConstExpr(te.info, other) ||
+				(te.taintOf(other, be.Pos(), false)&wireBit == 0 && mentionsFieldVar(te.info, other))
+		}
+		if !bounding {
+			return
+		}
+		for _, k := range te.keysIn(tainted) {
+			if old, ok := te.guards[k]; !ok || be.Pos() < old {
+				te.guards[k] = be.Pos()
+			}
+		}
+	}
+	try(be.X, be.Y)
+	try(be.Y, be.X)
+}
+
+// guardFromCall records guards for arguments handed to functions that
+// bounds-check them internally (summary guardsParam).
+func (te *taintEnv) guardFromCall(call *ast.CallExpr) {
+	callee := calleeOf(te.info, call)
+	if callee == nil {
+		return
+	}
+	sum := te.prog.summaryOf(callee)
+	if sum == nil || sum.guardsParam == 0 {
+		return
+	}
+	recvOffset := 0
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recvOffset = 1
+	}
+	for i, a := range call.Args {
+		if sum.guardsParam&paramBit(i+recvOffset) == 0 {
+			continue
+		}
+		for _, k := range te.keysIn(a) {
+			if old, ok := te.guards[k]; !ok || call.Pos() < old {
+				te.guards[k] = call.Pos()
+			}
+		}
+	}
+}
+
+// keysIn lists the tracked keys mentioned by an expression that currently
+// carry taint.
+func (te *taintEnv) keysIn(e ast.Expr) []taintKey {
+	var out []taintKey
+	ast.Inspect(e, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if k, ok := te.lvalKey(expr); ok {
+			if te.env[k] != 0 {
+				out = append(out, k)
+			}
+			return false // the root covers nested selectors
+		}
+		return true
+	})
+	return out
+}
+
+// containsLenOrRemaining reports whether e mentions builtin len/cap or a
+// Remaining/Len/Cap method call — the expressions that tie a bound to
+// what was actually received.
+func containsLenOrRemaining(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if _, isBuiltin := objOf(info, fun).(*types.Builtin); isBuiltin {
+				if fun.Name == "len" || fun.Name == "cap" {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			switch fun.Sel.Name {
+			case "Remaining", "Len", "Cap":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isConstExpr reports whether e is a compile-time constant expression.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// mentionsFieldVar reports whether e contains a struct-field selector.
+func mentionsFieldVar(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// --- sinks ------------------------------------------------------------
+
+// reportSinks walks the body for allocation and loop-bound sinks fed by
+// unguarded wire taint.
+func (te *taintEnv) reportSinks(body *ast.BlockStmt, pass *Pass) {
+	te.forEachSink(body, func(pos token.Pos, msg string) {
+		pass.Reportf(pos, "%s", msg)
+	}, nil)
+}
+
+// forEachSink invokes report for wire-tainted unguarded sinks and, when
+// sinkParams is non-nil, accumulates parameter bits that reach sinks.
+func (te *taintEnv) forEachSink(body *ast.BlockStmt, report func(pos token.Pos, what string), sinkParams *uint64) {
+	const guardHint = "guard it against Remaining()/len or a constant limit first"
+	handle := func(e ast.Expr, at token.Pos, msg string) {
+		bits := te.taintOf(e, at, true)
+		if bits == 0 {
+			return
+		}
+		if bits&wireBit != 0 && report != nil {
+			report(e.Pos(), msg)
+		}
+		if sinkParams != nil {
+			*sinkParams |= bits &^ wireBit
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// make(T, n) / make(T, n, c)
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := objOf(te.info, id).(*types.Builtin); isBuiltin {
+					for _, a := range x.Args[1:] {
+						handle(a, x.Pos(), "wire-derived allocation size is not bounds-checked ("+guardHint+")")
+					}
+					return true
+				}
+			}
+			// Arguments handed to helpers that sink them.
+			callee := calleeOf(te.info, x)
+			if callee == nil {
+				return true
+			}
+			sum := te.prog.summaryOf(callee)
+			if sum == nil || sum.sinkParam == 0 {
+				return true
+			}
+			recvOffset := 0
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recvOffset = 1
+			}
+			for i, a := range x.Args {
+				if sum.sinkParam&paramBit(i+recvOffset) != 0 {
+					handle(a, x.Pos(), "wire-derived size handed to "+callee.Name()+", which uses it as an unchecked allocation or loop bound")
+				}
+			}
+		case *ast.ForStmt:
+			if x.Cond == nil {
+				return true
+			}
+			ast.Inspect(x.Cond, func(cn ast.Node) bool {
+				be, ok := cn.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch be.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+					handle(be.X, x.Pos(), "wire-derived loop bound is not bounds-checked ("+guardHint+")")
+					handle(be.Y, x.Pos(), "wire-derived loop bound is not bounds-checked ("+guardHint+")")
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// --- summary computation (called from interproc.go) --------------------
+
+// taintSummarize fills the taint-related summary fields for one function.
+func taintSummarize(prog *Program, pf *progFunc, s *Summary) {
+	te := newTaintEnv(prog, pf.pkg.Info, pf.params)
+	te.analyze(pf.decl.Body)
+
+	// guardsParam: the function bounds-checks the parameter somewhere.
+	for i, p := range pf.params {
+		if _, ok := te.guards[taintKey{obj: p}]; ok {
+			s.guardsParam |= paramBit(i)
+		}
+	}
+
+	// sinkParam: parameter taint reaching local sinks unguarded.
+	te.forEachSink(pf.decl.Body, nil, &s.sinkParam)
+	// Normalize: summary sinkParam uses receiver-first bits directly.
+
+	// resultBits from the function's own returns, guard-filtered.
+	sig := pf.obj.Type().(*types.Signature)
+	named := namedResults(pf.pkg.Info, pf.decl)
+	forEachOwnReturn(pf.decl.Body, func(ret *ast.ReturnStmt) {
+		results := ret.Results
+		if len(results) == 0 && len(named) > 0 {
+			for j, obj := range named {
+				if j < len(s.resultBits) && obj != nil {
+					s.resultBits[j] |= te.lookupAt(taintKey{obj: obj}, ret.Pos(), true) | te.fieldUnion(obj, ret.Pos())
+				}
+			}
+			return
+		}
+		if len(results) == 1 && sig.Results().Len() > 1 {
+			// return f() passing through another call's results.
+			if call, ok := ast.Unparen(results[0]).(*ast.CallExpr); ok {
+				rb := te.callResultBits(call, ret.Pos(), true)
+				for j := range s.resultBits {
+					if j < len(rb) {
+						s.resultBits[j] |= rb[j]
+					}
+				}
+			}
+			return
+		}
+		for j, r := range results {
+			if j >= len(s.resultBits) {
+				break
+			}
+			bits := te.taintOf(r, ret.Pos(), true)
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+				if obj := objOf(te.info, id); obj != nil {
+					bits |= te.fieldUnion(obj, ret.Pos())
+				}
+			}
+			s.resultBits[j] |= bits
+		}
+	})
+}
+
+// fieldUnion folds the guard-filtered taint of every tracked field of a
+// variable: returning a struct whose field carries unguarded wire data
+// taints the whole result.
+func (te *taintEnv) fieldUnion(obj types.Object, at token.Pos) uint64 {
+	var bits uint64
+	for k := range te.env {
+		if k.obj == obj && k.path != "" {
+			bits |= te.lookupAt(k, at, true)
+		}
+	}
+	return bits
+}
+
+// namedResults returns the objects of named result parameters, aligned
+// with result indexes (nil entries for unnamed).
+func namedResults(info *types.Info, decl *ast.FuncDecl) []types.Object {
+	if decl.Type.Results == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, f := range decl.Type.Results.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, info.Defs[name])
+		}
+	}
+	return out
+}

@@ -83,7 +83,7 @@ func (m *fragment) HandleUp(ctx *dacapo.Context, p *dacapo.Packet) error {
 	id := binary.BigEndian.Uint32(hdr[0:4])
 	idx := int(binary.BigEndian.Uint16(hdr[4:6]))
 	count := int(binary.BigEndian.Uint16(hdr[6:8]))
-	if count == 0 || idx >= count {
+	if count == 0 || count > maxFragCount || idx >= count {
 		ctx.Drop(p)
 		return nil
 	}

@@ -3,6 +3,7 @@ package giop
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -464,5 +465,23 @@ func BenchmarkUnmarshalRequestQoS(b *testing.B) {
 		if _, err := Unmarshal(frame); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestForgedQoSCountRejected(t *testing.T) {
+	// A hostile peer can claim an arbitrarily large qos_params count in a
+	// VQoS Request header; the decoder must refuse it before sizing any
+	// allocation off it. QoSFrag splices pre-encoded bytes verbatim, so it
+	// doubles as a forgery vector: four 0xFF octets claim 2^32-1 entries
+	// with none present.
+	hdr := requestHeader(false)
+	hdr.QoSFrag = []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	frame, err := MarshalRequest(VQoS, cdr.BigEndian, hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseFrame(frame)
+	if _, err := Unmarshal(frame); err == nil || !strings.Contains(err.Error(), "set count") {
+		t.Fatalf("forged qos_params count not rejected: %v", err)
 	}
 }

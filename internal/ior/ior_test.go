@@ -2,11 +2,13 @@ package ior
 
 import (
 	"bytes"
+	"encoding/hex"
 	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
 
+	"cool/internal/cdr"
 	"cool/internal/qos"
 )
 
@@ -175,4 +177,35 @@ func TestQuickUnmarshalNeverPanics(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestHostileCountsRejected(t *testing.T) {
+	// Forged encapsulations claiming absurd sequence counts must be
+	// rejected by the pre-allocation guards, not by running the decode
+	// loop until it falls off the end of the buffer.
+	t.Run("profile count", func(t *testing.T) {
+		body := cdr.EncodeEncapsulation(cdr.BigEndian, func(enc *cdr.Encoder) {
+			enc.WriteString("IDL:demo/X:1.0")
+			enc.WriteULong(0xFFFFFFFF)
+		})
+		_, err := Unmarshal("IOR:" + hex.EncodeToString(body))
+		if !errors.Is(err, ErrBadEncoding) || !strings.Contains(err.Error(), "profile count") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("capability count", func(t *testing.T) {
+		body := cdr.EncodeEncapsulation(cdr.BigEndian, func(enc *cdr.Encoder) {
+			enc.WriteString("IDL:demo/X:1.0")
+			enc.WriteULong(1) // one profile
+			enc.WriteString("tcp")
+			enc.WriteString("")
+			enc.WriteString("127.0.0.1:1")
+			enc.WriteOctetSeq([]byte("k"))
+			enc.WriteULong(0x7FFFFFFF)
+		})
+		_, err := Unmarshal("IOR:" + hex.EncodeToString(body))
+		if !errors.Is(err, ErrBadEncoding) || !strings.Contains(err.Error(), "capability count") {
+			t.Fatalf("err = %v", err)
+		}
+	})
 }

@@ -528,8 +528,13 @@ func (o *Object) Invoke(op string, args func(*cdr.Encoder), out func(*cdr.Decode
 // InvokeOneway performs a one-way invocation (the `send` mode): the request
 // is sent without waiting for any reply.
 func (o *Object) InvokeOneway(op string, args func(*cdr.Encoder)) error {
-	_, err := o.start(op, args, false)
-	return err
+	p, err := o.start(op, args, false)
+	if err != nil {
+		return err
+	}
+	// A oneway Pending is born resolved; consuming it here closes its span
+	// and records the send latency, which discarding it would skip.
+	return p.Wait(nil)
 }
 
 // InvokeDeferred starts a deferred-synchronous invocation (the `defer`

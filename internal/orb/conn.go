@@ -52,6 +52,7 @@ func newClientConn(ch transport.Channel, codec Codec, granted qos.Set, ins *inst
 		pending: make(map[uint32]*replySlot),
 		done:    make(chan struct{}),
 	}
+	//coollint:detached -- stopped by teardown: closing the channel makes ReadMessage fail and the loop return
 	go c.readLoop()
 	return c
 }

@@ -230,7 +230,7 @@ func TestColocatedOnlyORB(t *testing.T) {
 }
 
 func TestOnewayInvocation(t *testing.T) {
-	_, _, servant, obj := newEnv(t, nil, "tcp")
+	_, client, servant, obj := newEnv(t, nil, "tcp")
 	if err := obj.InvokeOneway("notify", nil); err != nil {
 		t.Fatal(err)
 	}
@@ -241,6 +241,12 @@ func TestOnewayInvocation(t *testing.T) {
 			t.Fatal("oneway never dispatched")
 		case <-time.After(time.Millisecond):
 		}
+	}
+	// The oneway send must consume its Pending so that send latency is
+	// observed (and the client span ended) even with no reply to wait for.
+	h, ok := client.Metrics().Snapshot().Histogram("orb.client.latency_us{op=notify}")
+	if !ok || h.Count == 0 {
+		t.Fatalf("oneway send latency not recorded (found=%v count=%d)", ok, h.Count)
 	}
 }
 
