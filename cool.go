@@ -87,7 +87,7 @@ const (
 // both message protocols of the generic message layer available: GIOP (the
 // default) and the proprietary COOL protocol ("cool"), selectable per
 // endpoint via ListenOnProtocol. Options: WithName, WithTransport,
-// WithPrincipal, WithMessageProtocol.
+// WithPrincipal, WithMessageProtocol, WithDrainTimeout.
 func NewORB(opts ...orb.Option) *ORB {
 	all := make([]orb.Option, 0, len(opts)+1)
 	all = append(all, orb.WithMessageProtocol(coolproto.Codec{}))
@@ -100,6 +100,7 @@ var (
 	WithName           = orb.WithName
 	WithTransport      = orb.WithTransport
 	WithPrincipal      = orb.WithPrincipal
+	WithDrainTimeout   = orb.WithDrainTimeout
 	WithCapability     = orb.WithCapability
 	WithKey            = orb.WithKey
 	WithInlineDispatch = orb.WithInlineDispatch

@@ -42,6 +42,9 @@
 //   - goroleak:   every spawned goroutine that can loop forever has a
 //     join or stop edge (WaitGroup, context, closable channel) or an
 //     explicit //coollint:detached declaration.
+//   - ctxflow:    context threading — code holding a context.Context must
+//     invoke through the ...Ctx variants so deadlines reach the wire, and
+//     exported blocking proxy/pending methods must offer a ...Ctx sibling.
 //
 // Intended exceptions are declared in the source with line annotations:
 //
@@ -79,7 +82,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{PoolPair, LockHold, FrameAlias, ObsConst, WireTaint, BindState, GoroLeak}
+	return []*Analyzer{PoolPair, LockHold, FrameAlias, ObsConst, WireTaint, BindState, GoroLeak, CtxFlow}
 }
 
 // Pass carries one analyzer's view of one package.

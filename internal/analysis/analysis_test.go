@@ -104,6 +104,7 @@ func TestObsConstFixture(t *testing.T)   { runFixture(t, "obsconst", ObsConst) }
 func TestWireTaintFixture(t *testing.T)  { runFixture(t, "wiretaint", WireTaint) }
 func TestBindStateFixture(t *testing.T)  { runFixture(t, "bindstate", BindState) }
 func TestGoroLeakFixture(t *testing.T)   { runFixture(t, "goroleak", GoroLeak) }
+func TestCtxFlowFixture(t *testing.T)    { runFixture(t, "ctxflow", CtxFlow) }
 
 // TestInterprocFixture drives poolpair and framealias through helper
 // boundaries: acquires, releases and aliasing facts must flow via the

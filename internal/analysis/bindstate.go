@@ -123,10 +123,16 @@ type bindStateChecker struct {
 
 // classOf classifies a type by its method shape.
 func (bs *bindStateChecker) classOf(t types.Type) bindClass {
+	return bindClassOf(t, bs.classes)
+}
+
+// bindClassOf is the structural classification shared by the lifecycle
+// analyzers (bindstate, ctxflow), memoized in the caller's map.
+func bindClassOf(t types.Type, memo map[types.Type]bindClass) bindClass {
 	if t == nil {
 		return classNone
 	}
-	if c, ok := bs.classes[t]; ok {
+	if c, ok := memo[t]; ok {
 		return c
 	}
 	c := classNone
@@ -138,7 +144,7 @@ func (bs *bindStateChecker) classOf(t types.Type) bindClass {
 	case hasMethod(t, "Wait") && hasMethod(t, "Poll") && hasMethod(t, "Cancel"):
 		c = classPending
 	}
-	bs.classes[t] = c
+	memo[t] = c
 	return c
 }
 

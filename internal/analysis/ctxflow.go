@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the context-threaded invocation discipline introduced
+// with the connection-manager layer: once a function holds a
+// context.Context, deadlines and cancellation must reach the wire, so the
+// context-free blocking entry points (Invoke, InvokeOneway,
+// InvokeDeferred, Pending.Wait) are off limits wherever a ...Ctx variant
+// exists. Types are matched structurally (the bindstate shapes), so
+// Chic-generated stubs and hand-written wrappers are covered alike:
+//
+//   - a function or method that takes a context.Context must not call a
+//     context-free blocking method on a proxy or pending value when the
+//     receiver offers the ...Ctx variant — the held context would be
+//     silently dropped on the invocation path,
+//   - an exported method on a proxy- or pending-shaped type that blocks
+//     through one of those entry points without taking a context must
+//     offer a ...Ctx sibling, so callers can bound the call.
+//
+// Calls inside function literals are exempt from both rules: a literal
+// typically runs on its own goroutine (InvokeAsync's completion callback),
+// where the enclosing context deliberately does not bound the wait.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context threading: ctx holders use ...Ctx invocation variants, exported blocking APIs offer one",
+	Run:  runCtxFlow,
+}
+
+// ctxBlocking lists the context-free blocking entry points per structural
+// class. A call only counts when the receiver type also has the
+// corresponding <name>Ctx method — without one there is nothing better to
+// call.
+var ctxBlocking = []struct {
+	class  bindClass
+	method string
+}{
+	{classProxy, "Invoke"},
+	{classProxy, "InvokeOneway"},
+	{classProxy, "InvokeDeferred"},
+	{classPending, "Wait"},
+}
+
+func runCtxFlow(pass *Pass) {
+	c := &ctxFlowChecker{pass: pass, classes: make(map[types.Type]bindClass)}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if hasCtxParam(pass.Info, fn) {
+				c.checkCtxHolder(fn)
+			} else {
+				c.checkExportedBlocking(fn)
+			}
+		}
+	}
+}
+
+type ctxFlowChecker struct {
+	pass    *Pass
+	classes map[types.Type]bindClass
+}
+
+// hasCtxParam reports whether fn declares a context.Context parameter.
+func hasCtxParam(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, f := range fn.Type.Params.List {
+		if t := typeOf(info, f.Type); t != nil && isNamedType(t, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall classifies call as a context-free blocking invocation whose
+// receiver offers a ...Ctx variant, returning the method name.
+func (c *ctxFlowChecker) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, isMethod := c.pass.Info.Selections[sel]; !isMethod {
+		return "", false
+	}
+	t := typeOf(c.pass.Info, sel.X)
+	cls := bindClassOf(t, c.classes)
+	if cls == classNone {
+		return "", false
+	}
+	for _, rule := range ctxBlocking {
+		if rule.class == cls && rule.method == sel.Sel.Name && hasMethod(t, sel.Sel.Name+"Ctx") {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// checkCtxHolder reports context-free blocking calls made directly by a
+// function that holds a context. Function literals are skipped: they run
+// outside the caller's synchronous path.
+func (c *ctxFlowChecker) checkCtxHolder(fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := c.blockingCall(call); ok {
+			c.pass.Reportf(call.Pos(),
+				"%s holds a context but calls the context-free %s; use %sCtx so the deadline reaches the invocation",
+				fn.Name.Name, name, name)
+		}
+		return true
+	})
+}
+
+// checkExportedBlocking reports exported proxy/pending methods that block
+// through a context-free entry point without offering a ...Ctx sibling.
+func (c *ctxFlowChecker) checkExportedBlocking(fn *ast.FuncDecl) {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || !fn.Name.IsExported() {
+		return
+	}
+	recvType := typeOf(c.pass.Info, fn.Recv.List[0].Type)
+	cls := bindClassOf(recvType, c.classes)
+	if cls != classProxy && cls != classPending {
+		return
+	}
+	if lookupMethod(recvType, fn.Name.Name+"Ctx") != nil {
+		return // callers already have a bounded variant
+	}
+	reported := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := c.blockingCall(call); ok {
+			c.pass.Reportf(fn.Name.Pos(),
+				"exported method %s blocks in %s without taking a context; add a %sCtx variant",
+				fn.Name.Name, name, fn.Name.Name)
+			reported = true
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,96 @@
+// Package ctxflow is a coollint test fixture for the context-threading
+// discipline: the types below mimic the structural shapes of
+// Chic-generated stubs (proxy, Pending) with both context-free and ...Ctx
+// invocation entry points, proving the analyzer matches method sets, not
+// named types.
+package ctxflow
+
+import "context"
+
+// Proxy matches the classProxy shape: SetQoSParameter(x) error.
+type Proxy struct{}
+
+func (p *Proxy) SetQoSParameter(v int) error { return nil }
+
+func (p *Proxy) Invoke(op string) error                         { return nil }
+func (p *Proxy) InvokeCtx(ctx context.Context, op string) error { return nil }
+func (p *Proxy) InvokeOneway(op string) error                   { return nil }
+func (p *Proxy) InvokeOnewayCtx(ctx context.Context, op string) error {
+	return nil
+}
+func (p *Proxy) InvokeDeferred(op string) (*Pending, error) { return &Pending{}, nil }
+func (p *Proxy) InvokeDeferredCtx(ctx context.Context, op string) (*Pending, error) {
+	return &Pending{}, nil
+}
+
+// Pending matches the classPending shape: Wait, Poll, Cancel.
+type Pending struct{}
+
+func (p *Pending) Wait() error                       { return nil }
+func (p *Pending) WaitCtx(ctx context.Context) error { return nil }
+func (p *Pending) Poll() bool                        { return false }
+func (p *Pending) Cancel()                           {}
+
+// Bare matches the proxy shape but has no ...Ctx variants, so its
+// context-free calls have nothing better to suggest.
+type Bare struct{}
+
+func (b *Bare) SetQoSParameter(v int) error { return nil }
+func (b *Bare) Invoke(op string) error      { return nil }
+
+// Stub wraps a proxy the way generated code does.
+type Stub struct{ obj *Proxy }
+
+func (s *Stub) SetQoSParameter(v int) error { return s.obj.SetQoSParameter(v) }
+
+// --- violations ---
+
+func fetchWithContext(ctx context.Context, p *Proxy) error {
+	return p.Invoke("get") // want "holds a context but calls the context-free Invoke"
+}
+
+func notifyWithContext(ctx context.Context, p *Proxy) error {
+	return p.InvokeOneway("poke") // want "holds a context but calls the context-free InvokeOneway"
+}
+
+func waitWithContext(ctx context.Context, pend *Pending) error {
+	return pend.Wait() // want "holds a context but calls the context-free Wait"
+}
+
+// Fetch blocks through Invoke but offers no FetchCtx sibling.
+func (s *Stub) Fetch() error { // want "exported method Fetch blocks in Invoke without taking a context"
+	return s.obj.Invoke("fetch")
+}
+
+// --- clean shapes ---
+
+// A function without a context may use the context-free entry points.
+func fetchNoContext(p *Proxy) error { return p.Invoke("get") }
+
+// The ...Ctx variants are always fine.
+func fetchBounded(ctx context.Context, p *Proxy) error {
+	return p.InvokeCtx(ctx, "get")
+}
+
+// A function literal runs outside the caller's synchronous path
+// (InvokeAsync-style completion), so its waits are exempt.
+func asyncWithContext(ctx context.Context, pend *Pending) {
+	done := make(chan error, 1)
+	go func() { done <- pend.Wait() }()
+	<-done
+}
+
+// A receiver without ...Ctx variants has nothing better to call.
+func bareWithContext(ctx context.Context, b *Bare) error {
+	return b.Invoke("get")
+}
+
+// Poke is exported and blocking but delegates to its ...Ctx sibling.
+func (s *Stub) Poke() error { return s.PokeCtx(context.Background()) }
+
+func (s *Stub) PokeCtx(ctx context.Context) error {
+	return s.obj.InvokeCtx(ctx, "poke")
+}
+
+// An unexported method may keep the short form.
+func (s *Stub) refresh() error { return s.obj.Invoke("refresh") }

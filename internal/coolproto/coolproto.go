@@ -238,6 +238,12 @@ func (Codec) MarshalMessageError() ([]byte, error) {
 	return w.buf, nil
 }
 
+// MarshalCloseConnection implements the codec interface.
+func (Codec) MarshalCloseConnection() ([]byte, error) {
+	w := start(verPlain, giop.MsgCloseConnection)
+	return w.buf, nil
+}
+
 // Unmarshal implements the codec interface, producing the shared
 // giop.Message representation with a standalone body.
 func (Codec) Unmarshal(frame []byte) (*giop.Message, error) {

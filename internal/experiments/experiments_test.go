@@ -119,6 +119,9 @@ func TestTransportComparisonShape(t *testing.T) {
 	if raceEnabled {
 		t.Skip("timing shapes are unreliable under the race detector")
 	}
+	if pooldebugEnabled {
+		t.Skip("timing shapes are unreliable under the pooldebug verifier")
+	}
 	if testing.Short() {
 		t.Skip("latency measurement")
 	}

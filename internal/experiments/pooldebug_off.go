@@ -1,0 +1,6 @@
+//go:build !pooldebug
+
+package experiments
+
+// pooldebugEnabled reports that the pooldebug runtime verifier is active.
+const pooldebugEnabled = false

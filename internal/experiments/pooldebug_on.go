@@ -1,0 +1,8 @@
+//go:build pooldebug
+
+package experiments
+
+// pooldebugEnabled reports that the pooldebug runtime verifier is active;
+// like the race detector, its per-acquisition ledgers and stack captures
+// skew latencies enough to invert timing-shape comparisons.
+const pooldebugEnabled = true

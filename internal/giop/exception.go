@@ -44,6 +44,7 @@ const (
 	RepoIDMarshal        = "IDL:omg.org/CORBA/MARSHAL:1.0"
 	RepoIDTransient      = "IDL:omg.org/CORBA/TRANSIENT:1.0"
 	RepoIDInvObjref      = "IDL:omg.org/CORBA/INV_OBJREF:1.0"
+	RepoIDTimeout        = "IDL:omg.org/CORBA/TIMEOUT:1.0"
 )
 
 // SystemException is a CORBA system exception as carried in a Reply with
@@ -128,6 +129,16 @@ func MarshalException() *SystemException {
 func Transient(minor uint32) *SystemException {
 	return &SystemException{ID: RepoIDTransient, Minor: minor, Completed: CompletedNo}
 }
+
+// TimeoutException reports an invocation that exceeded its deadline (the
+// context's or the one derived from the QoS delay bound). Completion is
+// MAYBE: the request may have reached the servant before the bound fired.
+func TimeoutException() *SystemException {
+	return &SystemException{ID: RepoIDTimeout, Completed: CompletedMaybe}
+}
+
+// IsTimeout reports whether the exception is a deadline expiry.
+func (e *SystemException) IsTimeout() bool { return e.ID == RepoIDTimeout }
 
 // UnknownException wraps a servant-side failure with no better mapping.
 func UnknownException() *SystemException {

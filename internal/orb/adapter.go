@@ -23,6 +23,7 @@
 package orb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -45,6 +46,10 @@ type Invocation struct {
 	Args *cdr.Decoder
 	// Principal is the requesting principal identity blob.
 	Principal []byte
+	// Ctx is cancelled when the serving connection is torn down or when a
+	// Shutdown drain gives up on the request; long-running servants should
+	// observe it. For colocated dispatch it is the caller's context.
+	Ctx context.Context
 }
 
 // ReplyWriter encodes the operation results into the Reply body.

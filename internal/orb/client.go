@@ -1,8 +1,10 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +23,60 @@ var ErrNoUsableProfile = errors.New("orb: no profile satisfies the requested QoS
 
 // ErrCanceled reports Wait on a cancelled deferred invocation.
 var ErrCanceled = errors.New("orb: request was canceled")
+
+// Backoff schedule for retry-safe failures (see retryableError): capped
+// exponential with ±25% jitter.
+const (
+	maxRetries = 6
+	retryBase  = 20 * time.Millisecond
+	retryCap   = 500 * time.Millisecond
+)
+
+// retryDelay returns the backoff before retry attempt (zero-based).
+func retryDelay(attempt int) time.Duration {
+	d := retryBase << attempt
+	if d > retryCap {
+		d = retryCap
+	}
+	return d - d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// sleepCtx sleeps for d or until the context is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// timeoutError surfaces a deadline expiry both as the CORBA TIMEOUT
+// system exception (errors.As) and as context.DeadlineExceeded
+// (errors.Is), so callers on either idiom recognise it.
+type timeoutError struct{ exc *giop.SystemException }
+
+func (e *timeoutError) Error() string { return e.exc.Error() }
+func (e *timeoutError) Unwrap() []error {
+	return []error{error(e.exc), context.DeadlineExceeded}
+}
+
+// deadlineFor merges the context deadline with the binding's QoS delay
+// bound: a Latency parameter is a one-way bound in microseconds, so a
+// two-way invocation is granted twice that before it times out. The zero
+// time means unbounded.
+func deadlineFor(ctx context.Context, b *binding) time.Time {
+	var dl time.Time
+	if lat := b.reqQoS.Value(qos.Latency, 0); lat > 0 {
+		dl = time.Now().Add(2 * time.Duration(lat) * time.Microsecond)
+	}
+	if cdl, ok := ctx.Deadline(); ok && (dl.IsZero() || cdl.Before(dl)) {
+		dl = cdl
+	}
+	return dl
+}
 
 // Object is a client proxy for a remote (or colocated) object: the
 // hand-rolled equivalent of what generated stubs wrap. Generated stubs
@@ -110,7 +166,7 @@ func (o *Object) GrantedQoS() qos.Set {
 // Colocated reports whether the current binding short-circuits through the
 // local object adapter. It binds if necessary.
 func (o *Object) Colocated() (bool, error) {
-	b, err := o.bind()
+	b, err := o.bind(context.Background())
 	if err != nil {
 		return false, err
 	}
@@ -129,9 +185,10 @@ func encodeQoSFrag(s qos.Set) []byte {
 }
 
 // bind establishes (or reuses) the binding for the current QoS
-// requirements: profile selection, colocation check, connection setup with
-// unilateral transport negotiation.
-func (o *Object) bind() (*binding, error) {
+// requirements: profile selection, colocation check, connection setup
+// (through the connection manager) with unilateral transport negotiation.
+// The context bounds the dial.
+func (o *Object) bind(ctx context.Context) (*binding, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if b := o.binding; b != nil && (b.colocated || !b.conn.isClosed()) {
@@ -156,7 +213,7 @@ func (o *Object) bind() (*binding, error) {
 		o.binding = b
 		return b, nil
 	}
-	conn, granted, err := o.orb.getConn(profile, o.req)
+	conn, granted, err := o.orb.cm.get(ctx, profile, o.req)
 	if err != nil {
 		o.recordNegotiation(profile, "bind_failure", err.Error())
 		return nil, err
@@ -201,7 +258,7 @@ func (o *Object) abortBinding(b *binding) {
 	if b == nil || b.colocated {
 		return
 	}
-	o.orb.dropConn(b.profile, b.reqKey, b.conn)
+	o.orb.cm.drop(b.profile, b.reqKey, b.conn)
 }
 
 // invalidate drops the cached binding (after connection loss or forward).
@@ -286,9 +343,11 @@ func classifyOutcome(err error) (outcome, detail string, nack bool) {
 // invokeOnce performs one synchronous two-way attempt: marshal into a
 // pooled frame, send, block directly on the pooled reply slot, decode, and
 // recycle message and buffers. The steady-state path allocates nothing and
-// crosses no extra goroutines beyond the connection's reader.
-func (o *Object) invokeOnce(op string, args func(*cdr.Encoder), out func(*cdr.Decoder) error) error {
-	b, err := o.bind()
+// crosses no extra goroutines beyond the connection's reader. The context
+// (and the QoS delay bound, see deadlineFor) bounds the dial and the wait
+// for the reply.
+func (o *Object) invokeOnce(ctx context.Context, op string, args func(*cdr.Encoder), out func(*cdr.Decoder) error) error {
+	b, err := o.bind(ctx)
 	if err != nil {
 		return err
 	}
@@ -304,7 +363,7 @@ func (o *Object) invokeOnce(op string, args func(*cdr.Encoder), out func(*cdr.De
 			recordCall(stats, span, "error", "marshal failed")
 			return err
 		}
-		reply, err := o.orb.dispatchColocated(b.codec, frame)
+		reply, err := o.orb.dispatchColocated(ctx, b.codec, frame)
 		if err != nil {
 			recordCall(stats, span, "error", err.Error())
 			return err
@@ -324,9 +383,11 @@ func (o *Object) invokeOnce(op string, args func(*cdr.Encoder), out func(*cdr.De
 
 	id, slot, err := b.conn.register()
 	if err != nil {
+		// The connection died between bind and register; nothing was
+		// sent, so the attempt is safe to retry on a fresh connection.
 		o.invalidate()
 		recordCall(stats, span, "error", "connection closed")
-		return err
+		return &retryableError{err: err}
 	}
 	frame, err := o.buildRequest(b, id, op, true, span, args)
 	if err != nil {
@@ -344,16 +405,42 @@ func (o *Object) invokeOnce(op string, args func(*cdr.Encoder), out func(*cdr.De
 		return err
 	}
 	ins.msgOut(giop.MsgRequest, flen)
-	m, err := b.conn.await(slot)
+	m, err := b.conn.awaitCtx(ctx, deadlineFor(ctx, b), slot)
 	if err != nil {
 		b.conn.unregister(id)
 		b.conn.releaseSlot(slot)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// The connection is healthy — only this invocation is
+			// abandoned. Tell the server to suppress the reply; a late
+			// one is counted as an orphan by route.
+			o.sendCancel(b, id)
+			if errors.Is(err, context.DeadlineExceeded) {
+				ins.deadlineExceeded.Inc()
+				recordCall(stats, span, "deadline_exceeded", "")
+				return &timeoutError{exc: giop.TimeoutException()}
+			}
+			recordCall(stats, span, "canceled", "")
+			return err
+		}
 		o.invalidate()
 		recordCall(stats, span, "error", err.Error())
 		return err
 	}
 	b.conn.releaseSlot(slot)
 	return o.finishInvoke(b, stats, span, m, out)
+}
+
+// sendCancel tells the server to suppress the reply of an abandoned
+// request. Best effort: a broken connection needs no cancel.
+func (o *Object) sendCancel(b *binding, id uint32) {
+	frame, err := b.codec.MarshalCancelRequest(id)
+	if err != nil {
+		return
+	}
+	flen := len(frame)
+	if b.conn.send(frame) == nil {
+		o.orb.ins.msgOut(giop.MsgCancelRequest, flen)
+	}
 }
 
 // finishInvoke decodes a two-way reply, recycles the message, and records
@@ -380,9 +467,11 @@ func (o *Object) finishInvoke(b *binding, stats *clientOp, span obs.Span, m *gio
 // start issues a request and returns a future for its reply. Two-way
 // futures are goroutine-free: the Pending's Wait/Poll select directly on
 // the registered reply slot. Colocated requests dispatch inline, so their
-// Pending is born resolved.
-func (o *Object) start(op string, args func(*cdr.Encoder), expectReply bool) (*Pending, error) {
-	b, err := o.bind()
+// Pending is born resolved. The context bounds the dial and the colocated
+// dispatch; waiting for the reply is bounded by the context handed to
+// WaitCtx.
+func (o *Object) start(ctx context.Context, op string, args func(*cdr.Encoder), expectReply bool) (*Pending, error) {
+	b, err := o.bind(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +487,7 @@ func (o *Object) start(op string, args func(*cdr.Encoder), expectReply bool) (*P
 			return nil, err
 		}
 		p := &Pending{o: o, oneway: !expectReply, span: span, stats: stats}
-		reply, err := o.orb.dispatchColocated(b.codec, frame)
+		reply, err := o.orb.dispatchColocated(ctx, b.codec, frame)
 		switch {
 		case err != nil:
 			p.res = &result{err: err}
@@ -508,18 +597,49 @@ func (e *forwardError) Error() string { return "orb: location forward" }
 // Invoke performs a synchronous two-way invocation (the `call` mode of
 // §5.2): marshal, send, wait for the Reply, unmarshal. out may be nil for
 // void results; QoS NACKs surface as *giop.SystemException with
-// IsNACK() == true.
+// IsNACK() == true. It is InvokeCtx with no context: only a QoS Latency
+// requirement bounds it.
 func (o *Object) Invoke(op string, args func(*cdr.Encoder), out func(*cdr.Decoder) error) error {
+	return o.InvokeCtx(context.Background(), op, args, out)
+}
+
+// InvokeCtx is Invoke governed by a context. The earlier of the context
+// deadline and the binding's QoS delay bound (2× the one-way Latency
+// parameter, covering the round trip) bounds the invocation; expiry
+// surfaces as a CORBA TIMEOUT system exception that also matches
+// errors.Is(err, context.DeadlineExceeded). Retry-safe failures — dial
+// errors and requests that raced a connection teardown before being
+// sent — are retried with capped exponential backoff and jitter,
+// transparently re-dialling a broken connection without a new proxy or
+// explicit rebind; anything that may have reached the servant is
+// at-most-once and never retried.
+func (o *Object) InvokeCtx(ctx context.Context, op string, args func(*cdr.Encoder), out func(*cdr.Decoder) error) error {
 	const maxForwards = 3
-	for attempt := 0; ; attempt++ {
-		err := o.invokeOnce(op, args, out)
+	forwards, retries := 0, 0
+	for {
+		err := o.invokeOnce(ctx, op, args, out)
+		if err == nil {
+			return nil
+		}
+		// The errors.As targets below escape; keeping them behind the nil
+		// check keeps the happy path allocation-free (see perf_test.go).
 		var fwd *forwardError
-		if errors.As(err, &fwd) && attempt < maxForwards {
+		if errors.As(err, &fwd) && forwards < maxForwards {
+			forwards++
 			o.mu.Lock()
 			o.ref = fwd.ref
 			o.binding = nil
 			o.mu.Unlock()
 			continue
+		}
+		var re *retryableError
+		if errors.As(err, &re) {
+			if retries < maxRetries && sleepCtx(ctx, retryDelay(retries)) == nil {
+				retries++
+				o.orb.ins.retries.Inc()
+				continue
+			}
+			return re.err
 		}
 		return err
 	}
@@ -528,25 +648,36 @@ func (o *Object) Invoke(op string, args func(*cdr.Encoder), out func(*cdr.Decode
 // InvokeOneway performs a one-way invocation (the `send` mode): the request
 // is sent without waiting for any reply.
 func (o *Object) InvokeOneway(op string, args func(*cdr.Encoder)) error {
-	p, err := o.start(op, args, false)
+	return o.InvokeOnewayCtx(context.Background(), op, args)
+}
+
+// InvokeOnewayCtx is InvokeOneway with the dial bounded by the context.
+func (o *Object) InvokeOnewayCtx(ctx context.Context, op string, args func(*cdr.Encoder)) error {
+	p, err := o.start(ctx, op, args, false)
 	if err != nil {
 		return err
 	}
 	// A oneway Pending is born resolved; consuming it here closes its span
 	// and records the send latency, which discarding it would skip.
-	return p.Wait(nil)
+	return p.WaitCtx(ctx, nil)
 }
 
 // InvokeDeferred starts a deferred-synchronous invocation (the `defer`
 // mode): the returned Pending is acted upon later via Poll/Wait/Cancel.
 func (o *Object) InvokeDeferred(op string, args func(*cdr.Encoder)) (*Pending, error) {
-	return o.start(op, args, true)
+	return o.start(context.Background(), op, args, true)
+}
+
+// InvokeDeferredCtx is InvokeDeferred with the dial bounded by the
+// context; the reply wait is bounded by the context handed to WaitCtx.
+func (o *Object) InvokeDeferredCtx(ctx context.Context, op string, args func(*cdr.Encoder)) (*Pending, error) {
+	return o.start(ctx, op, args, true)
 }
 
 // InvokeAsync starts an asynchronous invocation and calls notify with the
 // outcome on a separate goroutine (the `notify` mode).
 func (o *Object) InvokeAsync(op string, args func(*cdr.Encoder), notify func(out *cdr.Decoder, err error)) error {
-	p, err := o.start(op, args, true)
+	p, err := o.start(context.Background(), op, args, true)
 	if err != nil {
 		return err
 	}
@@ -565,7 +696,7 @@ func (o *Object) InvokeAsync(op string, args func(*cdr.Encoder), notify func(out
 // LocateRequest/LocateReply). Colocated bindings answer from the local
 // object adapter.
 func (o *Object) Locate() (bool, error) {
-	b, err := o.bind()
+	b, err := o.bind(context.Background())
 	if err != nil {
 		return false, err
 	}
@@ -687,15 +818,59 @@ func (p *Pending) Poll() bool {
 	return false
 }
 
-// Wait blocks for the reply and decodes it like Invoke. It does not hold
-// the Pending's lock while blocked, so concurrent Poll and Cancel stay
-// responsive; a Cancel that wins the race wakes Wait via the resolved
-// channel.
+// Wait blocks for the reply and decodes it like Invoke; it is WaitCtx
+// with no context (only a QoS Latency requirement bounds it).
 func (p *Pending) Wait(out func(*cdr.Decoder) error) error {
+	return p.WaitCtx(context.Background(), out)
+}
+
+// deadline merges the context deadline with the binding's QoS delay
+// bound, measured from the request's send time (2× the one-way Latency,
+// covering the round trip). The zero time means unbounded.
+func (p *Pending) deadline(ctx context.Context) time.Time {
+	var dl time.Time
+	if p.b != nil {
+		if lat := p.b.reqQoS.Value(qos.Latency, 0); lat > 0 {
+			dl = p.span.Start.Add(2 * time.Duration(lat) * time.Microsecond)
+		}
+	}
+	if cdl, ok := ctx.Deadline(); ok && (dl.IsZero() || cdl.Before(dl)) {
+		dl = cdl
+	}
+	return dl
+}
+
+// expired reports a WaitCtx deadline expiry. The invocation itself stays
+// pending, so the span is not closed here.
+func (p *Pending) expired() error {
+	if p.o != nil {
+		p.o.orb.ins.deadlineExceeded.Inc()
+	}
+	return &timeoutError{exc: giop.TimeoutException()}
+}
+
+// WaitCtx blocks for the reply and decodes it like Invoke, bounded by the
+// context and by the binding's QoS delay bound (see deadline). On expiry
+// it returns a TIMEOUT system exception (matching errors.Is
+// context.DeadlineExceeded) and leaves the invocation pending: the caller
+// may WaitCtx again or Cancel. It does not hold the Pending's lock while
+// blocked, so concurrent Poll and Cancel stay responsive; a Cancel that
+// wins the race wakes Wait via the resolved channel.
+func (p *Pending) WaitCtx(ctx context.Context, out func(*cdr.Decoder) error) error {
 	p.mu.Lock()
 	if p.res == nil && !p.dead && p.slot != nil {
 		slot, conn, resolved := p.slot, p.b.conn, p.resolved
 		p.mu.Unlock()
+		var timeout <-chan time.Time
+		if dl := p.deadline(ctx); !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return p.expired()
+			}
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			timeout = timer.C
+		}
 		select {
 		case m := <-slot.ch:
 			p.mu.Lock()
@@ -724,6 +899,13 @@ func (p *Pending) Wait(out func(*cdr.Decoder) error) error {
 			}
 		case <-resolved:
 			p.mu.Lock()
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return p.expired()
+			}
+			return ctx.Err()
+		case <-timeout:
+			return p.expired()
 		}
 	}
 	if p.dead {

@@ -31,6 +31,9 @@ type Codec interface {
 	MarshalLocateReply(req *giop.Message, requestID uint32, status giop.LocateStatus, body func(*cdr.Encoder)) ([]byte, error)
 	// MarshalMessageError encodes the protocol-error message.
 	MarshalMessageError() ([]byte, error)
+	// MarshalCloseConnection encodes the orderly-shutdown notification the
+	// server sends before closing a connection (GIOP CloseConnection).
+	MarshalCloseConnection() ([]byte, error)
 	// Unmarshal decodes one frame.
 	Unmarshal(frame []byte) (*giop.Message, error)
 }
@@ -128,6 +131,11 @@ func (GIOPCodec) MarshalLocateReply(req *giop.Message, requestID uint32, status 
 // MarshalMessageError implements Codec.
 func (GIOPCodec) MarshalMessageError() ([]byte, error) {
 	return giop.MarshalMessageError(giop.V1_0, cdr.BigEndian)
+}
+
+// MarshalCloseConnection implements Codec.
+func (GIOPCodec) MarshalCloseConnection() ([]byte, error) {
+	return giop.MarshalCloseConnection(giop.V1_0, cdr.BigEndian)
 }
 
 // Unmarshal implements Codec.

@@ -1,10 +1,12 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cool/internal/giop"
 	"cool/internal/qos"
@@ -218,10 +220,29 @@ func (c *clientConn) send(frame []byte) error {
 	return nil
 }
 
-// await blocks for the reply to a registered request. On teardown it
+// await blocks for the reply to a registered request with no bound.
+func (c *clientConn) await(slot *replySlot) (*giop.Message, error) {
+	return c.awaitCtx(context.Background(), time.Time{}, slot)
+}
+
+// awaitCtx blocks for the reply to a registered request, additionally
+// honouring the context and an absolute deadline (zero means none; a
+// non-zero deadline arms a timer, so the unbounded hot path stays
+// allocation-free). Expiry returns context.DeadlineExceeded; the caller
+// owns unregistering the request and recycling the slot. On teardown it
 // prefers a reply that was routed before the connection died (route's
 // critical section happens before close(done)).
-func (c *clientConn) await(slot *replySlot) (*giop.Message, error) {
+func (c *clientConn) awaitCtx(ctx context.Context, deadline time.Time, slot *replySlot) (*giop.Message, error) {
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 	select {
 	case m := <-slot.ch:
 		return m, nil
@@ -232,5 +253,9 @@ func (c *clientConn) await(slot *replySlot) (*giop.Message, error) {
 		default:
 		}
 		return nil, c.errNow()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timeout:
+		return nil, context.DeadlineExceeded
 	}
 }

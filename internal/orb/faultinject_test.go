@@ -1,0 +1,290 @@
+package orb_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cool/internal/cdr"
+	"cool/internal/giop"
+	"cool/internal/leakcheck"
+	"cool/internal/netsim"
+	"cool/internal/orb"
+	"cool/internal/qos"
+	"cool/internal/transport"
+)
+
+// TestRedialAfterEndpointRestart injects the paper's canonical transport
+// fault: the endpoint process dies under a bound proxy and comes back at
+// the same address. The proxy must recover transparently — one Invoke
+// rides the connection manager's backoff redial, with no new Bind — and
+// the recovery is visible in the retry/redial counters.
+func TestRedialAfterEndpointRestart(t *testing.T) {
+	leakcheck.Check(t)
+	sim := netsim.NewManager(netsim.Loopback())
+
+	server := orb.New(orb.WithName("ep1"), orb.WithTransport(sim))
+	addr, err := server.ListenOn("netsim", "fault-ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.RegisterServant(&echoServant{}, orb.WithKey("echo")); err != nil {
+		t.Fatal(err)
+	}
+	ref := server.RefFor("IDL:test/Echo:1.0", []byte("echo"))
+
+	client := orb.New(orb.WithName("cli"), orb.WithTransport(sim))
+	t.Cleanup(client.Shutdown)
+	obj := client.Resolve(ref)
+	if got := invokeEcho(t, obj, "before"); got != "before" {
+		t.Fatalf("echo = %q", got)
+	}
+
+	// Kill the endpoint. The CloseConnection announcement reaches the
+	// client almost instantly over the loopback link; the short sleep lets
+	// the read loop mark the cached connection broken so the next Invoke
+	// deterministically takes the redial path.
+	server.Shutdown()
+	time.Sleep(50 * time.Millisecond)
+
+	// Restart the listener at the same address while the client is already
+	// retrying with backoff.
+	restarted := make(chan *orb.ORB, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		s2 := orb.New(orb.WithName("ep2"), orb.WithTransport(sim))
+		if _, err := s2.ListenOn("netsim", addr); err != nil {
+			t.Errorf("relisten: %v", err)
+		}
+		if _, err := s2.RegisterServant(&echoServant{}, orb.WithKey("echo")); err != nil {
+			t.Errorf("re-register: %v", err)
+		}
+		restarted <- s2
+	}()
+
+	// A single Invoke on the same proxy: dials fail until the listener is
+	// back, each failure retried with backoff inside InvokeCtx.
+	if got := invokeEcho(t, obj, "after"); got != "after" {
+		t.Fatalf("echo after restart = %q", got)
+	}
+	s2 := <-restarted
+	t.Cleanup(s2.Shutdown)
+
+	ss := client.Metrics().Snapshot()
+	if n := ss.Counter("orb.client.redials"); n == 0 {
+		t.Error("orb.client.redials = 0, want the broken connection's redial counted")
+	}
+	if n := ss.Counter("orb.client.retries"); n == 0 {
+		t.Error("orb.client.retries = 0, want backoff retries while the endpoint was down")
+	}
+}
+
+// TestQoSLatencyDeadline maps the binding's QoS delay bound onto an
+// invocation deadline: a servant that stalls past 2× the Latency request
+// produces a TIMEOUT system exception (also errors.Is-able as
+// context.DeadlineExceeded) well before the servant finishes, and the
+// binding stays usable afterwards.
+func TestQoSLatencyDeadline(t *testing.T) {
+	_, client, _, obj := newEnv(t, qos.Unconstrained(), "dacapo")
+
+	// 2 ms one-way bound → 4 ms round-trip deadline; "slow" sleeps 30 ms.
+	req := qos.Set{{Type: qos.Latency, Request: 2000, Max: 1_000_000, Min: 0}}
+	if err := obj.SetQoSParameter(req); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	err := obj.Invoke("slow", nil, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled invocation returned nil, want timeout")
+	}
+	var se *giop.SystemException
+	if !errors.As(err, &se) || !se.IsTimeout() {
+		t.Fatalf("err = %v, want TIMEOUT system exception", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(context.DeadlineExceeded)", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("timeout after %v, want within tolerance of the 4ms deadline", elapsed)
+	}
+	if n := client.Metrics().Snapshot().Counter("orb.client.deadline_exceeded"); n == 0 {
+		t.Error("orb.client.deadline_exceeded = 0, want the expiry counted")
+	}
+
+	// The late reply is dropped and its slot recycled: the same binding
+	// serves the next call (give the stalled servant time to finish).
+	time.Sleep(50 * time.Millisecond)
+	if err := obj.SetQoSParameter(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := invokeEcho(t, obj, "alive"); got != "alive" {
+		t.Fatalf("echo after timeout = %q", got)
+	}
+}
+
+// TestContextCancelAbortsInvocation: cancelling the caller's context
+// releases a blocked InvokeCtx promptly with context.Canceled.
+func TestContextCancelAbortsInvocation(t *testing.T) {
+	_, _, _, obj := newEnv(t, nil, "tcp")
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan error, 1)
+	go func() {
+		res <- obj.InvokeCtx(ctx, "slow", nil, nil)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the request reach the wire
+	cancel()
+	select {
+	case err := <-res:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled invocation never returned")
+	}
+}
+
+// blockingServant holds every invocation until released, so tests can pin
+// a request in flight.
+type blockingServant struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (s *blockingServant) RepoID() string { return "IDL:test/Block:1.0" }
+
+func (s *blockingServant) Invoke(inv *orb.Invocation) (orb.ReplyWriter, error) {
+	s.started <- struct{}{}
+	select {
+	case <-s.release:
+		return func(enc *cdr.Encoder) { enc.WriteString("drained") }, nil
+	case <-inv.Ctx.Done():
+		return nil, inv.Ctx.Err()
+	}
+}
+
+// TestShutdownDrainsInflight: Shutdown with a request in flight stops
+// accepting, waits for the request, delivers its reply, and only then
+// tears the connections down — visible in the drain counters.
+func TestShutdownDrainsInflight(t *testing.T) {
+	leakcheck.Check(t)
+	inner := transport.NewInprocManager()
+	server := orb.New(
+		orb.WithName("drain-s"),
+		orb.WithTransport(inner),
+		orb.WithDrainTimeout(3*time.Second),
+	)
+	if _, err := server.ListenOn("inproc", ""); err != nil {
+		t.Fatal(err)
+	}
+	bs := &blockingServant{started: make(chan struct{}, 1), release: make(chan struct{})}
+	ref, err := server.RegisterServant(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := orb.New(orb.WithName("drain-c"), orb.WithTransport(inner))
+	t.Cleanup(client.Shutdown)
+	obj := client.Resolve(ref)
+
+	var got string
+	res := make(chan error, 1)
+	go func() {
+		res <- obj.Invoke("hold", nil, func(dec *cdr.Decoder) error {
+			var err error
+			got, err = dec.ReadString()
+			return err
+		})
+	}()
+	select {
+	case <-bs.started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("request never reached the servant")
+	}
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		server.Shutdown()
+		close(shutdownDone)
+	}()
+	// The drain must hold Shutdown open while the request runs.
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned while a request was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(bs.release)
+	select {
+	case <-shutdownDone:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Shutdown never finished after the drain")
+	}
+	if err := <-res; err != nil {
+		t.Fatalf("drained invocation failed: %v", err)
+	}
+	if got != "drained" {
+		t.Fatalf("reply = %q, want %q", got, "drained")
+	}
+
+	ss := server.Metrics().Snapshot()
+	if n := ss.Counter("orb.server.drain_completed"); n == 0 {
+		t.Error("orb.server.drain_completed = 0, want the drained request counted")
+	}
+	if ss.Counter("orb.server.drain_aborted") != 0 {
+		t.Error("orb.server.drain_aborted > 0 on a clean drain")
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: a servant that never returns on its
+// own is cut off by the drain deadline — its invocation context is
+// cancelled and the abort is counted.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	leakcheck.Check(t)
+	inner := transport.NewInprocManager()
+	server := orb.New(
+		orb.WithName("straggler-s"),
+		orb.WithTransport(inner),
+		orb.WithDrainTimeout(30*time.Millisecond),
+	)
+	if _, err := server.ListenOn("inproc", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Never released: only the drain deadline (context cancellation on
+	// teardown) lets the servant return.
+	bs := &blockingServant{started: make(chan struct{}, 1), release: make(chan struct{})}
+	ref, err := server.RegisterServant(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := orb.New(orb.WithName("straggler-c"), orb.WithTransport(inner))
+	t.Cleanup(client.Shutdown)
+	obj := client.Resolve(ref)
+
+	res := make(chan error, 1)
+	go func() {
+		res <- obj.Invoke("hold", nil, nil)
+	}()
+	select {
+	case <-bs.started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("request never reached the servant")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		server.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Shutdown stuck past the drain deadline")
+	}
+	if err := <-res; err == nil {
+		t.Fatal("aborted invocation returned nil, want an error")
+	}
+	if n := server.Metrics().Snapshot().Counter("orb.server.drain_aborted"); n == 0 {
+		t.Error("orb.server.drain_aborted = 0, want the straggler counted")
+	}
+}

@@ -24,6 +24,22 @@ const (
 	// mClientOrphans counts replies routed to a request id with no waiter
 	// (the request was cancelled or timed out before its reply arrived).
 	mClientOrphans = "orb.client.orphan_replies"
+	// mClientDeadline counts invocations abandoned because their deadline
+	// (context or QoS delay bound) expired before the reply arrived.
+	mClientDeadline = "orb.client.deadline_exceeded"
+	// mClientRetries counts invocation attempts repeated after a
+	// retry-safe failure (the request never reached the servant).
+	mClientRetries = "orb.client.retries"
+	// mClientRedials counts re-established connections: dials for an
+	// endpoint whose cached connection had broken.
+	mClientRedials = "orb.client.redials"
+	// mServerDrainUS records the duration of the last Shutdown drain.
+	mServerDrainUS = "orb.server.drain_us"
+	// mServerDrained counts in-flight requests that completed during a
+	// Shutdown drain; mServerDrainAborted counts the ones still running
+	// when the drain deadline expired and their contexts were cancelled.
+	mServerDrained      = "orb.server.drain_completed"
+	mServerDrainAborted = "orb.server.drain_aborted"
 )
 
 // clientOp caches the per-operation client-side metric handles and the
@@ -59,6 +75,16 @@ type instruments struct {
 	// orphanReplies counts replies that arrived for an unregistered
 	// request id (see mClientOrphans).
 	orphanReplies *obs.Counter
+
+	// Deadline, retry and drain instruments (see the metric constants).
+	// Registered eagerly so their rows appear in snapshots (and coolstat)
+	// even before the first event.
+	deadlineExceeded *obs.Counter
+	retries          *obs.Counter
+	redials          *obs.Counter
+	drainDuration    *obs.Gauge
+	drainCompleted   *obs.Counter
+	drainAborted     *obs.Counter
 }
 
 func newInstruments() *instruments {
@@ -78,6 +104,12 @@ func newInstruments() *instruments {
 		ins.outBytes[t] = ins.reg.Counter(mGIOPOutBytes + label)
 	}
 	ins.orphanReplies = ins.reg.Counter(mClientOrphans)
+	ins.deadlineExceeded = ins.reg.Counter(mClientDeadline)
+	ins.retries = ins.reg.Counter(mClientRetries)
+	ins.redials = ins.reg.Counter(mClientRedials)
+	ins.drainDuration = ins.reg.Gauge(mServerDrainUS)
+	ins.drainCompleted = ins.reg.Counter(mServerDrained)
+	ins.drainAborted = ins.reg.Counter(mServerDrainAborted)
 	return ins
 }
 

@@ -1,34 +1,48 @@
 package orb
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
+	"cool/internal/giop"
 	"cool/internal/ior"
 	"cool/internal/obs"
 	"cool/internal/qos"
 	"cool/internal/transport"
 )
 
+// defaultDrainTimeout bounds how long Shutdown waits for in-flight
+// requests to complete before cancelling their contexts.
+const defaultDrainTimeout = 5 * time.Second
+
 // ORB is one COOL runtime instance: object adapter, server endpoints, and
 // client-side connection management over the generic transport layer.
 type ORB struct {
-	name      string
-	registry  *transport.Registry
-	adapter   *Adapter
-	principal []byte
-	codecs    map[string]Codec
-	ins       *instruments
+	name         string
+	registry     *transport.Registry
+	adapter      *Adapter
+	principal    []byte
+	codecs       map[string]Codec
+	ins          *instruments
+	cm           *connManager
+	drainTimeout time.Duration
 
 	mu        sync.Mutex
 	endpoints []endpoint
 	listeners []transport.Listener
-	conns     map[connKey]*clientConn
-	accepted  map[transport.Channel]struct{}
+	accepted  map[transport.Channel]acceptedConn
 	activated bool
 	shutdown  bool
 	wg        sync.WaitGroup
+
+	// drainMu guards the server-side in-flight request accounting that
+	// Shutdown's graceful drain waits on.
+	drainMu   sync.Mutex
+	draining  bool
+	inflight  int
+	drainDone chan struct{}
 
 	// dispatchQ feeds the bounded server dispatch worker pool, started
 	// lazily with the first listener and closed by Shutdown after all
@@ -36,6 +50,14 @@ type ORB struct {
 	dispatchQ   chan serverTask
 	workerStart sync.Once
 	workerStop  sync.Once
+}
+
+// acceptedConn is the shutdown bookkeeping for one inbound connection:
+// the codec (to announce CloseConnection) and the cancel function of the
+// per-connection request context.
+type acceptedConn struct {
+	codec  Codec
+	cancel context.CancelFunc
 }
 
 // endpoint is one served transport address.
@@ -88,6 +110,14 @@ func WithObserver(ob obs.Observer) Option {
 	return optFunc(func(o *ORB) { o.ins.tracer.SetObserver(ob) })
 }
 
+// WithDrainTimeout bounds the graceful-drain phase of Shutdown: how long
+// the ORB waits for in-flight requests to complete before cancelling
+// their contexts and closing the connections anyway. Zero or negative
+// keeps the default (5s).
+func WithDrainTimeout(d time.Duration) Option {
+	return optFunc(func(o *ORB) { o.drainTimeout = d })
+}
+
 // New creates an ORB with the standard tcp and inproc transports
 // registered.
 func New(opts ...Option) *ORB {
@@ -95,8 +125,7 @@ func New(opts ...Option) *ORB {
 		name:     "cool",
 		registry: transport.NewRegistry(transport.NewTCPManager(), transport.NewInprocManager()),
 		adapter:  NewAdapter(),
-		conns:    make(map[connKey]*clientConn),
-		accepted: make(map[transport.Channel]struct{}),
+		accepted: make(map[transport.Channel]acceptedConn),
 		codecs:   map[string]Codec{"giop": GIOPCodec{}},
 		ins:      newInstruments(),
 	}
@@ -116,6 +145,7 @@ func New(opts ...Option) *ORB {
 	for _, opt := range opts {
 		opt.apply(o)
 	}
+	o.cm = newConnManager(o.registry, o.ins, o.codec)
 	return o
 }
 
@@ -163,7 +193,7 @@ func (o *ORB) ListenOnProtocol(scheme, addr, protocol string) (string, error) {
 	if o.shutdown {
 		o.mu.Unlock()
 		l.Close()
-		return "", errors.New("orb: shut down")
+		return "", errShutdown
 	}
 	o.listeners = append(o.listeners, l)
 	o.endpoints = append(o.endpoints, endpoint{scheme: scheme, protocol: protocol, addr: l.Addr(), capability: mgr.Capability()})
@@ -262,76 +292,12 @@ func (o *ORB) isLocal(p ior.Profile) bool {
 	return false
 }
 
-// getConn returns (creating if needed) the cached client connection for a
-// profile and QoS requirement — one connection per (endpoint, QoS), so a
-// QoS change maps to a transport reconfiguration exactly as in §4.1.
-func (o *ORB) getConn(p ior.Profile, req qos.Set) (*clientConn, qos.Set, error) {
-	codec, err := o.codec(p.Protocol)
-	if err != nil {
-		return nil, nil, err
-	}
-	key := connKey{scheme: p.Transport, protocol: p.Protocol, addr: p.Address, qosKey: req.Key()}
-	o.mu.Lock()
-	if o.shutdown {
-		o.mu.Unlock()
-		return nil, nil, errors.New("orb: shut down")
-	}
-	if c, ok := o.conns[key]; ok && !c.isClosed() {
-		granted := c.granted
-		o.mu.Unlock()
-		return c, granted, nil
-	}
-	o.mu.Unlock()
-
-	mgr, err := o.registry.Get(p.Transport)
-	if err != nil {
-		return nil, nil, err
-	}
-	_ = codec
-	ch, err := mgr.Dial(p.Address)
-	if err != nil {
-		return nil, nil, fmt.Errorf("orb: dial %s://%s: %w", p.Transport, p.Address, err)
-	}
-	// Unilateral QoS negotiation between message layer and transport.
-	granted, err := ch.SetQoSParameter(req)
-	if err != nil {
-		if errors.Is(err, transport.ErrQoSNotSupported) {
-			// The transport has no QoS machinery. The binding is only
-			// viable when the requirements tolerate zero service.
-			granted, err = qos.Negotiate(req, p.Capability)
-		}
-		if err != nil {
-			ch.Close()
-			return nil, nil, err
-		}
-	}
-	c := newClientConn(ch, codec, granted, o.ins)
-	o.mu.Lock()
-	if old, ok := o.conns[key]; ok && !old.isClosed() {
-		// Lost a race; keep the existing connection.
-		o.mu.Unlock()
-		c.close()
-		return old, old.granted, nil
-	}
-	o.conns[key] = c
-	o.mu.Unlock()
-	return c, granted, nil
-}
-
-// dropConn removes and closes a cached client connection (used after a QoS
-// NACK aborts the binding it served).
-func (o *ORB) dropConn(p ior.Profile, qosKey string, c *clientConn) {
-	key := connKey{scheme: p.Transport, protocol: p.Protocol, addr: p.Address, qosKey: qosKey}
-	o.mu.Lock()
-	if cur, ok := o.conns[key]; ok && cur == c {
-		delete(o.conns, key)
-	}
-	o.mu.Unlock()
-	c.close()
-}
-
-// Shutdown closes all listeners and client connections and waits for the
-// server loops to drain.
+// Shutdown gracefully stops the ORB. It stops accepting new connections,
+// refuses new requests (TRANSIENT), closes the client-side connections,
+// waits up to the drain timeout (WithDrainTimeout) for in-flight requests
+// to complete — their replies are still delivered — then announces
+// CloseConnection to the remaining peers, cancels their request contexts,
+// and tears the rest down.
 func (o *ORB) Shutdown() {
 	o.mu.Lock()
 	if o.shutdown {
@@ -341,19 +307,32 @@ func (o *ORB) Shutdown() {
 	}
 	o.shutdown = true
 	listeners := o.listeners
-	conns := o.conns
-	accepted := o.accepted
-	o.conns = make(map[connKey]*clientConn)
-	o.accepted = make(map[transport.Channel]struct{})
+	o.listeners = nil
 	o.mu.Unlock()
 
 	for _, l := range listeners {
 		l.Close()
 	}
-	for _, c := range conns {
-		c.close()
-	}
-	for ch := range accepted {
+	o.cm.close()
+
+	start := time.Now()
+	o.drain()
+	o.ins.drainDuration.Set(time.Since(start).Microseconds())
+
+	o.mu.Lock()
+	accepted := o.accepted
+	o.accepted = make(map[transport.Channel]acceptedConn)
+	o.mu.Unlock()
+	for ch, ac := range accepted {
+		// Orderly GIOP shutdown: tell the peer before closing so it can
+		// distinguish a drain from a failure.
+		if frame, err := ac.codec.MarshalCloseConnection(); err == nil {
+			if ch.WriteMessage(frame) == nil {
+				o.ins.msgOut(giop.MsgCloseConnection, len(frame))
+			}
+			transport.PutBuffer(frame)
+		}
+		ac.cancel()
 		ch.Close()
 	}
 	o.wg.Wait()
@@ -366,15 +345,76 @@ func (o *ORB) Shutdown() {
 	})
 }
 
+// drain flips the ORB into draining mode (beginRequest refuses new work)
+// and waits for the in-flight requests to finish, bounded by the drain
+// timeout. It reports whether the drain completed.
+func (o *ORB) drain() bool {
+	timeout := o.drainTimeout
+	if timeout <= 0 {
+		timeout = defaultDrainTimeout
+	}
+	o.drainMu.Lock()
+	o.draining = true
+	if o.inflight == 0 {
+		o.drainMu.Unlock()
+		return true
+	}
+	done := make(chan struct{})
+	o.drainDone = done
+	o.drainMu.Unlock()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return true
+	case <-timer.C:
+		o.drainMu.Lock()
+		aborted := o.inflight
+		o.drainDone = nil
+		o.drainMu.Unlock()
+		if aborted > 0 {
+			o.ins.drainAborted.Add(uint64(aborted))
+		}
+		return false
+	}
+}
+
+// beginRequest admits one server-side request; it refuses (false) once
+// the ORB is draining.
+func (o *ORB) beginRequest() bool {
+	o.drainMu.Lock()
+	defer o.drainMu.Unlock()
+	if o.draining {
+		return false
+	}
+	o.inflight++
+	return true
+}
+
+// endRequest retires one admitted request (its reply, if any, has been
+// written), waking the drain when the last one finishes.
+func (o *ORB) endRequest() {
+	o.drainMu.Lock()
+	o.inflight--
+	if o.draining {
+		o.ins.drainCompleted.Inc()
+		if o.inflight == 0 && o.drainDone != nil {
+			close(o.drainDone)
+			o.drainDone = nil
+		}
+	}
+	o.drainMu.Unlock()
+}
+
 // trackAccepted registers an inbound connection for shutdown; it reports
 // false when the ORB is already shutting down.
-func (o *ORB) trackAccepted(ch transport.Channel) bool {
+func (o *ORB) trackAccepted(ch transport.Channel, codec Codec, cancel context.CancelFunc) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.shutdown {
 		return false
 	}
-	o.accepted[ch] = struct{}{}
+	o.accepted[ch] = acceptedConn{codec: codec, cancel: cancel}
 	return true
 }
 

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"io"
 	"runtime"
@@ -68,6 +69,7 @@ func (s *serverConnState) takeCanceled(id uint32) bool {
 // value (not a closure) so queueing a task does not allocate.
 type serverTask struct {
 	o     *ORB
+	ctx   context.Context
 	codec Codec
 	ch    transport.Channel
 	m     *giop.Message
@@ -77,7 +79,8 @@ type serverTask struct {
 
 func (t serverTask) run() {
 	defer t.wg.Done()
-	t.o.completeRequest(t.codec, t.ch, t.m, t.state)
+	t.o.completeRequest(t.ctx, t.codec, t.ch, t.m, t.state)
+	t.o.endRequest()
 }
 
 // dispatchWorkers sizes the shared worker pool for non-inline request
@@ -112,7 +115,12 @@ func (o *ORB) startDispatchers() {
 func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 	defer o.wg.Done()
 	defer ch.Close()
-	if !o.trackAccepted(ch) {
+	// One context per connection, cancelled by Shutdown (after the drain
+	// deadline expires) or when this serve loop exits; servants observe it
+	// via Invocation.Ctx.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if !o.trackAccepted(ch, codec, cancel) {
 		return
 	}
 	defer o.untrackAccepted(ch)
@@ -141,12 +149,18 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 		o.ins.msgIn(m.Header.Type, len(frame))
 		switch m.Header.Type {
 		case giop.MsgRequest:
+			if !o.beginRequest() {
+				// Draining: refuse so the peer can fail over or retry.
+				o.rejectRequest(codec, ch, m, giop.Transient(minorDraining))
+				continue
+			}
 			if e, ok := o.adapter.lookup(m.Request.ObjectKey); ok && e.inline {
-				o.completeRequest(codec, ch, m, state)
+				o.completeRequest(ctx, codec, ch, m, state)
+				o.endRequest()
 				continue
 			}
 			dispatch.Add(1)
-			t := serverTask{o: o, codec: codec, ch: ch, m: m, state: state, wg: &dispatch}
+			t := serverTask{o: o, ctx: ctx, codec: codec, ch: ch, m: m, state: state, wg: &dispatch}
 			select {
 			case o.dispatchQ <- t:
 			default:
@@ -181,8 +195,8 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 
 // completeRequest dispatches one request, writes the reply (if any), and
 // recycles the request message and both frames. It owns m.
-func (o *ORB) completeRequest(codec Codec, ch transport.Channel, m *giop.Message, state *serverConnState) {
-	reply := o.handleRequest(codec, m, state)
+func (o *ORB) completeRequest(ctx context.Context, codec Codec, ch transport.Channel, m *giop.Message, state *serverConnState) {
+	reply := o.handleRequest(ctx, codec, m, state)
 	codecRelease(codec, m)
 	if reply == nil {
 		return
@@ -191,6 +205,25 @@ func (o *ORB) completeRequest(codec Codec, ch transport.Channel, m *giop.Message
 		o.ins.msgOut(giop.MsgReply, len(reply))
 	}
 	transport.PutBuffer(reply)
+}
+
+// minorDraining is the TRANSIENT minor code for requests refused because
+// the ORB is draining for Shutdown.
+const minorDraining = 1
+
+// rejectRequest answers a request with a system exception without
+// dispatching it (used during drain). It owns m.
+func (o *ORB) rejectRequest(codec Codec, ch transport.Channel, m *giop.Message, exc *giop.SystemException) {
+	if m.Request.ResponseExpected {
+		o.ins.exception(exc.Name())
+		if frame, err := marshalReply(codec, m, m.Request.RequestID, giop.ReplySystemException, exc.Encode); err == nil {
+			if ch.WriteMessage(frame) == nil {
+				o.ins.msgOut(giop.MsgReply, len(frame))
+			}
+			transport.PutBuffer(frame)
+		}
+	}
+	codecRelease(codec, m)
 }
 
 // replyHdrPool recycles Reply headers: the header escapes through the
@@ -232,8 +265,9 @@ func (o *ORB) failReply(codec Codec, m *giop.Message, span obs.Span, exc *giop.S
 // handleRequest performs the server side of Figure 4: unmarshal QoS and
 // method, negotiate, dispatch, marshal results. It returns the reply frame,
 // or nil when no reply is due (oneway or canceled requests). The returned
-// frame is pooled; the caller recycles it after writing.
-func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState) []byte {
+// frame is pooled; the caller recycles it after writing. ctx reaches the
+// servant as Invocation.Ctx.
+func (o *ORB) handleRequest(ctx context.Context, codec Codec, m *giop.Message, state *serverConnState) []byte {
 	req := m.Request
 	ins := o.ins
 	stats := ins.server(req.Operation)
@@ -288,6 +322,7 @@ func (o *ORB) handleRequest(codec Codec, m *giop.Message, state *serverConnState
 	// message's lifetime, and is scrubbed before re-pooling.
 	inv.Args = m.BodyDecoder() //coollint:allow framealias
 	inv.Principal = req.Principal
+	inv.Ctx = ctx
 	dispatchStart := time.Now()
 	body, err := e.servant.Invoke(inv)
 	stats.dispatch.ObserveDuration(time.Since(dispatchStart))
@@ -369,8 +404,9 @@ func (o *ORB) handleLocate(codec Codec, m *giop.Message) []byte {
 // adapter without touching a transport: COOL's colocation optimisation.
 // The request is still fully CDR-marshalled, so semantics (and marshalling
 // bugs) match the remote path exactly. It consumes frame; the returned
-// reply frame is pooled and owned by the caller.
-func (o *ORB) dispatchColocated(codec Codec, frame []byte) ([]byte, error) {
+// reply frame is pooled and owned by the caller. The caller's context
+// reaches the servant as Invocation.Ctx.
+func (o *ORB) dispatchColocated(ctx context.Context, codec Codec, frame []byte) ([]byte, error) {
 	m, err := codecUnmarshal(codec, frame)
 	if err != nil {
 		transport.PutBuffer(frame)
@@ -380,7 +416,7 @@ func (o *ORB) dispatchColocated(codec Codec, frame []byte) ([]byte, error) {
 		codecRelease(codec, m)
 		return nil, errors.New("orb: colocated dispatch expects a Request")
 	}
-	reply := o.handleRequest(codec, m, nil)
+	reply := o.handleRequest(ctx, codec, m, nil)
 	responseExpected := m.Request.ResponseExpected
 	codecRelease(codec, m)
 	if reply == nil {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -56,6 +57,18 @@ type hookManager struct {
 
 func (m hookManager) Dial(addr string) (Channel, error) {
 	ch, err := m.Manager.Dial(addr)
+	if err != nil {
+		m.hooks.failed(m.Scheme())
+		return nil, err
+	}
+	m.hooks.opened(m.Scheme())
+	return &hookChannel{Channel: ch, scheme: m.Scheme(), hooks: m.hooks}, nil
+}
+
+// DialContext forwards to the wrapped manager's ContextDialer extension
+// (or plain Dial), so hook instrumentation is transparent to ctx dialing.
+func (m hookManager) DialContext(ctx context.Context, addr string) (Channel, error) {
+	ch, err := DialContext(ctx, m.Manager, addr)
 	if err != nil {
 		m.hooks.failed(m.Scheme())
 		return nil, err

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -34,7 +35,14 @@ func (TCPManager) Capability() qos.Capability { return nil }
 
 // Dial connects to a TCP listener at host:port.
 func (TCPManager) Dial(addr string) (Channel, error) {
-	conn, err := net.Dial("tcp", addr)
+	return TCPManager{}.DialContext(context.Background(), addr)
+}
+
+// DialContext implements ContextDialer: the connection attempt is bounded
+// by the context's deadline and aborted on cancellation.
+func (TCPManager) DialContext(ctx context.Context, addr string) (Channel, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial tcp %s: %w", addr, err)
 	}

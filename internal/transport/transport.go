@@ -24,6 +24,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -111,6 +112,27 @@ type Manager interface {
 	// Capability advertises the QoS the transport can support, used in
 	// exported object references.
 	Capability() qos.Capability
+}
+
+// ContextDialer is an optional Manager extension for transports whose
+// connection setup can honour cancellation and deadlines. The ORB probes
+// for it when it holds a context and falls back to plain Dial otherwise.
+type ContextDialer interface {
+	// DialContext connects like Dial but aborts when ctx is done.
+	DialContext(ctx context.Context, addr string) (Channel, error)
+}
+
+// DialContext dials addr through m, using the ContextDialer extension when
+// the manager provides it. Without the extension the dial itself cannot be
+// interrupted, but an already-expired context still fails fast.
+func DialContext(ctx context.Context, m Manager, addr string) (Channel, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cd, ok := m.(ContextDialer); ok {
+		return cd.DialContext(ctx, addr)
+	}
+	return m.Dial(addr)
 }
 
 // Registry maps transport schemes to managers. The zero value is empty;

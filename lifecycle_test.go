@@ -1,0 +1,206 @@
+package cool_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	cool "cool"
+	"cool/examples/mediaserver/mediagen"
+	"cool/internal/cdr"
+	"cool/internal/leakcheck"
+	"cool/internal/orb"
+	"cool/internal/transport"
+)
+
+// stallingMedia is a media server whose GetFrame stalls until released,
+// standing in for an overloaded servant.
+type stallingMedia struct {
+	mediaImpl
+	stall time.Duration
+}
+
+func (m *stallingMedia) GetFrame(index uint32, q mediagen.Quality) ([]byte, error) {
+	time.Sleep(m.stall)
+	return m.mediaImpl.GetFrame(index, q)
+}
+
+// TestStubContextDeadline drives the generated ...Ctx stub surface end to
+// end: a context deadline shorter than the servant's stall aborts the
+// invocation within tolerance, the expiry is visible in the coolstat
+// counters, and the binding (with its pooled resources) survives for the
+// next call.
+func TestStubContextDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	inner := transport.NewInprocManager()
+	server := cool.NewORB(cool.WithName("dl-server"), cool.WithTransport(inner))
+	client := cool.NewORB(cool.WithName("dl-client"), cool.WithTransport(inner))
+	t.Cleanup(func() { client.Shutdown(); server.Shutdown() })
+	if _, err := server.ListenOn("inproc", ""); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.RegisterServant(
+		mediagen.NewMediaServerSkeleton(&stallingMedia{mediaImpl{frames: 4}, 200 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := mediagen.NewMediaServerStub(client.Resolve(ref))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = stub.GetFrameCtx(ctx, 1, mediagen.QualityLOW)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("GetFrameCtx = %v, want errors.Is(context.DeadlineExceeded)", err)
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("deadline fired after %v, want near the 20ms budget", elapsed)
+	}
+
+	text := client.Metrics().Snapshot().Text()
+	if !strings.Contains(text, "orb.client.deadline_exceeded 1") {
+		t.Errorf("snapshot missing deadline_exceeded row:\n%s", text)
+	}
+
+	// The late reply is dropped and its pooled slot recycled; the same
+	// stub keeps working once the servant has caught up.
+	time.Sleep(250 * time.Millisecond)
+	if n, err := stub.FrameCount(); err != nil || n != 4 {
+		t.Fatalf("FrameCount after timeout = %d, %v", n, err)
+	}
+}
+
+// TestProxyRecoversAcrossTCPRestart is the acceptance run for automatic
+// rebind over a real transport: the TCP endpoint dies mid-session and
+// comes back on the same port; the same facade proxy succeeds without a
+// new Bind, and the recovery shows up in the redial counter.
+func TestProxyRecoversAcrossTCPRestart(t *testing.T) {
+	leakcheck.Check(t)
+	server := cool.NewORB(cool.WithName("tcp-1"))
+	addr, err := server.ListenOn("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.RegisterServant(
+		mediagen.NewMediaServerSkeleton(&mediaImpl{frames: 8}), orb.WithKey("media")); err != nil {
+		t.Fatal(err)
+	}
+	ref := server.RefFor(mediagen.MediaServerRepoID, []byte("media"))
+
+	client := cool.NewORB(cool.WithName("tcp-client"))
+	t.Cleanup(client.Shutdown)
+	stub := mediagen.NewMediaServerStub(client.Resolve(ref))
+	if n, err := stub.FrameCount(); err != nil || n != 8 {
+		t.Fatalf("FrameCount = %d, %v", n, err)
+	}
+
+	// Kill the endpoint; give the close announcement time to reach the
+	// client's read loop so the next call takes the redial path.
+	server.Shutdown()
+	time.Sleep(50 * time.Millisecond)
+
+	restarted := make(chan *cool.ORB, 1)
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		s2 := cool.NewORB(cool.WithName("tcp-2"))
+		if _, err := s2.ListenOn("tcp", addr); err != nil {
+			t.Errorf("relisten on %s: %v", addr, err)
+		}
+		if _, err := s2.RegisterServant(
+			mediagen.NewMediaServerSkeleton(&mediaImpl{frames: 8}), orb.WithKey("media")); err != nil {
+			t.Errorf("re-register: %v", err)
+		}
+		restarted <- s2
+	}()
+
+	// One call on the unchanged proxy: the connection manager retries the
+	// dial with backoff until the restarted listener answers.
+	if n, err := stub.FrameCount(); err != nil || n != 8 {
+		t.Fatalf("FrameCount after restart = %d, %v", n, err)
+	}
+	s2 := <-restarted
+	t.Cleanup(s2.Shutdown)
+
+	text := client.Metrics().Snapshot().Text()
+	if !strings.Contains(text, "orb.client.redials") || client.Metrics().Snapshot().Counter("orb.client.redials") == 0 {
+		t.Errorf("redial not counted:\n%s", text)
+	}
+}
+
+// slowEcho answers "echo" after a short think time, long enough for a
+// Shutdown to land while the request is in flight.
+type slowEcho struct{ think time.Duration }
+
+func (s *slowEcho) RepoID() string { return "IDL:test/SlowEcho:1.0" }
+
+func (s *slowEcho) Invoke(inv *cool.Invocation) (cool.ReplyWriter, error) {
+	msg, err := inv.Args.ReadString()
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-time.After(s.think):
+	case <-inv.Ctx.Done():
+		return nil, inv.Ctx.Err()
+	}
+	return func(enc *cdr.Encoder) { enc.WriteString(msg) }, nil
+}
+
+// TestGracefulDrainDeliversInflightReply: Shutdown racing an in-flight
+// request drains it — the client still receives its reply — and the drain
+// is visible in the coolstat gauges and counters.
+func TestGracefulDrainDeliversInflightReply(t *testing.T) {
+	leakcheck.Check(t)
+	inner := transport.NewInprocManager()
+	server := cool.NewORB(
+		cool.WithName("drain-server"),
+		cool.WithTransport(inner),
+		cool.WithDrainTimeout(2*time.Second),
+	)
+	client := cool.NewORB(cool.WithName("drain-client"), cool.WithTransport(inner))
+	t.Cleanup(client.Shutdown)
+	if _, err := server.ListenOn("inproc", ""); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.RegisterServant(&slowEcho{think: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := client.Resolve(ref)
+
+	var got string
+	res := make(chan error, 1)
+	go func() {
+		res <- obj.Invoke("echo",
+			func(enc *cdr.Encoder) { enc.WriteString("survives drain") },
+			func(dec *cdr.Decoder) error {
+				var err error
+				got, err = dec.ReadString()
+				return err
+			})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request reach the servant
+	server.Shutdown()                 // drains before tearing connections down
+
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("in-flight invocation lost to shutdown: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("invocation never completed")
+	}
+	if got != "survives drain" {
+		t.Fatalf("reply = %q", got)
+	}
+
+	text := server.Metrics().Snapshot().Text()
+	for _, row := range []string{"orb.server.drain_us", "orb.server.drain_completed 1", "orb.server.drain_aborted 0"} {
+		if !strings.Contains(text, row) {
+			t.Errorf("snapshot missing %q:\n%s", row, text)
+		}
+	}
+}
