@@ -12,7 +12,13 @@
 //
 //	coolstat IOR:0000…            # metrics snapshot
 //	coolstat -trace IOR:0000…     # snapshot + recent trace events
+//	coolstat -slow IOR:0000…      # snapshot + slow-call log
 //	coolstat -ior-file ref.txt    # read the reference from a file
+//	coolstat -watch 1s IOR:0000…  # live delta view: rates and percentiles
+//
+// Watch mode polls the structured snapshot, diffs consecutive snapshots
+// with Delta, and renders per-interval counter rates and histogram
+// p50/p95/p99 — a live view of whether QoS Latency bounds hold.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"cool"
 )
@@ -36,6 +43,9 @@ func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("coolstat", flag.ContinueOnError)
 	iorFile := fs.String("ior-file", "", "file holding the stats servant reference (IOR:…)")
 	trace := fs.Bool("trace", false, "also fetch the remote trace log")
+	slow := fs.Bool("slow", false, "also fetch the remote slow-call log")
+	watch := fs.Duration("watch", 0, "poll interval for live delta view (0 = one-shot)")
+	rounds := fs.Int("watch-rounds", 0, "stop watch mode after N rounds (0 = forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +59,7 @@ func run(w io.Writer, args []string) error {
 		ref = strings.TrimSpace(string(data))
 	}
 	if ref == "" {
-		return fmt.Errorf("usage: coolstat [-trace] [-ior-file FILE | IOR:…]")
+		return fmt.Errorf("usage: coolstat [-trace] [-slow] [-watch 1s] [-ior-file FILE | IOR:…]")
 	}
 
 	o := cool.NewORB(cool.WithName("coolstat"))
@@ -59,6 +69,10 @@ func run(w io.Writer, args []string) error {
 		return fmt.Errorf("bad reference: %w", err)
 	}
 	stats := cool.NewStatsClient(obj)
+
+	if *watch > 0 {
+		return watchLoop(w, stats, *watch, *rounds)
+	}
 
 	snap, err := stats.Snapshot()
 	if err != nil {
@@ -78,5 +92,66 @@ func run(w io.Writer, args []string) error {
 			fmt.Fprint(w, events)
 		}
 	}
+	if *slow {
+		calls, err := stats.Slow()
+		if err != nil {
+			return fmt.Errorf("slow: %w", err)
+		}
+		fmt.Fprintln(w, "--- slow calls ---")
+		if calls == "" {
+			fmt.Fprintln(w, "(no slow calls recorded)")
+		} else {
+			fmt.Fprint(w, calls)
+		}
+	}
 	return nil
+}
+
+// watchLoop polls structured snapshots and renders the delta between
+// consecutive polls: per-second counter rates and per-interval histogram
+// percentiles. rounds == 0 loops until the remote disappears.
+func watchLoop(w io.Writer, stats *cool.StatsClient, interval time.Duration, rounds int) error {
+	prev, err := stats.SnapshotData()
+	if err != nil {
+		return fmt.Errorf("snapshot_bin: %w", err)
+	}
+	for n := 0; rounds == 0 || n < rounds; n++ {
+		time.Sleep(interval)
+		cur, err := stats.SnapshotData()
+		if err != nil {
+			return fmt.Errorf("snapshot_bin: %w", err)
+		}
+		printDelta(w, cur.Delta(prev))
+		prev = cur
+	}
+	return nil
+}
+
+// printDelta renders one watch round: active counters as rates, active
+// histograms as rate + percentiles (+ tail exemplar when recorded).
+func printDelta(w io.Writer, d cool.MetricsSnapshot) {
+	fmt.Fprintf(w, "--- %s (interval %v) ---\n", d.Time.Format("15:04:05"), d.Interval.Round(time.Millisecond))
+	quiet := true
+	for _, c := range d.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		quiet = false
+		fmt.Fprintf(w, "%s %d rate=%.1f/s\n", c.Name, c.Value, d.Rate(c.Name))
+	}
+	for _, h := range d.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		quiet = false
+		fmt.Fprintf(w, "%s count=%d p50=%d p95=%d p99=%d", h.Name, h.Count,
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		if ex := h.TailExemplar(); !ex.IsZero() {
+			fmt.Fprintf(w, " tail#%s", ex)
+		}
+		fmt.Fprintln(w)
+	}
+	if quiet {
+		fmt.Fprintln(w, "(idle)")
+	}
 }

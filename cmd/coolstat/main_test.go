@@ -68,6 +68,43 @@ func TestRun(t *testing.T) {
 		}
 	}
 
+	// -slow: the remote slow-call log section renders (empty here).
+	out.Reset()
+	if err := run(&out, []string{"-slow", "-ior-file", iorFile}); err != nil {
+		t.Fatalf("run -slow: %v", err)
+	}
+	if got := out.String(); !strings.Contains(got, "--- slow calls ---") {
+		t.Errorf("-slow output missing section:\n%s", got)
+	}
+
+	// -watch: one round of the live delta view; calls issued between the two
+	// polls must appear as non-zero rates and percentiles.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if err := obj.Invoke("ping", nil, nil); err != nil {
+				t.Errorf("watch ping: %v", err)
+				return
+			}
+		}
+	}()
+	out.Reset()
+	if err := run(&out, []string{"-watch", "20ms", "-watch-rounds", "3", "-ior-file", iorFile}); err != nil {
+		t.Fatalf("run -watch: %v", err)
+	}
+	<-done
+	got = out.String()
+	for _, want := range []string{
+		"orb.server.requests{op=ping}",
+		"rate=",
+		"p99=",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-watch output missing %q\n%s", want, got)
+		}
+	}
+
 	if err := run(&out, []string{}); err == nil {
 		t.Error("run with no reference should fail")
 	}

@@ -104,6 +104,8 @@ var (
 	WithCapability     = orb.WithCapability
 	WithKey            = orb.WithKey
 	WithInlineDispatch = orb.WithInlineDispatch
+	// WithSlowCallThreshold is re-exported in stats.go next to the other
+	// observability surface.
 )
 
 // RefString returns the stringified ("IOR:…") form of a reference.

@@ -13,14 +13,21 @@
 // Run with:
 //
 //	go run ./examples/mediaserver
+//	go run ./examples/mediaserver -ops 127.0.0.1:6060 -loop
+//
+// With -ops the server exposes the live observability plane over HTTP
+// (curl the printed address: /metrics, /trace, /trace/slow, /debug/pprof)
+// and -loop keeps issuing frame requests so the metrics move.
 //
 //go:generate go run ../../cmd/chic -pkg mediagen -out mediagen/media.gen.go media.idl
 package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	cool "cool"
 	"cool/examples/mediaserver/mediagen"
@@ -108,15 +115,21 @@ func qosFor(q mediagen.Quality) cool.QoSSet {
 }
 
 func main() {
-	if err := run(); err != nil {
+	opsAddr := flag.String("ops", "", "serve the ops HTTP endpoint (/metrics, /trace, /debug/pprof) on this address")
+	loop := flag.Bool("loop", false, "keep issuing frame requests after the demo so live metrics move")
+	flag.Parse()
+	if err := run(*opsAddr, *loop); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(opsAddr string, loop bool) error {
 	inner := transport.NewInprocManager()
 
-	server := cool.NewORB(cool.WithName("media-server"), cool.WithTransport(inner))
+	server := cool.NewORB(cool.WithName("media-server"), cool.WithTransport(inner),
+		// Any dispatch slower than 50ms lands in the slow-call log even
+		// without a QoS Latency bound on the binding.
+		cool.WithSlowCallThreshold(50*time.Millisecond))
 	defer server.Shutdown()
 	// The server admits at most 100 Mbit/s of QoS traffic in total.
 	cool.EnableDaCaPo(server, cool.DaCaPoConfig{Inner: inner, BudgetKbps: 100_000})
@@ -124,6 +137,19 @@ func run() error {
 	client := cool.NewORB(cool.WithName("media-client"), cool.WithTransport(inner))
 	defer client.Shutdown()
 	cool.EnableDaCaPo(client, cool.DaCaPoConfig{Inner: inner})
+
+	if opsAddr != "" {
+		// The server's view: per-op dispatch latency with exemplars, the
+		// trace ring, and pprof. The client ORB keeps tracing enabled too so
+		// its trace context propagates and exemplar lookups resolve.
+		ops, err := cool.ServeOps(opsAddr, server)
+		if err != nil {
+			return err
+		}
+		defer ops.Close()
+		cool.TraceLog(client)
+		fmt.Printf("ops endpoint: http://%s/metrics\n", ops.Addr())
+	}
 
 	if _, err := server.ListenOn("inproc", "media"); err != nil {
 		return err
@@ -191,6 +217,20 @@ func run() error {
 		var oor *mediagen.OutOfRange
 		if errors.As(err, &oor) {
 			fmt.Printf("typed exception works: requested %d, limit %d\n", oor.Requested, oor.Limit)
+		}
+	}
+
+	if loop {
+		fmt.Println("looping frame requests (ctrl-c to stop)…")
+		for i := uint32(0); ; i++ {
+			q := []mediagen.Quality{mediagen.QualityLOW, mediagen.QualityMEDIUM, mediagen.QualityHIGH}[i%3]
+			if err := stub.SetQoSParameter(qosFor(q)); err != nil {
+				return err
+			}
+			if _, err := stub.GetFrame(i%64, q); err != nil {
+				return err
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 	}
 	return nil

@@ -16,6 +16,11 @@ import (
 //
 //	(*obs.Registry).Counter / Gauge / Histogram
 //	(*obs.Tracer).StartSpan / StartChild
+//	obs.Snapshot.Counter / Gauge / Histogram / Rate
+//
+// The Snapshot lookups are matched by the same method names; holding the
+// read side to the same discipline keeps metric names greppable constants
+// on both ends.
 var ObsConst = &Analyzer{
 	Name: "obsconst",
 	Doc:  "metric and span names must not be built with function calls",
@@ -30,6 +35,7 @@ var obsSinks = map[string]int{
 	"Histogram":  0,
 	"StartSpan":  0,
 	"StartChild": 2,
+	"Rate":       0,
 }
 
 func runObsConst(pass *Pass) {

@@ -50,3 +50,40 @@ func callOutsideName(t *obs.Tracer, parent obs.Span) {
 	s := t.StartChild(parent.Trace, parent.ID, "child_op")
 	s.End("ok", "")
 }
+
+// --- snapshot read path: the same names, the same discipline ---
+
+func sprintfSnapshotLookup(s obs.Snapshot, op string) {
+	_ = s.Counter(fmt.Sprintf("orb_requests_%s", op)) // want "built with a call"
+}
+
+func sprintfRateLookup(s obs.Snapshot, n int) {
+	_ = s.Rate(fmt.Sprintf("orb_requests_%d", n)) // want "built with a call"
+}
+
+func callInHistogramLookup(s obs.Snapshot, op func() string) {
+	_, _ = s.Histogram(prefix + op()) // want "built with a call"
+}
+
+func constantSnapshotLookup(s obs.Snapshot, suffix string) {
+	_ = s.Counter(prefix + suffix)
+	_ = s.Rate("orb_requests_total")
+	_, _ = s.Histogram(prefix + "latency_us")
+}
+
+// --- exemplar and slow-call plumbing: name-free APIs stay unflagged ---
+
+func exemplarObserve(h *obs.Histogram, tr obs.TraceID, now func() uint64) {
+	// ObserveTrace takes no name; calls in its value arguments are fine.
+	h.ObserveTrace(now(), tr)
+}
+
+const droppedName = "obs_tracelog_dropped"
+
+func wireDroppedCounter(l *obs.TraceLog, r *obs.Registry) {
+	l.SetDroppedCounter(r.Counter(droppedName))
+}
+
+func wireDroppedCounterBad(l *obs.TraceLog, r *obs.Registry, id int) {
+	l.SetDroppedCounter(r.Counter(fmt.Sprintf("dropped_%d", id))) // want "built with a call"
+}

@@ -187,9 +187,9 @@ func RunFig9(opts Fig9Options) ([]Fig9Point, error) {
 
 // RTStats summarises round-trip samples.
 type RTStats struct {
-	N              int
-	Mean, P50, P99 time.Duration
-	Min, Max       time.Duration
+	N                   int
+	Mean, P50, P95, P99 time.Duration
+	Min, Max            time.Duration
 }
 
 func summarize(samples []time.Duration) RTStats {
@@ -205,6 +205,7 @@ func summarize(samples []time.Duration) RTStats {
 		N:    len(samples),
 		Mean: sum / time.Duration(len(samples)),
 		P50:  samples[len(samples)/2],
+		P95:  samples[len(samples)*95/100],
 		P99:  samples[len(samples)*99/100],
 		Min:  samples[0],
 		Max:  samples[len(samples)-1],

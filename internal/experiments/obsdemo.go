@@ -119,8 +119,12 @@ func RunObsDemo(n int) (ObsDemo, error) {
 			}
 			for _, h := range s.Histograms {
 				if strings.HasPrefix(h.Name, name) && h.Count > 0 {
-					fmt.Fprintf(&b, "  %s count=%d p50<=%dµs p99<=%dµs\n",
-						h.Name, h.Count, h.Quantile(0.50), h.Quantile(0.99))
+					fmt.Fprintf(&b, "  %s count=%d p50=%dµs p95=%dµs p99=%dµs",
+						h.Name, h.Count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+					if ex := h.TailExemplar(); !ex.IsZero() {
+						fmt.Fprintf(&b, " tail#%s", ex)
+					}
+					b.WriteByte('\n')
 				}
 			}
 		}

@@ -67,18 +67,28 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 // bucket whose upper bound is the first bound >= value, with one implicit
 // overflow bucket above the last bound. Bounds are set at creation and
 // never change, so observation is lock-free.
+//
+// Each bucket additionally carries one exemplar slot: the trace ID of the
+// most recent observation that landed in it (see ObserveTrace). The slot is
+// a single atomic store on the hot path and lets a reader follow a tail
+// bucket — a p99 outlier — back to a concrete trace in a TraceLog.
 type Histogram struct {
-	bounds  []uint64
-	buckets []atomic.Uint64 // len(bounds)+1, last = overflow
-	count   atomic.Uint64
-	sum     atomic.Uint64
+	bounds    []uint64
+	buckets   []atomic.Uint64 // len(bounds)+1, last = overflow
+	exemplars []atomic.Uint64 // trace ID per bucket; 0 = none recorded
+	count     atomic.Uint64
+	sum       atomic.Uint64
 }
 
 // NewHistogram builds a histogram with the given ascending upper bounds.
 func NewHistogram(bounds []uint64) *Histogram {
 	b := make([]uint64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		buckets:   make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Uint64, len(b)+1),
+	}
 }
 
 // LatencyBuckets are the standard bounds for latency histograms: powers of
@@ -99,6 +109,20 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum.Add(v)
 }
 
+// ObserveTrace records one value and stamps the bucket's exemplar slot with
+// the trace ID (skipped when trace is zero, e.g. no observer installed so
+// no trace context was minted into the log). Zero allocations: a binary
+// search, three atomic adds and one atomic store.
+func (h *Histogram) ObserveTrace(v uint64, trace TraceID) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.buckets[i].Add(1)
+	if trace != 0 {
+		h.exemplars[i].Store(uint64(trace))
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
 // ObserveDuration records a duration in microseconds (sub-microsecond
 // durations land in the first bucket).
 func (h *Histogram) ObserveDuration(d time.Duration) {
@@ -106,6 +130,14 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 		d = 0
 	}
 	h.Observe(uint64(d / time.Microsecond))
+}
+
+// ObserveDurationTrace is ObserveDuration with an exemplar trace ID.
+func (h *Histogram) ObserveDurationTrace(d time.Duration, trace TraceID) {
+	if d < 0 {
+		d = 0
+	}
+	h.ObserveTrace(uint64(d/time.Microsecond), trace)
 }
 
 // Count returns the number of observations.
@@ -117,12 +149,14 @@ func (h *Histogram) Sum() uint64 { return h.sum.Load() }
 // snapshot freezes the histogram state.
 func (h *Histogram) snapshot(name string) HistogramPoint {
 	p := HistogramPoint{
-		Name:    name,
-		Bounds:  h.bounds,
-		Buckets: make([]uint64, len(h.buckets)),
+		Name:      name,
+		Bounds:    h.bounds,
+		Buckets:   make([]uint64, len(h.buckets)),
+		Exemplars: make([]uint64, len(h.exemplars)),
 	}
 	for i := range h.buckets {
 		p.Buckets[i] = h.buckets[i].Load()
+		p.Exemplars[i] = h.exemplars[i].Load()
 	}
 	p.Count = h.count.Load()
 	p.Sum = h.sum.Load()
@@ -233,36 +267,88 @@ type HistogramPoint struct {
 	Name    string
 	Bounds  []uint64
 	Buckets []uint64 // len(Bounds)+1, last = overflow
-	Count   uint64
-	Sum     uint64
+	// Exemplars holds the most recent trace ID observed per bucket (0 =
+	// none); nil in snapshots predating exemplar support (e.g. decoded from
+	// an older peer).
+	Exemplars []uint64
+	Count     uint64
+	Sum       uint64
 }
 
-// Quantile returns the upper bound of the bucket containing the q-quantile
-// (0 < q <= 1). Observations in the overflow bucket report the last bound
-// (the histogram cannot resolve beyond it).
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket containing the target rank: a bucket (lo, hi] holding
+// the rank contributes lo + fraction·(hi−lo). Observations in the overflow
+// bucket report the last bound (the histogram cannot resolve beyond it).
 func (p HistogramPoint) Quantile(q float64) uint64 {
-	if p.Count == 0 {
+	if p.Count == 0 || len(p.Bounds) == 0 {
 		return 0
 	}
-	target := uint64(q * float64(p.Count))
-	if target == 0 {
+	target := q * float64(p.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range p.Buckets {
+		if b == 0 {
+			continue
+		}
+		if float64(cum+b) >= target {
+			if i >= len(p.Bounds) {
+				return p.Bounds[len(p.Bounds)-1]
+			}
+			var lo uint64
+			if i > 0 {
+				lo = p.Bounds[i-1]
+			}
+			hi := p.Bounds[i]
+			frac := (target - float64(cum)) / float64(b)
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		cum += b
+	}
+	return p.Bounds[len(p.Bounds)-1]
+}
+
+// Exemplar returns the trace ID recorded for the bucket containing the
+// q-quantile (zero when none was recorded there).
+func (p HistogramPoint) Exemplar(q float64) TraceID {
+	if p.Count == 0 || len(p.Exemplars) == 0 {
+		return 0
+	}
+	target := q * float64(p.Count)
+	if target < 1 {
 		target = 1
 	}
 	var cum uint64
 	for i, b := range p.Buckets {
 		cum += b
-		if cum >= target {
-			if i < len(p.Bounds) {
-				return p.Bounds[i]
-			}
-			return p.Bounds[len(p.Bounds)-1]
+		if b > 0 && float64(cum) >= target {
+			return TraceID(p.Exemplars[i])
 		}
 	}
-	return p.Bounds[len(p.Bounds)-1]
+	return 0
+}
+
+// TailExemplar returns the exemplar of the highest occupied bucket that
+// recorded one — the trace behind the worst observed latencies. Zero when
+// no exemplar was recorded at all.
+func (p HistogramPoint) TailExemplar() TraceID {
+	for i := len(p.Exemplars) - 1; i >= 0; i-- {
+		if i < len(p.Buckets) && p.Buckets[i] > 0 && p.Exemplars[i] != 0 {
+			return TraceID(p.Exemplars[i])
+		}
+	}
+	return 0
 }
 
 // Snapshot is a frozen, sorted view of a registry.
 type Snapshot struct {
+	// Time is when the snapshot was taken; Delta uses it to derive rates.
+	Time time.Time
+	// Interval is non-zero only on snapshots produced by Delta: the time
+	// between the two source snapshots.
+	Interval time.Duration
+
 	Counters   []CounterPoint
 	Gauges     []GaugePoint
 	Histograms []HistogramPoint
@@ -271,7 +357,7 @@ type Snapshot struct {
 // Snapshot freezes the registry, including collector-derived counters.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
-	var s Snapshot
+	s := Snapshot{Time: time.Now()}
 	for name, c := range r.counters {
 		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: c.Load()})
 	}
@@ -327,18 +413,87 @@ func (s Snapshot) Histogram(name string) (HistogramPoint, bool) {
 	return HistogramPoint{}, false
 }
 
+// Delta returns the change from prev to s: counter values and histogram
+// buckets/count/sum are subtracted point-wise (metrics absent from prev
+// carry their full value; a value that went backwards — a restarted peer —
+// is treated as absent). Gauges are levels, not flows, and keep their
+// current value; histogram exemplars keep the current (most recent) trace
+// IDs. Interval is set to the time between the snapshots, which makes
+// Rate usable on the result.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Time:     s.Time,
+		Interval: s.Time.Sub(prev.Time),
+		Gauges:   s.Gauges,
+	}
+	prevCounters := make(map[string]uint64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		prevCounters[c.Name] = c.Value
+	}
+	for _, c := range s.Counters {
+		if p, ok := prevCounters[c.Name]; ok && p <= c.Value {
+			c.Value -= p
+		}
+		d.Counters = append(d.Counters, c)
+	}
+	prevHists := make(map[string]HistogramPoint, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		prevHists[h.Name] = h
+	}
+	for _, h := range s.Histograms {
+		p, ok := prevHists[h.Name]
+		if !ok || p.Count > h.Count || len(p.Buckets) != len(h.Buckets) {
+			d.Histograms = append(d.Histograms, h)
+			continue
+		}
+		dh := HistogramPoint{
+			Name:      h.Name,
+			Bounds:    h.Bounds,
+			Buckets:   make([]uint64, len(h.Buckets)),
+			Exemplars: h.Exemplars,
+			Count:     h.Count - p.Count,
+			Sum:       h.Sum - p.Sum,
+		}
+		for i := range h.Buckets {
+			dh.Buckets[i] = h.Buckets[i] - p.Buckets[i]
+		}
+		d.Histograms = append(d.Histograms, dh)
+	}
+	return d
+}
+
+// Rate returns a named counter's per-second rate in a Delta snapshot
+// (0 when the snapshot has no interval or the counter is absent).
+func (s Snapshot) Rate(name string) float64 {
+	if s.Interval <= 0 {
+		return 0
+	}
+	return float64(s.Counter(name)) / s.Interval.Seconds()
+}
+
 // WriteText renders the snapshot in the text exposition format: one line
 // per metric, counters first, then gauges, then histograms with count, sum,
-// approximate p50/p99 and the non-empty buckets.
+// interpolated p50/p95/p99 estimates and the non-empty buckets. A bucket
+// that recorded an exemplar renders it as `#<trace-id>` after its count, so
+// a tail bucket links directly to a trace. Delta snapshots additionally
+// render per-second counter rates and lead with the interval.
 func (s Snapshot) WriteText(w io.Writer) {
+	if s.Interval > 0 {
+		fmt.Fprintf(w, "interval %v\n", s.Interval)
+	}
 	for _, c := range s.Counters {
+		if s.Interval > 0 {
+			fmt.Fprintf(w, "%s %d rate=%.1f/s\n", c.Name, c.Value, float64(c.Value)/s.Interval.Seconds())
+			continue
+		}
 		fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
 	}
 	for _, g := range s.Gauges {
 		fmt.Fprintf(w, "%s %d gauge\n", g.Name, g.Value)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(w, "%s count=%d sum=%d p50<=%d p99<=%d", h.Name, h.Count, h.Sum, h.Quantile(0.50), h.Quantile(0.99))
+		fmt.Fprintf(w, "%s count=%d sum=%d p50=%d p95=%d p99=%d", h.Name, h.Count, h.Sum,
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 		var prev uint64
 		for i, b := range h.Buckets {
 			if b == 0 {
@@ -352,6 +507,9 @@ func (s Snapshot) WriteText(w io.Writer) {
 				prev = h.Bounds[i]
 			} else {
 				fmt.Fprintf(w, " (%d,+inf]=%d", prev, b)
+			}
+			if i < len(h.Exemplars) && h.Exemplars[i] != 0 {
+				fmt.Fprintf(w, "#%016x", h.Exemplars[i])
 			}
 		}
 		fmt.Fprintln(w)

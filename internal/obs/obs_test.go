@@ -100,11 +100,13 @@ func TestHistogramQuantile(t *testing.T) {
 		h.Observe(3) // lands in (2,4]
 	}
 	p := h.snapshot("h")
-	if q := p.Quantile(0.5); q != 4 {
-		t.Errorf("p50 = %d, want 4", q)
+	// All mass in (2,4]: p50 interpolates to the bucket midpoint, p99 near
+	// the top — both stay inside the bucket.
+	if q := p.Quantile(0.5); q != 3 {
+		t.Errorf("p50 = %d, want 3", q)
 	}
-	if q := p.Quantile(0.99); q != 4 {
-		t.Errorf("p99 = %d, want 4", q)
+	if q := p.Quantile(0.99); q < 3 || q > 4 {
+		t.Errorf("p99 = %d, want within (2,4]", q)
 	}
 	h.Observe(1000) // overflow bucket
 	p = h.snapshot("h")
@@ -113,6 +115,115 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 	if (HistogramPoint{}).Quantile(0.5) != 0 {
 		t.Error("empty histogram quantile should be 0")
+	}
+
+	// Uniform spread across two buckets: the median splits them.
+	u := NewHistogram([]uint64{10, 20})
+	for i := 0; i < 50; i++ {
+		u.Observe(5)  // (0,10]
+		u.Observe(15) // (10,20]
+	}
+	up := u.snapshot("u")
+	if q := up.Quantile(0.5); q != 10 {
+		t.Errorf("uniform p50 = %d, want 10", q)
+	}
+	if q := up.Quantile(0.75); q != 15 {
+		t.Errorf("uniform p75 = %d, want 15", q)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram([]uint64{1, 2, 4, 8, 16})
+	h.ObserveTrace(3, TraceID(0xaaaa))   // (2,4]
+	h.ObserveTrace(3, TraceID(0xbbbb))   // (2,4] — overwrites, most recent wins
+	h.ObserveTrace(100, TraceID(0xcccc)) // overflow bucket
+	h.ObserveTrace(1, 0)                 // zero trace: counted, no exemplar
+	p := h.snapshot("h")
+	if p.Count != 4 {
+		t.Errorf("count = %d, want 4", p.Count)
+	}
+	if got := p.Exemplar(0.5); got != TraceID(0xbbbb) {
+		t.Errorf("p50 exemplar = %s, want 000000000000bbbb", got)
+	}
+	if got := p.TailExemplar(); got != TraceID(0xcccc) {
+		t.Errorf("tail exemplar = %s, want 000000000000cccc", got)
+	}
+	if (HistogramPoint{}).TailExemplar() != 0 || (HistogramPoint{}).Exemplar(0.5) != 0 {
+		t.Error("empty histogram exemplars should be 0")
+	}
+	// The exposition renders the exemplar after its bucket.
+	text := Snapshot{Histograms: []HistogramPoint{p}}.Text()
+	if !strings.Contains(text, "(16,+inf]=1#000000000000cccc") {
+		t.Errorf("text missing tail exemplar:\n%s", text)
+	}
+}
+
+func TestExemplarObserveAllocs(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveTrace(37, TraceID(0xdead))
+	})
+	if allocs != 0 {
+		t.Errorf("ObserveTrace allocates %.1f allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		h.ObserveDurationTrace(37*time.Microsecond, TraceID(0xbeef))
+	})
+	if allocs != 0 {
+		t.Errorf("ObserveDurationTrace allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("calls")
+	g := r.Gauge("active")
+	h := r.Histogram("lat", []uint64{10, 20})
+
+	c.Add(5)
+	g.Set(2)
+	h.Observe(5)
+	prev := r.Snapshot()
+
+	c.Add(3)
+	g.Set(7)
+	h.Observe(15)
+	h.Observe(15)
+	time.Sleep(2 * time.Millisecond)
+	cur := r.Snapshot()
+
+	d := cur.Delta(prev)
+	if d.Interval <= 0 {
+		t.Errorf("interval = %v, want > 0", d.Interval)
+	}
+	if got := d.Counter("calls"); got != 3 {
+		t.Errorf("delta counter = %d, want 3", got)
+	}
+	if got := d.Gauge("active"); got != 7 {
+		t.Errorf("delta gauge = %d, want 7 (level, not flow)", got)
+	}
+	dh, ok := d.Histogram("lat")
+	if !ok {
+		t.Fatal("histogram missing from delta")
+	}
+	if dh.Count != 2 || dh.Sum != 30 {
+		t.Errorf("delta hist count=%d sum=%d, want 2/30", dh.Count, dh.Sum)
+	}
+	if dh.Buckets[0] != 0 || dh.Buckets[1] != 2 {
+		t.Errorf("delta buckets = %v, want [0 2 0]", dh.Buckets)
+	}
+	if rate := d.Rate("calls"); rate <= 0 {
+		t.Errorf("rate = %f, want > 0", rate)
+	}
+	// A counter that went backwards (peer restart) keeps its full value.
+	reset := Snapshot{Counters: []CounterPoint{{Name: "calls", Value: 1}}}
+	d2 := reset.Delta(cur)
+	if got := d2.Counter("calls"); got != 1 {
+		t.Errorf("reset counter delta = %d, want full value 1", got)
+	}
+	// Rate on a non-delta snapshot is 0.
+	if cur.Rate("calls") != 0 {
+		t.Error("Rate on non-delta snapshot should be 0")
 	}
 }
 
@@ -143,7 +254,7 @@ func TestSnapshotText(t *testing.T) {
 		"b.counter 7\n",
 		"derived.total 42\n",
 		"g.active 3 gauge\n",
-		"lat_us count=1 sum=2 p50<=2 p99<=2 (1,2]=1\n",
+		"lat_us count=1 sum=2 p50=2 p95=2 p99=2 (1,2]=1\n",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("text missing %q:\n%s", want, text)

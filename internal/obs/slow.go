@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowCall is one structured slow-call record: an invocation that exceeded
+// its QoS Latency bound (or a configured threshold). The struct is flat so
+// recording one is a copy into the ring, no allocation.
+type SlowCall struct {
+	Time  time.Time     // when the call finished
+	Side  string        // "client" (end-to-end) or "server" (dispatch)
+	Op    string        // operation name
+	Peer  string        // remote endpoint (client) or principal (server)
+	QoS   string        // the binding's QoS requirement summary, "" when none
+	Bound time.Duration // the threshold that was exceeded
+	Dur   time.Duration // the observed duration
+	Trace TraceID       // trace ID linking to TraceLog spans, cross-process
+}
+
+func (c SlowCall) String() string {
+	s := fmt.Sprintf("%s %s %s dur=%v bound=%v trace=%s",
+		c.Time.Format("15:04:05.000"), c.Side, c.Op, c.Dur, c.Bound, c.Trace)
+	if c.Peer != "" {
+		s += " peer=" + c.Peer
+	}
+	if c.QoS != "" {
+		s += " qos=" + c.QoS
+	}
+	return s
+}
+
+// SlowLog is a bounded ring of the most recent slow calls. Recording is
+// mutex-guarded but only runs when a call has already blown its latency
+// bound, so it is never on the fast path.
+type SlowLog struct {
+	total atomic.Uint64
+
+	mu    sync.Mutex
+	calls []SlowCall
+	next  int
+	full  bool
+}
+
+// DefaultSlowLogSize is the ring capacity used by NewSlowLog.
+const DefaultSlowLogSize = 256
+
+// NewSlowLog returns a ring holding up to size records (the default when
+// size <= 0).
+func NewSlowLog(size int) *SlowLog {
+	if size <= 0 {
+		size = DefaultSlowLogSize
+	}
+	return &SlowLog{calls: make([]SlowCall, size)}
+}
+
+// Record appends one slow call, evicting the oldest when the ring is full.
+func (l *SlowLog) Record(c SlowCall) {
+	l.total.Add(1)
+	l.mu.Lock()
+	l.calls[l.next] = c
+	l.next++
+	if l.next == len(l.calls) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Total returns how many slow calls have been recorded overall (including
+// ones the ring has since evicted).
+func (l *SlowLog) Total() uint64 { return l.total.Load() }
+
+// Calls returns the retained records, oldest first.
+func (l *SlowLog) Calls() []SlowCall {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		out := make([]SlowCall, l.next)
+		copy(out, l.calls[:l.next])
+		return out
+	}
+	out := make([]SlowCall, 0, len(l.calls))
+	out = append(out, l.calls[l.next:]...)
+	out = append(out, l.calls[:l.next]...)
+	return out
+}
+
+// String renders the log one record per line, oldest first.
+func (l *SlowLog) String() string {
+	var b strings.Builder
+	calls := l.Calls()
+	if total := l.Total(); total > uint64(len(calls)) {
+		fmt.Fprintf(&b, "(%d older slow calls evicted by the ring)\n", total-uint64(len(calls)))
+	}
+	for _, c := range calls {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -168,8 +168,14 @@ func (t *Tracer) Emit(e Event) {
 // skip building expensive event detail strings.
 func (t *Tracer) Enabled() bool { return t.Observer() != nil }
 
-// TraceLog is a ring-buffer Observer keeping the most recent events.
+// TraceLog is a ring-buffer Observer keeping the most recent events. Spans
+// evicted by the ring are counted (Dropped) rather than lost silently; wire
+// the count into a metrics Registry with SetDroppedCounter so snapshots
+// expose it (the facade uses "obs.tracelog.dropped").
 type TraceLog struct {
+	dropped atomic.Uint64
+	counter atomic.Pointer[Counter] // optional registry-owned dropped counter
+
 	mu     sync.Mutex
 	events []Event
 	next   int
@@ -188,9 +194,18 @@ func NewTraceLog(size int) *TraceLog {
 	return &TraceLog{events: make([]Event, size)}
 }
 
-// Event records e, evicting the oldest event when the ring is full.
+// SetDroppedCounter mirrors every future eviction into a registry counter
+// (typically "obs.tracelog.dropped"), surfacing span loss in snapshots.
+func (l *TraceLog) SetDroppedCounter(c *Counter) { l.counter.Store(c) }
+
+// Dropped returns how many events have been evicted unread so far.
+func (l *TraceLog) Dropped() uint64 { return l.dropped.Load() }
+
+// Event records e, evicting (and counting) the oldest event when the ring
+// is full.
 func (l *TraceLog) Event(e Event) {
 	l.mu.Lock()
+	evicted := l.full
 	l.events[l.next] = e
 	l.next++
 	if l.next == len(l.events) {
@@ -198,6 +213,12 @@ func (l *TraceLog) Event(e Event) {
 		l.full = true
 	}
 	l.mu.Unlock()
+	if evicted {
+		l.dropped.Add(1)
+		if c := l.counter.Load(); c != nil {
+			c.Inc()
+		}
+	}
 }
 
 // Events returns the recorded events, oldest first.
@@ -215,9 +236,13 @@ func (l *TraceLog) Events() []Event {
 	return out
 }
 
-// String renders the log one event per line, oldest first.
+// String renders the log one event per line, oldest first, noting how many
+// older events the ring has already evicted.
 func (l *TraceLog) String() string {
 	var b []byte
+	if d := l.Dropped(); d > 0 {
+		b = fmt.Appendf(b, "(%d older events dropped by the ring)\n", d)
+	}
 	for _, e := range l.Events() {
 		b = append(b, e.String()...)
 		b = append(b, '\n')

@@ -310,10 +310,32 @@ type result struct {
 }
 
 // recordCall finishes a synchronous invocation's observability: end-to-end
-// latency into the per-operation histogram and the client span's outcome.
-func recordCall(stats *clientOp, span obs.Span, outcome, detail string) {
-	stats.latency.ObserveDuration(time.Since(span.Start))
+// latency (with the span's trace ID as the bucket exemplar) into the
+// per-operation histogram, the client span's outcome, and — when the call
+// exceeded its slow bound — a structured slow-call record. The b == nil /
+// within-bound path adds no allocations over the plain histogram update.
+func (o *Object) recordCall(b *binding, stats *clientOp, span obs.Span, outcome, detail string) {
+	elapsed := time.Since(span.Start)
+	stats.latency.ObserveDurationTrace(elapsed, span.Trace)
 	span.End(outcome, detail)
+	ins := o.orb.ins
+	if bound := ins.clientSlowBound(b); bound > 0 && elapsed > bound {
+		c := obs.SlowCall{
+			Side: "client", Op: stats.op,
+			Bound: bound, Dur: elapsed, Trace: span.Trace,
+		}
+		if b != nil {
+			if !b.colocated {
+				c.Peer = b.profile.Transport + "://" + b.profile.Address
+			} else {
+				c.Peer = "colocated"
+			}
+			if len(b.reqQoS) > 0 {
+				c.QoS = b.reqQoS.String()
+			}
+		}
+		ins.slowCall(c)
+	}
 }
 
 // classifyOutcome maps a decoded reply error onto the span outcome
@@ -360,22 +382,22 @@ func (o *Object) invokeOnce(ctx context.Context, op string, args func(*cdr.Encod
 		id := o.colocatedID.Add(1)
 		frame, err := o.buildRequest(b, id, op, true, span, args)
 		if err != nil {
-			recordCall(stats, span, "error", "marshal failed")
+			o.recordCall(b, stats, span, "error", "marshal failed")
 			return err
 		}
 		reply, err := o.orb.dispatchColocated(ctx, b.codec, frame)
 		if err != nil {
-			recordCall(stats, span, "error", err.Error())
+			o.recordCall(b, stats, span, "error", err.Error())
 			return err
 		}
 		if reply == nil {
-			recordCall(stats, span, "ok", "")
+			o.recordCall(b, stats, span, "ok", "")
 			return nil
 		}
 		m, err := codecUnmarshal(b.codec, reply)
 		if err != nil {
 			transport.PutBuffer(reply)
-			recordCall(stats, span, "error", err.Error())
+			o.recordCall(b, stats, span, "error", err.Error())
 			return err
 		}
 		return o.finishInvoke(b, stats, span, m, out)
@@ -386,14 +408,14 @@ func (o *Object) invokeOnce(ctx context.Context, op string, args func(*cdr.Encod
 		// The connection died between bind and register; nothing was
 		// sent, so the attempt is safe to retry on a fresh connection.
 		o.invalidate()
-		recordCall(stats, span, "error", "connection closed")
+		o.recordCall(b, stats, span, "error", "connection closed")
 		return &retryableError{err: err}
 	}
 	frame, err := o.buildRequest(b, id, op, true, span, args)
 	if err != nil {
 		b.conn.unregister(id)
 		b.conn.releaseSlot(slot)
-		recordCall(stats, span, "error", "marshal failed")
+		o.recordCall(b, stats, span, "error", "marshal failed")
 		return err
 	}
 	flen := len(frame)
@@ -401,7 +423,7 @@ func (o *Object) invokeOnce(ctx context.Context, op string, args func(*cdr.Encod
 		b.conn.unregister(id)
 		b.conn.releaseSlot(slot)
 		o.invalidate()
-		recordCall(stats, span, "error", "send failed")
+		o.recordCall(b, stats, span, "error", "send failed")
 		return err
 	}
 	ins.msgOut(giop.MsgRequest, flen)
@@ -416,14 +438,14 @@ func (o *Object) invokeOnce(ctx context.Context, op string, args func(*cdr.Encod
 			o.sendCancel(b, id)
 			if errors.Is(err, context.DeadlineExceeded) {
 				ins.deadlineExceeded.Inc()
-				recordCall(stats, span, "deadline_exceeded", "")
+				o.recordCall(b, stats, span, "deadline_exceeded", "")
 				return &timeoutError{exc: giop.TimeoutException()}
 			}
-			recordCall(stats, span, "canceled", "")
+			o.recordCall(b, stats, span, "canceled", "")
 			return err
 		}
 		o.invalidate()
-		recordCall(stats, span, "error", err.Error())
+		o.recordCall(b, stats, span, "error", err.Error())
 		return err
 	}
 	b.conn.releaseSlot(slot)
@@ -456,11 +478,11 @@ func (o *Object) finishInvoke(b *binding, stats *clientOp, span obs.Span, m *gio
 	outcome, detail, nack := classifyOutcome(err)
 	if nack {
 		o.orb.ins.qosOutcome(mClientQoS, "nack")
-		recordCall(stats, span, "nack", detail)
+		o.recordCall(b, stats, span, "nack", detail)
 		o.abortBinding(b)
 		return err
 	}
-	recordCall(stats, span, outcome, detail)
+	o.recordCall(b, stats, span, outcome, detail)
 	return err
 }
 
@@ -779,6 +801,10 @@ func (p *Pending) record(outcome, detail string) {
 	p.recorded = true
 	p.mu.Unlock()
 	if already {
+		return
+	}
+	if p.stats != nil && p.o != nil {
+		p.o.recordCall(p.b, p.stats, p.span, outcome, detail)
 		return
 	}
 	if p.stats != nil {

@@ -95,6 +95,7 @@ func (cm *connManager) get(ctx context.Context, p ior.Profile, req qos.Set) (*cl
 			delete(cm.conns, key)
 			if cm.ins != nil {
 				cm.ins.redials.Inc()
+				cm.ins.connsCached.Set(int64(len(cm.conns)))
 			}
 		}
 		if call, ok := cm.dialing[key]; ok {
@@ -129,6 +130,9 @@ func (cm *connManager) get(ctx context.Context, p ior.Profile, req qos.Set) (*cl
 				conn, granted, err = nil, nil, errShutdown
 			} else {
 				cm.conns[key] = conn
+				if cm.ins != nil {
+					cm.ins.connsCached.Set(int64(len(cm.conns)))
+				}
 			}
 		}
 		call.conn, call.granted, call.err = conn, granted, err
@@ -180,6 +184,9 @@ func (cm *connManager) drop(p ior.Profile, qosKey string, c *clientConn) {
 	cm.mu.Lock()
 	if cur, ok := cm.conns[key]; ok && cur == c {
 		delete(cm.conns, key)
+		if cm.ins != nil {
+			cm.ins.connsCached.Set(int64(len(cm.conns)))
+		}
 	}
 	cm.mu.Unlock()
 	c.close()
@@ -197,6 +204,9 @@ func (cm *connManager) close() {
 	cm.closed = true
 	conns := cm.conns
 	cm.conns = nil
+	if cm.ins != nil {
+		cm.ins.connsCached.Set(0)
+	}
 	cm.mu.Unlock()
 	for _, c := range conns {
 		c.close()

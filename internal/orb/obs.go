@@ -2,9 +2,11 @@ package orb
 
 import (
 	"sync"
+	"time"
 
 	"cool/internal/giop"
 	"cool/internal/obs"
+	"cool/internal/qos"
 )
 
 // Metric names used by the ORB layers. Labels are appended in braces per
@@ -40,11 +42,19 @@ const (
 	// when the drain deadline expired and their contexts were cancelled.
 	mServerDrained      = "orb.server.drain_completed"
 	mServerDrainAborted = "orb.server.drain_aborted"
+	// mSlowClient / mSlowServer count invocations that exceeded their slow
+	// bound (QoS Latency bound or configured threshold); each also lands a
+	// structured record in the SlowLog ring.
+	mSlowClient = "orb.client.slow_calls"
+	mSlowServer = "orb.server.slow_calls"
+	// mConnsCached gauges the connection-manager cache occupancy.
+	mConnsCached = "orb.client.conns_cached"
 )
 
 // clientOp caches the per-operation client-side metric handles and the
 // span name so the invocation hot path never composes strings.
 type clientOp struct {
+	op       string
 	calls    *obs.Counter
 	latency  *obs.Histogram
 	spanName string // "client:" + op
@@ -52,6 +62,7 @@ type clientOp struct {
 
 // serverOp is the server-side counterpart.
 type serverOp struct {
+	op       string
 	requests *obs.Counter
 	dispatch *obs.Histogram
 	spanName string // "server:" + op
@@ -85,6 +96,18 @@ type instruments struct {
 	drainDuration    *obs.Gauge
 	drainCompleted   *obs.Counter
 	drainAborted     *obs.Counter
+
+	// Slow-call instruments: invocations exceeding their slow bound bump
+	// the side's counter and land a structured record in slowLog.
+	// slowThreshold is the configured floor (WithSlowCallThreshold); zero
+	// means only QoS Latency bounds trigger the log.
+	slowLog       *obs.SlowLog
+	slowThreshold time.Duration
+	slowClient    *obs.Counter
+	slowServer    *obs.Counter
+
+	// connsCached gauges the connection-manager cache occupancy.
+	connsCached *obs.Gauge
 }
 
 func newInstruments() *instruments {
@@ -110,7 +133,52 @@ func newInstruments() *instruments {
 	ins.drainDuration = ins.reg.Gauge(mServerDrainUS)
 	ins.drainCompleted = ins.reg.Counter(mServerDrained)
 	ins.drainAborted = ins.reg.Counter(mServerDrainAborted)
+	ins.slowLog = obs.NewSlowLog(0)
+	ins.slowClient = ins.reg.Counter(mSlowClient)
+	ins.slowServer = ins.reg.Counter(mSlowServer)
+	ins.connsCached = ins.reg.Gauge(mConnsCached)
 	return ins
+}
+
+// clientSlowBound returns the effective client-side slow bound for a
+// binding: the two-way QoS Latency bound (one-way bound × 2, matching
+// deadlineFor) when present, tightened by the configured threshold. Zero
+// disables slow-call detection. No allocations: this runs per invocation.
+func (ins *instruments) clientSlowBound(b *binding) time.Duration {
+	bound := ins.slowThreshold
+	if b != nil {
+		if lat := b.reqQoS.Value(qos.Latency, 0); lat > 0 {
+			if q := 2 * time.Duration(lat) * time.Microsecond; bound == 0 || q < bound {
+				bound = q
+			}
+		}
+	}
+	return bound
+}
+
+// serverSlowBound is the dispatch-side equivalent: the one-way QoS Latency
+// bound of the request, tightened by the configured threshold.
+func (ins *instruments) serverSlowBound(reqQoS qos.Set) time.Duration {
+	bound := ins.slowThreshold
+	if lat := reqQoS.Value(qos.Latency, 0); lat > 0 {
+		if q := time.Duration(lat) * time.Microsecond; bound == 0 || q < bound {
+			bound = q
+		}
+	}
+	return bound
+}
+
+// slowCall records one slow invocation: counter bump plus a structured ring
+// record. Only ever called after a call has blown its bound, so the
+// formatting cost is off the fast path.
+func (ins *instruments) slowCall(c obs.SlowCall) {
+	if c.Side == "client" {
+		ins.slowClient.Inc()
+	} else {
+		ins.slowServer.Inc()
+	}
+	c.Time = time.Now()
+	ins.slowLog.Record(c)
 }
 
 // orphanReply counts one reply that found no registered waiter.
@@ -130,6 +198,7 @@ func (ins *instruments) client(op string) *clientOp {
 		return c
 	}
 	c = &clientOp{
+		op:       op,
 		calls:    ins.reg.Counter(mClientCalls + "{op=" + op + "}"),
 		latency:  ins.reg.Histogram(mClientLatency+"{op="+op+"}", obs.LatencyBuckets()),
 		spanName: "client:" + op,
@@ -152,6 +221,7 @@ func (ins *instruments) server(op string) *serverOp {
 		return s
 	}
 	s = &serverOp{
+		op:       op,
 		requests: ins.reg.Counter(mServerReqs + "{op=" + op + "}"),
 		dispatch: ins.reg.Histogram(mServerLatency+"{op="+op+"}", obs.LatencyBuckets()),
 		spanName: "server:" + op,

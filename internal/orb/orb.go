@@ -118,6 +118,15 @@ func WithDrainTimeout(d time.Duration) Option {
 	return optFunc(func(o *ORB) { o.drainTimeout = d })
 }
 
+// WithSlowCallThreshold sets a latency floor above which any invocation —
+// client round-trip or server dispatch — is recorded in the slow-call log
+// even without a QoS Latency bound. Calls bound by a QoS Latency parameter
+// use the tighter of the two. Zero (the default) logs only QoS-bound
+// violations.
+func WithSlowCallThreshold(d time.Duration) Option {
+	return optFunc(func(o *ORB) { o.ins.slowThreshold = d })
+}
+
 // New creates an ORB with the standard tcp and inproc transports
 // registered.
 func New(opts ...Option) *ORB {
@@ -159,6 +168,11 @@ func (o *ORB) Tracer() *obs.Tracer { return o.ins.tracer }
 // SetObserver installs (or replaces, or with nil removes) the observer
 // receiving spans and structured events from this ORB.
 func (o *ORB) SetObserver(ob obs.Observer) { o.ins.tracer.SetObserver(ob) }
+
+// SlowCalls exposes the ORB's slow-call log: the bounded ring of
+// invocations that exceeded their QoS Latency bound or the configured
+// WithSlowCallThreshold.
+func (o *ORB) SlowCalls() *obs.SlowLog { return o.ins.slowLog }
 
 // Adapter exposes the object adapter.
 func (o *ORB) Adapter() *Adapter { return o.adapter }

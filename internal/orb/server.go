@@ -325,9 +325,21 @@ func (o *ORB) handleRequest(ctx context.Context, codec Codec, m *giop.Message, s
 	inv.Ctx = ctx
 	dispatchStart := time.Now()
 	body, err := e.servant.Invoke(inv)
-	stats.dispatch.ObserveDuration(time.Since(dispatchStart))
+	dispatchDur := time.Since(dispatchStart)
+	stats.dispatch.ObserveDurationTrace(dispatchDur, span.Trace)
 	*inv = Invocation{}
 	invPool.Put(inv)
+	if bound := ins.serverSlowBound(req.QoS); bound > 0 && dispatchDur > bound {
+		c := obs.SlowCall{
+			Side: "server", Op: stats.op,
+			Peer:  string(req.Principal),
+			Bound: bound, Dur: dispatchDur, Trace: span.Trace,
+		}
+		if len(req.QoS) > 0 {
+			c.QoS = req.QoS.String()
+		}
+		ins.slowCall(c)
+	}
 
 	if state != nil && state.takeCanceled(req.RequestID) {
 		span.End("canceled", "")

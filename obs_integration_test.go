@@ -193,4 +193,37 @@ func TestObservabilityEndToEnd(t *testing.T) {
 			t.Errorf("snapshot text missing %q:\n%s", want, text)
 		}
 	}
+
+	// (e) Cross-process exemplars: the client latency histogram's tail
+	// exemplar — the trace behind the worst observed latency, the one a p99
+	// investigation would chase — must resolve to a server-side span
+	// carrying the same trace ID.
+	ch, _ := cs.Histogram("orb.client.latency_us{op=echo}")
+	tail := ch.TailExemplar()
+	if tail.IsZero() {
+		t.Fatal("client latency histogram recorded no tail exemplar")
+	}
+	if _, ok := clientSpans[tail]; !ok {
+		t.Errorf("tail exemplar %s is not a client-side trace", tail)
+	}
+	resolved := false
+	for _, ev := range serverLog.Events() {
+		if ev.Kind == "span" && ev.Name == "server:echo" && ev.Trace == tail {
+			resolved = true
+			break
+		}
+	}
+	if !resolved {
+		t.Errorf("tail exemplar %s does not resolve to a server-side span", tail)
+	}
+	// Every occupied bucket carries an exemplar (all calls were traced),
+	// and the exposition renders them as #<trace-id> suffixes.
+	for i, b := range ch.Buckets {
+		if b > 0 && ch.Exemplars[i] == 0 {
+			t.Errorf("occupied bucket %d has no exemplar", i)
+		}
+	}
+	if !strings.Contains(text, "#"+tail.String()) {
+		t.Errorf("snapshot text missing exemplar #%s:\n%s", tail, text)
+	}
 }

@@ -1,0 +1,163 @@
+package cool
+
+import (
+	"fmt"
+	"time"
+
+	"cool/internal/cdr"
+	"cool/internal/obs"
+)
+
+// Wire form of a metrics snapshot, used by the StatsServant "snapshot_bin"
+// operation so coolstat -watch can compute deltas and percentiles
+// client-side instead of scraping text. The encoding is a versioned CDR
+// struct: counters and gauges as (name, value) pairs, histograms with
+// bounds, buckets, exemplars, count and sum.
+const snapshotWireVersion = 1
+
+// encodeSnapshot renders s in its CDR wire form.
+func encodeSnapshot(enc *cdr.Encoder, s obs.Snapshot) {
+	enc.WriteOctet(snapshotWireVersion)
+	enc.WriteLongLong(s.Time.UnixNano())
+	enc.WriteULong(uint32(len(s.Counters)))
+	for _, c := range s.Counters {
+		enc.WriteString(c.Name)
+		enc.WriteULongLong(c.Value)
+	}
+	enc.WriteULong(uint32(len(s.Gauges)))
+	for _, g := range s.Gauges {
+		enc.WriteString(g.Name)
+		enc.WriteLongLong(g.Value)
+	}
+	enc.WriteULong(uint32(len(s.Histograms)))
+	for _, h := range s.Histograms {
+		enc.WriteString(h.Name)
+		enc.WriteULong(uint32(len(h.Bounds)))
+		for _, b := range h.Bounds {
+			enc.WriteULongLong(b)
+		}
+		enc.WriteULong(uint32(len(h.Buckets)))
+		for _, b := range h.Buckets {
+			enc.WriteULongLong(b)
+		}
+		// Exemplars parallel the buckets; absent (older peer) encodes as 0.
+		for i := range h.Buckets {
+			var ex uint64
+			if i < len(h.Exemplars) {
+				ex = h.Exemplars[i]
+			}
+			enc.WriteULongLong(ex)
+		}
+		enc.WriteULongLong(h.Count)
+		enc.WriteULongLong(h.Sum)
+	}
+}
+
+// maxSnapshotSeq bounds decoded sequence lengths against corrupt or
+// malicious length prefixes.
+const maxSnapshotSeq = 1 << 20
+
+// decodeSnapshot parses the CDR wire form produced by encodeSnapshot.
+func decodeSnapshot(dec *cdr.Decoder) (obs.Snapshot, error) {
+	var s obs.Snapshot
+	v, err := dec.ReadOctet()
+	if err != nil {
+		return s, err
+	}
+	if v != snapshotWireVersion {
+		return s, fmt.Errorf("cool: unsupported snapshot wire version %d", v)
+	}
+	nanos, err := dec.ReadLongLong()
+	if err != nil {
+		return s, err
+	}
+	s.Time = time.Unix(0, nanos)
+	n, err := readSeqLen(dec)
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		var c obs.CounterPoint
+		if c.Name, err = dec.ReadString(); err != nil {
+			return s, err
+		}
+		if c.Value, err = dec.ReadULongLong(); err != nil {
+			return s, err
+		}
+		s.Counters = append(s.Counters, c)
+	}
+	if n, err = readSeqLen(dec); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		var g obs.GaugePoint
+		if g.Name, err = dec.ReadString(); err != nil {
+			return s, err
+		}
+		if g.Value, err = dec.ReadLongLong(); err != nil {
+			return s, err
+		}
+		s.Gauges = append(s.Gauges, g)
+	}
+	if n, err = readSeqLen(dec); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		var h obs.HistogramPoint
+		if h.Name, err = dec.ReadString(); err != nil {
+			return s, err
+		}
+		if h.Bounds, err = readULongLongSeq(dec); err != nil {
+			return s, err
+		}
+		nb, err := readSeqLen(dec)
+		if err != nil {
+			return s, err
+		}
+		h.Buckets = make([]uint64, nb)
+		for j := range h.Buckets {
+			if h.Buckets[j], err = dec.ReadULongLong(); err != nil {
+				return s, err
+			}
+		}
+		h.Exemplars = make([]uint64, nb)
+		for j := range h.Exemplars {
+			if h.Exemplars[j], err = dec.ReadULongLong(); err != nil {
+				return s, err
+			}
+		}
+		if h.Count, err = dec.ReadULongLong(); err != nil {
+			return s, err
+		}
+		if h.Sum, err = dec.ReadULongLong(); err != nil {
+			return s, err
+		}
+		s.Histograms = append(s.Histograms, h)
+	}
+	return s, nil
+}
+
+func readSeqLen(dec *cdr.Decoder) (int, error) {
+	n, err := dec.ReadULong()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxSnapshotSeq {
+		return 0, fmt.Errorf("cool: snapshot sequence length %d exceeds limit", n)
+	}
+	return int(n), nil
+}
+
+func readULongLongSeq(dec *cdr.Decoder) ([]uint64, error) {
+	n, err := readSeqLen(dec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if out[i], err = dec.ReadULongLong(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

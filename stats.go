@@ -30,6 +30,13 @@ type (
 // WithObserver installs an event observer at ORB construction time.
 var WithObserver = orb.WithObserver
 
+// WithSlowCallThreshold sets a latency floor above which invocations are
+// recorded in the slow-call log even without a QoS Latency bound.
+var WithSlowCallThreshold = orb.WithSlowCallThreshold
+
+// mTraceLogDropped counts TraceLog ring evictions (spans lost unread).
+const mTraceLogDropped = "obs.tracelog.dropped"
+
 // Metrics returns the ORB's metric registry. Metrics are always collected
 // (cheap atomics); this is the read side.
 func Metrics(o *ORB) *MetricsRegistry { return o.Metrics() }
@@ -42,9 +49,17 @@ func TraceLog(o *ORB) *TraceRecorder {
 		return l
 	}
 	l := obs.NewTraceLog(0)
+	// Ring evictions surface as a counter so silent span loss shows up in
+	// snapshots (and coolstat) next to the metrics the spans explain.
+	l.SetDroppedCounter(o.Metrics().Counter(mTraceLogDropped))
 	o.SetObserver(obs.Fanout(o.Tracer().Observer(), l))
 	return l
 }
+
+// SlowCalls returns the ORB's slow-call log: a bounded ring of invocations
+// that exceeded their QoS Latency bound or the WithSlowCallThreshold
+// configuration (see the README "Observability" section).
+func SlowCalls(o *ORB) *obs.SlowLog { return o.SlowCalls() }
 
 // StatsRepoID is the repository id of the built-in stats servant.
 const StatsRepoID = "IDL:cool/Stats:1.0"
@@ -53,9 +68,13 @@ const StatsRepoID = "IDL:cool/Stats:1.0"
 // tools (cmd/coolstat) can fetch a metrics snapshot from a running process
 // through the ORB itself. Operations:
 //
-//	snapshot() -> string   the metrics snapshot in text exposition format
-//	trace()    -> string   recent events from the ORB's TraceLog ("" when
-//	                       no TraceLog observer is installed)
+//	snapshot()     -> string   the metrics snapshot in text exposition format
+//	snapshot_bin() -> octets   the snapshot in CDR wire form (see
+//	                           snapshotwire.go) for delta/percentile-aware
+//	                           clients such as coolstat -watch
+//	trace()        -> string   recent events from the ORB's TraceLog ("" when
+//	                           no TraceLog observer is installed)
+//	slow()         -> string   the slow-call log, one record per line
 type StatsServant struct {
 	orb *ORB
 }
@@ -81,6 +100,24 @@ func (c *StatsClient) Snapshot() (string, error) { return c.call("snapshot") }
 // has no TraceLog installed).
 func (c *StatsClient) Trace() (string, error) { return c.call("trace") }
 
+// Slow fetches the remote ORB's slow-call log, one record per line.
+func (c *StatsClient) Slow() (string, error) { return c.call("slow") }
+
+// SnapshotData fetches the remote ORB's metrics snapshot in structured
+// form, suitable for Delta/Rate/Quantile computations (coolstat -watch).
+func (c *StatsClient) SnapshotData() (MetricsSnapshot, error) {
+	var s MetricsSnapshot
+	err := c.obj.Invoke("snapshot_bin", nil, func(dec *cdr.Decoder) error {
+		body, err := dec.ReadEncapsulation()
+		if err != nil {
+			return err
+		}
+		s, err = decodeSnapshot(body)
+		return err
+	})
+	return s, err
+}
+
 func (c *StatsClient) call(op string) (string, error) {
 	var out string
 	err := c.obj.Invoke(op, nil, func(dec *cdr.Decoder) error {
@@ -97,11 +134,21 @@ func (s *StatsServant) Invoke(inv *Invocation) (ReplyWriter, error) {
 	case "snapshot":
 		text := s.orb.Metrics().Snapshot().Text()
 		return func(enc *cdr.Encoder) { enc.WriteString(text) }, nil
+	case "snapshot_bin":
+		snap := s.orb.Metrics().Snapshot()
+		return func(enc *cdr.Encoder) {
+			enc.WriteEncapsulation(cdr.EncodeEncapsulation(cdr.BigEndian, func(e *cdr.Encoder) {
+				encodeSnapshot(e, snap)
+			}))
+		}, nil
 	case "trace":
 		text := ""
 		if l, ok := s.orb.Tracer().Observer().(*obs.TraceLog); ok {
 			text = l.String()
 		}
+		return func(enc *cdr.Encoder) { enc.WriteString(text) }, nil
+	case "slow":
+		text := s.orb.SlowCalls().String()
 		return func(enc *cdr.Encoder) { enc.WriteString(text) }, nil
 	default:
 		return nil, giop.BadOperation()
