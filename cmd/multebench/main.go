@@ -6,7 +6,13 @@
 //	multebench                         # run everything
 //	multebench -experiment fig9        # one experiment: fig9 | giop |
 //	                                   # negotiation | transport | config |
-//	                                   # marshal | obs
+//	                                   # marshal | obs | load | pipeline
+//	multebench -experiment load \
+//	  -load-conc 10000 -load-rate 0    # E11: high-concurrency echo load,
+//	                                   # closed loop (-load-rate 0) or
+//	                                   # open loop (arrivals/second);
+//	                                   # -load-json for machine output
+//	multebench -experiment pipeline    # E10: high-RTT request pipelining
 //	multebench -quick                  # smaller sample counts
 //	multebench -stats                  # metrics snapshot + recent trace
 //	                                   # events after each run
@@ -40,10 +46,17 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("multebench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "experiment to run: fig9|giop|negotiation|transport|config|marshal|obs|all")
+	exp := fs.String("experiment", "all", "experiment to run: fig9|giop|negotiation|transport|config|marshal|obs|load|pipeline|all")
 	quick := fs.Bool("quick", false, "smaller sample counts (noisier, faster)")
 	stats := fs.Bool("stats", false, "print a metrics snapshot and recent trace events after each run")
 	jsonOut := fs.Bool("json", false, "emit the perf-regression set (transport, marshal, giop) as JSON")
+	loadConc := fs.Int("load-conc", 1000, "load: concurrent callers (closed loop) / outstanding cap (open loop)")
+	loadPayload := fs.Int("load-payload", 256, "load: echo payload octets")
+	loadDur := fs.Duration("load-duration", 2*time.Second, "load: measurement window")
+	loadRate := fs.Int("load-rate", 0, "load: open-loop arrivals per second (0 = closed loop)")
+	loadStripes := fs.Int("load-stripes", 0, "load: connection stripes per endpoint (0 = ORB default)")
+	loadMaxInFlight := fs.Int("load-maxinflight", 0, "load: per-connection in-flight cap (0 = ORB default)")
+	loadJSON := fs.Bool("load-json", false, "load/pipeline: emit the result as JSON instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +78,14 @@ func run(args []string) error {
 		return runJSON(n, payload, *quick)
 	}
 
+	loadOpts := experiments.LoadOptions{
+		Conc:        *loadConc,
+		Payload:     *loadPayload,
+		Duration:    *loadDur,
+		RatePerSec:  *loadRate,
+		Stripes:     *loadStripes,
+		MaxInFlight: *loadMaxInFlight,
+	}
 	runs := map[string]func() error{
 		"fig9":        func() error { return runFig9(*quick) },
 		"giop":        func() error { return runGIOP(n, payload) },
@@ -73,6 +94,8 @@ func run(args []string) error {
 		"config":      func() error { return runConfig() },
 		"marshal":     func() error { return runMarshal() },
 		"obs":         func() error { return runObs(n / 8) },
+		"load":        func() error { return runLoad(loadOpts, *loadJSON) },
+		"pipeline":    func() error { return runPipeline(*quick, *loadJSON) },
 	}
 	if *exp != "all" {
 		fn, ok := runs[*exp]
@@ -81,7 +104,7 @@ func run(args []string) error {
 		}
 		return fn()
 	}
-	for _, name := range []string{"fig9", "giop", "negotiation", "transport", "config", "marshal", "obs"} {
+	for _, name := range []string{"fig9", "giop", "negotiation", "transport", "config", "marshal", "obs", "load", "pipeline"} {
 		if err := runs[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -296,6 +319,58 @@ func runObs(n int) error {
 		return err
 	}
 	fmt.Print(demo.Report)
+	return nil
+}
+
+func runLoad(opts experiments.LoadOptions, asJSON bool) error {
+	if !asJSON {
+		mode := "closed loop"
+		if opts.RatePerSec > 0 {
+			mode = fmt.Sprintf("open loop, %d arrivals/s", opts.RatePerSec)
+		}
+		header(fmt.Sprintf("E11 — connection multiplexing at scale (%d callers, %s)", opts.Conc, mode))
+	}
+	res, err := experiments.RunLoad(opts)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "mode\tconc\tstripes\treqs\terrs\tdropped\treq/s\tp50\tp95\tp99\tflush mean/p99\tflow p99\t")
+	fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.0f\t%dµs\t%dµs\t%dµs\t%.1f/%d\t%dµs\t\n",
+		res.Mode, res.Conc, res.Stripes, res.Requests, res.Errors, res.Dropped, res.Throughput,
+		res.P50us, res.P95us, res.P99us, res.FlushBatchMean, res.FlushBatchP99, res.FlowWaitP99us)
+	w.Flush()
+	return nil
+}
+
+func runPipeline(quick, asJSON bool) error {
+	rtt, conc, invocations := 20*time.Millisecond, 32, 640
+	if quick {
+		rtt, conc, invocations = 5*time.Millisecond, 16, 320
+	}
+	if !asJSON {
+		header(fmt.Sprintf("E10 — request pipelining on one connection (simulated %v RTT)", rtt))
+	}
+	res, err := experiments.RunPipelineExperiment(rtt, conc, invocations)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "rtt\tcallers\tinvocations\tsequential req/s\tpipelined req/s\tspeedup\tflush p99\t")
+	fmt.Fprintf(w, "%dms\t%d\t%d\t%.1f\t%.1f\t%.1f×\t%d\t\n",
+		res.RTTms, res.Conc, res.Invocations, res.SequentialRPS, res.PipelinedRPS, res.Speedup, res.FlushBatchP99)
+	w.Flush()
+	fmt.Printf("\n   (one striped connection; concurrent callers overlap RTTs and share writev batches)\n")
 	return nil
 }
 

@@ -104,6 +104,8 @@ var (
 	WithCapability     = orb.WithCapability
 	WithKey            = orb.WithKey
 	WithInlineDispatch = orb.WithInlineDispatch
+	WithMaxInFlight    = orb.WithMaxInFlight
+	WithConnStripes    = orb.WithConnStripes
 	// WithSlowCallThreshold is re-exported in stats.go next to the other
 	// observability surface.
 )

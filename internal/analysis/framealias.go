@@ -149,9 +149,12 @@ func (fa *frameAliasChecker) taintedExpr(e ast.Expr) bool {
 	case *ast.SliceExpr:
 		return fa.taintedExpr(x.X)
 	case *ast.IndexExpr:
-		// Indexing a byte slice yields a byte (a copy); only slices of
-		// slices stay tainted, which this codebase does not use. Treat
-		// element reads as clean.
+		// Indexing a slice of slices (a flush queue) yields a stored
+		// element, which keeps its taint; indexing a byte slice yields a
+		// copied byte and is clean.
+		if isSliceOfSlices(typeOf(fa.pass.Info, x.X)) {
+			return fa.taintedExpr(x.X)
+		}
 		return false
 	case *ast.UnaryExpr:
 		return fa.taintedExpr(x.X)
@@ -175,13 +178,42 @@ func (fa *frameAliasChecker) taintedCall(call *ast.CallExpr) bool {
 		return false
 	}
 
-	// Builtins: append copies into the destination slice, which is only
-	// tainted if the destination was; copy returns an int.
+	// Builtins: append copies scalar content into the destination slice,
+	// which is only tainted if the destination was — but element-appending
+	// a tainted slice into a slice of slices (the flush-queue shape)
+	// stores the aliasing header itself, so the container inherits the
+	// taint. copy returns an int.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if obj := objOf(info, id); obj != nil {
 			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
 				if id.Name == "append" && len(call.Args) > 0 {
-					return fa.taintedExpr(call.Args[0])
+					if fa.taintedExpr(call.Args[0]) {
+						return true
+					}
+					for i := 1; i < len(call.Args); i++ {
+						a := call.Args[i]
+						if !fa.taintedExpr(a) {
+							continue
+						}
+						t := typeOf(info, a)
+						if t == nil {
+							continue
+						}
+						if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+							// Spreading copies the elements; those
+							// elements only alias when they are
+							// themselves slice headers ([][]byte...).
+							sl, ok := t.Underlying().(*types.Slice)
+							if !ok {
+								continue
+							}
+							t = sl.Elem()
+						}
+						if aliasKinded(t) {
+							return true
+						}
+					}
+					return false
 				}
 				return false
 			}
@@ -232,6 +264,20 @@ func (fa *frameAliasChecker) taintedCall(call *ast.CallExpr) bool {
 		}
 	}
 	return false
+}
+
+// isSliceOfSlices reports whether t is a slice whose elements are
+// themselves slices ([][]byte and friends).
+func isSliceOfSlices(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	_, ok = sl.Elem().Underlying().(*types.Slice)
+	return ok
 }
 
 // isGIOPMessage reports whether e is a (pointer to) giop.Message value.

@@ -510,9 +510,14 @@ func poolSummarize(prog *Program, pf *progFunc, s *Summary) {
 	}
 
 	// releasesParam: the body hands parameter i to a known release
-	// entry point (intrinsic table, annotation, or a callee summary).
+	// entry point (intrinsic table, annotation, or a callee summary) —
+	// or element-appends it into escaping storage (queue handoff), in
+	// which case the queue's drainer owns the release and the call
+	// counts as one for the caller.
 	for i, param := range pf.params {
 		if kind := releasedParamKind(prog, pf, info, param); kind != "" {
+			s.releasesParam[i] = kind
+		} else if kind := queuedParamKind(info, pf, param); kind != "" {
 			s.releasesParam[i] = kind
 		}
 	}
@@ -678,6 +683,67 @@ func releasedParamKind(prog *Program, pf *progFunc, info *types.Info, param *typ
 		return true
 	})
 	return kind
+}
+
+// queuedParamKind reports the pool kind when the body stores parameter
+// `param` itself into escaping storage by element-append — `w.q =
+// append(w.q, p)`, the write-queue handoff idiom. Ownership moves to
+// whoever drains the queue, so callers may treat the call as a release
+// of the argument (poolpair's isReleaseOf consults this via the
+// summary).
+func queuedParamKind(info *types.Info, pf *progFunc, param *types.Var) string {
+	kind := poolKindOfType(param.Type())
+	if kind == "" {
+		return ""
+	}
+	found := false
+	ast.Inspect(pf.decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, r := range as.Rhs {
+			if appendClassOf(info, r, param) != appendElement {
+				continue
+			}
+			// Only stores into fields, elements, or dereferences move
+			// the object out of the function; a local queue keeps it
+			// in-function and is not a handoff.
+			switch ast.Unparen(as.Lhs[i]).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found {
+		return ""
+	}
+	return kind
+}
+
+// poolKindOfType maps a static type to the pool kind its values carry:
+// []byte buffers and *giop.Message messages. Encoders are excluded —
+// they are lent on calls, never queued.
+func poolKindOfType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if n := namedOf(t); n != nil {
+		if o := n.Obj(); o != nil && o.Pkg() != nil &&
+			o.Pkg().Path() == "cool/internal/giop" && o.Name() == "Message" {
+			return kindMessage
+		}
+	}
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+			return kindBuffer
+		}
+	}
+	return ""
 }
 
 // --- framealias facts -------------------------------------------------

@@ -30,9 +30,14 @@ import (
 // object, sending it on a channel, or (for messages and buffers, whose
 // contract passes ownership with the value) handing it to another
 // function all transfer responsibility to the receiver. Encoders are
-// only lent on calls and stay owned. Storing a tracked object into a
-// struct field or package variable requires a //coollint:owner
-// annotation on the acquisition line.
+// only lent on calls and stay owned. Element-appending the object into a
+// slice — `w.q = append(w.q, frame)`, the flush-queue idiom — stores the
+// object itself and is recognized as a handoff like a channel send: the
+// queue's drainer inherits the release obligation. Spread-appending
+// (`dst = append(dst, b...)`) only copies the bytes and leaves the
+// object owned. Any other store of a tracked object into a struct field
+// or package variable requires a //coollint:owner annotation on the
+// acquisition line.
 //
 // Two-value acquisitions (`m, err := UnmarshalPooled(frame)`) are
 // correlated with `if err != nil` guards: on the error branch the callee
@@ -519,8 +524,15 @@ func (pp *poolPairChecker) escape(at atom, node ast.Node, state uint8, acq *acqu
 			if !usesObject(info, r, acq.obj) {
 				continue
 			}
-			if appendCopies(info, r, acq.obj) {
+			switch appendClassOf(info, r, acq.obj) {
+			case appendContent:
 				continue // append copies the bytes; the object stays put
+			case appendElement:
+				// x = append(x, obj) stores the object itself — the
+				// queue-handoff idiom (flush queues, reply batches). Like a
+				// channel send, the drain side inherits the release
+				// obligation; no //coollint:owner is needed.
+				return toEscaped()
 			}
 			var l ast.Expr
 			if len(s.Lhs) == len(s.Rhs) {
@@ -606,21 +618,60 @@ func (pp *poolPairChecker) escapingLValue(l ast.Expr) bool {
 	return false
 }
 
-// appendCopies reports whether e is an append call whose only mentions of
-// obj are in the appended (copied-from) arguments, not the destination.
-func appendCopies(info *types.Info, e ast.Expr, obj types.Object) bool {
+// Append classification for a tracked object mentioned in an append call.
+const (
+	appendNone    = iota // not an append of the object (or obj is the destination)
+	appendContent        // the object's bytes are copied out; obj stays put
+	appendElement        // the object itself is stored in the container (handoff)
+)
+
+// appendClassOf classifies how an append call treats the tracked object:
+// `append(dst, obj...)` (and appends of scalar elements read from obj)
+// copy content, while `append(q, obj)` of a slice/pointer-typed object
+// stores the object itself — the write-queue handoff shape.
+func appendClassOf(info *types.Info, e ast.Expr, obj types.Object) int {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok || len(call.Args) == 0 {
-		return false
+		return appendNone
 	}
 	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
 	if !ok || id.Name != "append" {
-		return false
+		return appendNone
 	}
 	if _, isBuiltin := objOf(info, id).(*types.Builtin); !isBuiltin {
+		return appendNone
+	}
+	if usesObject(info, call.Args[0], obj) {
+		return appendNone // obj is (part of) the destination
+	}
+	for i := 1; i < len(call.Args); i++ {
+		a := call.Args[i]
+		if !usesObject(info, a, obj) {
+			continue
+		}
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			return appendContent // append(dst, obj...) copies the elements out
+		}
+		if aliasKinded(typeOf(info, a)) {
+			return appendElement
+		}
+		return appendContent // scalar element (obj[i], len(obj), ...): a copy
+	}
+	return appendNone
+}
+
+// aliasKinded reports whether a value of type t carries the pooled object
+// itself (slice headers, pointers, interfaces) rather than a copied
+// scalar.
+func aliasKinded(t types.Type) bool {
+	if t == nil {
 		return false
 	}
-	return !usesObject(info, call.Args[0], obj)
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Interface:
+		return true
+	}
+	return false
 }
 
 // rootsAt returns l's root identifier's object when it matches obj.

@@ -73,3 +73,45 @@ func standaloneDecoderIsClean(s *session, frame []byte) {
 func allowedAliasingSite(s *session, m *giop.Message) {
 	s.lastBody = m.BodyDecoder() //coollint:allow framealias -- consumed before release
 }
+
+// --- flush-queue ([][]byte) taint ---
+
+type flushWriter struct {
+	frames [][]byte
+}
+
+// Element-appending a frame-aliasing slice into a queue taints the
+// queue: storing it in a field keeps the alias alive past the message.
+func queueCarriesTaint(w *flushWriter, m *giop.Message) {
+	dec := m.BodyDecoder()
+	b, _ := dec.ReadOctetSeq()
+	var q [][]byte
+	q = append(q, b)
+	w.frames = q // want "outlives the pooled message"
+}
+
+// Indexing a tainted queue yields the stored aliasing slice back.
+func indexedElementStaysTainted(s *session, m *giop.Message) {
+	dec := m.BodyDecoder()
+	b, _ := dec.ReadOctetSeq()
+	var q [][]byte
+	q = append(q, b)
+	s.lastKey = q[0] // want "outlives the pooled message"
+}
+
+// Spreading a tainted queue copies slice headers, not bytes: the
+// destination queue still aliases the frame.
+func spreadOfQueueStaysTainted(w *flushWriter, m *giop.Message) {
+	dec := m.BodyDecoder()
+	b, _ := dec.ReadOctetSeq()
+	var q [][]byte
+	q = append(q, b)
+	w.frames = append(w.frames, q...) // want "outlives the pooled message"
+}
+
+// A queue of copied frames is clean: the elements own their bytes.
+func queueOfCopiesIsClean(w *flushWriter, m *giop.Message) {
+	dec := m.BodyDecoder()
+	b, _ := dec.ReadOctetSeq()
+	w.frames = append(w.frames, append([]byte(nil), b...))
+}

@@ -5,6 +5,7 @@
 package interproc
 
 import (
+	"cool/internal/bufpool"
 	"cool/internal/cdr"
 	"cool/internal/giop"
 )
@@ -63,4 +64,36 @@ func stashDecoder(h *holder, m *giop.Message) {
 func copyIsClean(m *giop.Message) []byte {
 	b, _ := decOf(m).ReadOctetSeq()
 	return append([]byte(nil), b...)
+}
+
+// --- queue handoff through helpers ---
+
+type sendQueue struct {
+	q [][]byte
+}
+
+// enqueue element-appends its parameter into a field queue and has no
+// release call anywhere in its body: the summary must still infer that
+// it takes ownership of the buffer (queue handoff), so callers count
+// the call as the release.
+func (s *sendQueue) enqueue(b []byte) {
+	s.q = append(s.q, b)
+}
+
+func handoffViaHelper(s *sendQueue) {
+	b := bufpool.Get(32)
+	b = append(b, 9)
+	s.enqueue(b) // ownership moved to the queue: no release due
+}
+
+func releaseAfterHandoff(s *sendQueue) {
+	b := bufpool.Get(32)
+	s.enqueue(b)
+	bufpool.Put(b) // want "released again"
+}
+
+func useAfterHandoff(s *sendQueue) byte {
+	b := bufpool.Get(32)
+	s.enqueue(b)
+	return b[0] // want "used after"
 }

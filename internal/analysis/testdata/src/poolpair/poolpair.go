@@ -141,3 +141,49 @@ func loopAcquireRelease(n int) {
 		bufpool.Put(b)
 	}
 }
+
+// --- queue handoff (the flush-writer idiom) ---
+
+type flushQueue struct {
+	frames [][]byte
+}
+
+type replyBatch struct {
+	msgs []*giop.Message
+}
+
+// Element-append into a field queue stores the buffer itself: a
+// recognized ownership transfer to the queue's drainer, like a channel
+// send — no //coollint:owner needed on the acquisition.
+func enqueueHandoff(w *flushQueue, n int) {
+	b := bufpool.Get(n)
+	b = append(b, 1)
+	w.frames = append(w.frames, b)
+}
+
+// Messages queue the same way: the batch drainer releases them.
+func enqueueMessage(rb *replyBatch, frame []byte) error {
+	m, err := giop.UnmarshalPooled(frame)
+	if err != nil {
+		return err
+	}
+	rb.msgs = append(rb.msgs, m)
+	return nil
+}
+
+// Spread-append only copies the bytes out: the source buffer stays
+// owned and the missing release is still a leak.
+func contentAppendStillOwned(dst []byte) []byte {
+	b := bufpool.Get(16) // want "not released on every path"
+	b = append(b, 2)
+	dst = append(dst, b...)
+	return dst
+}
+
+func contentAppendReleased(dst []byte) []byte {
+	b := bufpool.Get(16)
+	b = append(b, 3)
+	dst = append(dst, b...)
+	bufpool.Put(b)
+	return dst
+}

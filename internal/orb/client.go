@@ -403,8 +403,20 @@ func (o *Object) invokeOnce(ctx context.Context, op string, args func(*cdr.Encod
 		return o.finishInvoke(b, stats, span, m, out)
 	}
 
-	id, slot, err := b.conn.register()
+	dl := deadlineFor(ctx, b)
+	id, slot, err := b.conn.register(ctx, dl)
 	if err != nil {
+		// Flow control (WithMaxInFlight) can exhaust the deadline or see the
+		// cancellation before the request is sent; the connection is healthy.
+		if errors.Is(err, context.DeadlineExceeded) {
+			ins.deadlineExceeded.Inc()
+			o.recordCall(b, stats, span, "deadline_exceeded", "")
+			return &timeoutError{exc: giop.TimeoutException()}
+		}
+		if errors.Is(err, context.Canceled) {
+			o.recordCall(b, stats, span, "error", "canceled")
+			return err
+		}
 		// The connection died between bind and register; nothing was
 		// sent, so the attempt is safe to retry on a fresh connection.
 		o.invalidate()
@@ -427,7 +439,7 @@ func (o *Object) invokeOnce(ctx context.Context, op string, args func(*cdr.Encod
 		return err
 	}
 	ins.msgOut(giop.MsgRequest, flen)
-	m, err := b.conn.awaitCtx(ctx, deadlineFor(ctx, b), slot)
+	m, err := b.conn.awaitCtx(ctx, dl, slot)
 	if err != nil {
 		b.conn.unregister(id)
 		b.conn.releaseSlot(slot)
@@ -541,9 +553,11 @@ func (o *Object) start(ctx context.Context, op string, args func(*cdr.Encoder), 
 		return &Pending{o: o, oneway: true, span: span, stats: stats, res: &result{}}, nil
 	}
 
-	id, slot, err := b.conn.register()
+	id, slot, err := b.conn.register(ctx, deadlineFor(ctx, b))
 	if err != nil {
-		o.invalidate()
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			o.invalidate()
+		}
 		span.End("error", "connection closed")
 		return nil, err
 	}
@@ -726,7 +740,7 @@ func (o *Object) Locate() (bool, error) {
 		_, ok := o.orb.adapter.lookup(b.profile.ObjectKey)
 		return ok, nil
 	}
-	id, slot, err := b.conn.register()
+	id, slot, err := b.conn.register(context.Background(), time.Time{})
 	if err != nil {
 		o.invalidate()
 		return false, err

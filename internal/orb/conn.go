@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cool/internal/giop"
+	"cool/internal/obs"
 	"cool/internal/qos"
 	"cool/internal/transport"
 )
@@ -27,33 +28,64 @@ type replySlot struct {
 	ch chan *giop.Message
 }
 
+// flowWaiter is one registration blocked on the in-flight limit. Waiters
+// are admitted strictly in arrival order: the waker (whoever shrinks the
+// pending map) performs the id/slot allocation on the head waiter's behalf
+// under c.mu, so a newly arriving caller can never jump the queue between
+// wakeup and re-acquisition of the lock.
+type flowWaiter struct {
+	ready   chan struct{} // closed once granted (or failed)
+	id      uint32
+	slot    *replySlot
+	err     error
+	granted bool
+}
+
 // clientConn multiplexes concurrent requests over one transport channel:
-// a background reader routes Reply messages to their callers by request id.
+// a background reader routes Reply messages to their callers by request id,
+// writes leave through a flush-coalescing frameWriter, and registrations
+// beyond the in-flight limit block in FIFO order until a reply retires an
+// outstanding request.
 type clientConn struct {
 	ch      transport.Channel
 	codec   Codec
 	granted qos.Set
 	ins     *instruments // may be nil in unit tests
+	w       *frameWriter
+	limit   int // max in-flight registrations; <= 0 means unbounded
 
 	nextID atomic.Uint32
 
+	// outstanding mirrors len(pending) for lock-free reads (stripe picking,
+	// the inflight gauge); pending itself stays under mu.
+	outstanding atomic.Int32
+
 	mu      sync.Mutex
 	pending map[uint32]*replySlot
+	waiters []*flowWaiter
 	free    []*replySlot
 	err     error
 	closed  bool
 	done    chan struct{}
 }
 
-func newClientConn(ch transport.Channel, codec Codec, granted qos.Set, ins *instruments) *clientConn {
+func newClientConn(ch transport.Channel, codec Codec, granted qos.Set, ins *instruments, maxInFlight int) *clientConn {
 	c := &clientConn{
 		ch:      ch,
 		codec:   codec,
 		granted: granted,
 		ins:     ins,
+		limit:   maxInFlight,
 		pending: make(map[uint32]*replySlot),
 		done:    make(chan struct{}),
 	}
+	var sizeH *obs.Histogram
+	if ins != nil {
+		sizeH = ins.clientFlushBatch
+	}
+	c.w = newFrameWriter(ch, sizeH, func() int { return int(c.outstanding.Load()) }, func(err error) {
+		c.teardown(fmt.Errorf("%w: %v", errConnClosed, err))
+	})
 	//coollint:detached -- stopped by teardown: closing the channel makes ReadMessage fail and the loop return
 	go c.readLoop()
 	return c
@@ -110,6 +142,7 @@ func (c *clientConn) route(id uint32, m *giop.Message) {
 	slot, ok := c.pending[id]
 	if ok {
 		delete(c.pending, id)
+		c.retiredLocked()
 		slot.ch <- m //coollint:allow lockhold -- cap 1, one send per registration: never blocks
 	}
 	closed := c.closed
@@ -130,9 +163,22 @@ func (c *clientConn) teardown(err error) {
 	}
 	c.closed = true
 	c.err = err
+	if n := len(c.pending); n > 0 {
+		c.outstanding.Add(int32(-n))
+		if c.ins != nil {
+			c.ins.inflight.Add(-int64(n))
+		}
+	}
 	c.pending = nil
+	waiters := c.waiters
+	c.waiters = nil
 	c.mu.Unlock()
+	for _, fw := range waiters {
+		fw.err = err
+		close(fw.ready)
+	}
 	close(c.done)
+	c.w.fail(err)
 	c.ch.Close()
 }
 
@@ -155,9 +201,13 @@ func (c *clientConn) errNow() error {
 }
 
 // register allocates a request id and a reply slot (reused from the
-// freelist when possible).
-func (c *clientConn) register() (uint32, *replySlot, error) {
-	id := c.nextID.Add(1)
+// freelist when possible). The closed check runs before any id is drawn so
+// a torn-down connection neither burns ids nor loses its recorded teardown
+// error. When the connection is at its in-flight limit (or earlier arrivals
+// are already queued — FIFO), register blocks until a reply retires an
+// outstanding request, honouring ctx and the absolute deadline (zero means
+// none).
+func (c *clientConn) register(ctx context.Context, deadline time.Time) (uint32, *replySlot, error) {
 	c.mu.Lock()
 	if c.closed {
 		err := c.err
@@ -166,6 +216,29 @@ func (c *clientConn) register() (uint32, *replySlot, error) {
 			err = errConnClosed
 		}
 		return 0, nil, err
+	}
+	if c.limit > 0 && (len(c.pending) >= c.limit || len(c.waiters) > 0) {
+		fw := &flowWaiter{ready: make(chan struct{})}
+		c.waiters = append(c.waiters, fw)
+		c.mu.Unlock()
+		return c.waitAdmission(ctx, deadline, fw)
+	}
+	id, slot := c.admitLocked()
+	c.mu.Unlock()
+	return id, slot, nil
+}
+
+// admitLocked draws a fresh request id — skipping any id still pending, so
+// a wrap of the uint32 space on a long-lived pipelined connection cannot
+// collide two in-flight requests — and registers a reply slot for it.
+// Caller holds c.mu.
+func (c *clientConn) admitLocked() (uint32, *replySlot) {
+	var id uint32
+	for {
+		id = c.nextID.Add(1)
+		if _, busy := c.pending[id]; !busy {
+			break
+		}
 	}
 	var slot *replySlot
 	if n := len(c.free); n > 0 {
@@ -176,8 +249,101 @@ func (c *clientConn) register() (uint32, *replySlot, error) {
 		slot = &replySlot{ch: make(chan *giop.Message, 1)}
 	}
 	c.pending[id] = slot
+	c.outstanding.Add(1)
+	if c.ins != nil {
+		c.ins.inflight.Inc()
+	}
+	return id, slot
+}
+
+// retiredLocked records one request leaving the pending map and hands the
+// freed capacity to the longest-waiting blocked registration, if any.
+// Caller holds c.mu and has already deleted the pending entry.
+func (c *clientConn) retiredLocked() {
+	c.outstanding.Add(-1)
+	if c.ins != nil {
+		c.ins.inflight.Dec()
+	}
+	c.admitNextLocked()
+}
+
+// admitNextLocked grants queued waiters while capacity remains. Allocation
+// happens here, on the waker's goroutine, so admission order is exactly
+// arrival order. Caller holds c.mu.
+func (c *clientConn) admitNextLocked() {
+	for len(c.waiters) > 0 && (c.limit <= 0 || len(c.pending) < c.limit) {
+		fw := c.waiters[0]
+		c.waiters[0] = nil
+		c.waiters = c.waiters[1:]
+		if len(c.waiters) == 0 {
+			c.waiters = nil
+		}
+		fw.id, fw.slot = c.admitLocked()
+		fw.granted = true
+		close(fw.ready)
+	}
+}
+
+// waitAdmission blocks a registration queued behind the in-flight limit.
+// On cancellation it removes itself from the queue — or, when the grant
+// raced the cancel, gives the freshly allocated id back so the next waiter
+// is admitted.
+func (c *clientConn) waitAdmission(ctx context.Context, deadline time.Time, fw *flowWaiter) (uint32, *replySlot, error) {
+	var start time.Time
+	if c.ins != nil {
+		start = time.Now()
+	}
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			c.abandonWaiter(fw)
+			return 0, nil, context.DeadlineExceeded
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case <-fw.ready:
+		if c.ins != nil {
+			c.ins.flowWait.Observe(uint64(time.Since(start).Microseconds()))
+		}
+		if fw.err != nil {
+			return 0, nil, fw.err
+		}
+		return fw.id, fw.slot, nil
+	case <-ctx.Done():
+		c.abandonWaiter(fw)
+		return 0, nil, ctx.Err()
+	case <-timeout:
+		c.abandonWaiter(fw)
+		return 0, nil, context.DeadlineExceeded
+	}
+}
+
+// abandonWaiter withdraws a cancelled waiter. If the grant already landed,
+// the allocated registration is returned (and the next waiter admitted);
+// otherwise the waiter is unlinked from the queue.
+func (c *clientConn) abandonWaiter(fw *flowWaiter) {
+	c.mu.Lock()
+	if fw.granted {
+		if _, ok := c.pending[fw.id]; ok {
+			delete(c.pending, fw.id)
+			c.retiredLocked()
+		}
+		slot := fw.slot
+		c.mu.Unlock()
+		c.releaseSlot(slot)
+		return
+	}
+	for i, q := range c.waiters {
+		if q == fw {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			break
+		}
+	}
 	c.mu.Unlock()
-	return id, slot, nil
 }
 
 // unregister abandons a pending request (cancel path). After it returns no
@@ -185,7 +351,10 @@ func (c *clientConn) register() (uint32, *replySlot, error) {
 func (c *clientConn) unregister(id uint32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.pending, id)
+	if _, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		c.retiredLocked()
+	}
 }
 
 // releaseSlot recycles a slot. Callers must guarantee exclusive ownership:
@@ -206,18 +375,16 @@ func (c *clientConn) releaseSlot(slot *replySlot) {
 	c.mu.Unlock()
 }
 
-// send writes a frame and returns it to the shared buffer arena: per the
-// transport.Channel contract the channel is done with p when WriteMessage
-// returns, and every frame handed to send is one-shot (marshalled for this
-// call). Callers must not touch the frame's contents afterwards.
+// send hands a frame to the connection's flush-coalescing writer, which
+// takes ownership: the frame is recycled to the shared arena after the
+// (possibly batched) transport write. Every frame handed to send is
+// one-shot (marshalled for this call); callers must not touch it
+// afterwards. A write failure tears the connection down via the writer's
+// error hook — send may return nil for a frame that later fails inside
+// another caller's batch, in which case the failure surfaces to the waiter
+// through teardown.
 func (c *clientConn) send(frame []byte) error {
-	err := c.ch.WriteMessage(frame)
-	transport.PutBuffer(frame)
-	if err != nil {
-		c.teardown(fmt.Errorf("%w: %v", errConnClosed, err))
-		return err
-	}
-	return nil
+	return c.w.send(frame)
 }
 
 // await blocks for the reply to a registered request with no bound.

@@ -33,7 +33,7 @@ func TestUnexpectedMessageTearsDownWithType(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn := newClientConn(clientCh, GIOPCodec{}, nil, nil)
+	conn := newClientConn(clientCh, GIOPCodec{}, nil, nil, 0)
 	defer conn.close()
 
 	serverCh := <-accepted

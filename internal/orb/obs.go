@@ -49,7 +49,24 @@ const (
 	mSlowServer = "orb.server.slow_calls"
 	// mConnsCached gauges the connection-manager cache occupancy.
 	mConnsCached = "orb.client.conns_cached"
+	// mClientInflight gauges the requests currently registered (awaiting a
+	// reply) across all client connections of this ORB.
+	mClientInflight = "orb.client.inflight"
+	// mClientFlushBatch / mServerFlushBatch record the number of frames each
+	// coalesced vectored write carried (1 = no coalescing happened).
+	mClientFlushBatch = "orb.client.flush_batch"
+	mServerFlushBatch = "orb.server.flush_batch"
+	// mFlowWait records how long admissions blocked on the per-connection
+	// in-flight limit (WithMaxInFlight). Only blocked registrations are
+	// observed; an uncontended register contributes nothing.
+	mFlowWait = "orb.client.flow_control_wait_us"
 )
+
+// flushBatchBuckets are the size-class bounds for the flush_batch
+// histograms: powers of two up to the practical coalescing ceiling.
+func flushBatchBuckets() []uint64 {
+	return []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+}
 
 // clientOp caches the per-operation client-side metric handles and the
 // span name so the invocation hot path never composes strings.
@@ -108,6 +125,13 @@ type instruments struct {
 
 	// connsCached gauges the connection-manager cache occupancy.
 	connsCached *obs.Gauge
+
+	// Multiplexing instruments (PR 7): in-flight registrations, coalesced
+	// write batch sizes, and flow-control admission waits.
+	inflight         *obs.Gauge
+	clientFlushBatch *obs.Histogram
+	serverFlushBatch *obs.Histogram
+	flowWait         *obs.Histogram
 }
 
 func newInstruments() *instruments {
@@ -137,6 +161,10 @@ func newInstruments() *instruments {
 	ins.slowClient = ins.reg.Counter(mSlowClient)
 	ins.slowServer = ins.reg.Counter(mSlowServer)
 	ins.connsCached = ins.reg.Gauge(mConnsCached)
+	ins.inflight = ins.reg.Gauge(mClientInflight)
+	ins.clientFlushBatch = ins.reg.Histogram(mClientFlushBatch, flushBatchBuckets())
+	ins.serverFlushBatch = ins.reg.Histogram(mServerFlushBatch, flushBatchBuckets())
+	ins.flowWait = ins.reg.Histogram(mFlowWait, obs.LatencyBuckets())
 	return ins
 }
 

@@ -17,6 +17,17 @@ import (
 // requests to complete before cancelling their contexts.
 const defaultDrainTimeout = 5 * time.Second
 
+// defaultMaxInFlight is the per-connection outstanding-request limit when
+// WithMaxInFlight is not given: generous enough that ordinary fan-out never
+// blocks, low enough that a stalled server cannot make the pending map (and
+// the retransmission state behind it) grow without bound.
+const defaultMaxInFlight = 4096
+
+// maxConnStripes caps WithConnStripes: past a handful of parallel streams
+// per endpoint the syscall batching already saturates, and each stripe
+// costs a file descriptor and a reader goroutine on both peers.
+const maxConnStripes = 16
+
 // ORB is one COOL runtime instance: object adapter, server endpoints, and
 // client-side connection management over the generic transport layer.
 type ORB struct {
@@ -28,6 +39,8 @@ type ORB struct {
 	ins          *instruments
 	cm           *connManager
 	drainTimeout time.Duration
+	maxInFlight  int
+	connStripes  int
 
 	mu        sync.Mutex
 	endpoints []endpoint
@@ -53,11 +66,14 @@ type ORB struct {
 }
 
 // acceptedConn is the shutdown bookkeeping for one inbound connection:
-// the codec (to announce CloseConnection) and the cancel function of the
-// per-connection request context.
+// the codec (to announce CloseConnection), the cancel function of the
+// per-connection request context, and the connection's reply writer (so
+// Shutdown can wait for queued replies to reach the transport before
+// closing).
 type acceptedConn struct {
 	codec  Codec
 	cancel context.CancelFunc
+	w      *frameWriter
 }
 
 // endpoint is one served transport address.
@@ -127,16 +143,44 @@ func WithSlowCallThreshold(d time.Duration) Option {
 	return optFunc(func(o *ORB) { o.ins.slowThreshold = d })
 }
 
+// WithMaxInFlight bounds the requests outstanding (sent, reply pending) on
+// each client connection. Registrations beyond the limit block in FIFO
+// order — context- and deadline-aware — until a reply retires one, giving
+// the client natural backpressure instead of an unbounded pending map.
+// n <= 0 removes the limit; the default is 4096.
+func WithMaxInFlight(n int) Option {
+	return optFunc(func(o *ORB) { o.maxInFlight = n })
+}
+
+// WithConnStripes dials up to n parallel connections per (endpoint,
+// protocol, QoS) key, picking the least-loaded stripe per binding, so one
+// transport stream's head-of-line blocking stops being the throughput
+// ceiling at high concurrency. n is clamped to [1, 16]; the default is 1
+// (the paper's one-connection-per-QoS-binding model, §4.1).
+func WithConnStripes(n int) Option {
+	return optFunc(func(o *ORB) {
+		if n < 1 {
+			n = 1
+		}
+		if n > maxConnStripes {
+			n = maxConnStripes
+		}
+		o.connStripes = n
+	})
+}
+
 // New creates an ORB with the standard tcp and inproc transports
 // registered.
 func New(opts ...Option) *ORB {
 	o := &ORB{
-		name:     "cool",
-		registry: transport.NewRegistry(transport.NewTCPManager(), transport.NewInprocManager()),
-		adapter:  NewAdapter(),
-		accepted: make(map[transport.Channel]acceptedConn),
-		codecs:   map[string]Codec{"giop": GIOPCodec{}},
-		ins:      newInstruments(),
+		name:        "cool",
+		registry:    transport.NewRegistry(transport.NewTCPManager(), transport.NewInprocManager()),
+		adapter:     NewAdapter(),
+		accepted:    make(map[transport.Channel]acceptedConn),
+		codecs:      map[string]Codec{"giop": GIOPCodec{}},
+		ins:         newInstruments(),
+		maxInFlight: defaultMaxInFlight,
+		connStripes: 1,
 	}
 	o.registry.SetHooks(&transport.Hooks{
 		Opened: func(scheme string) {
@@ -154,7 +198,7 @@ func New(opts ...Option) *ORB {
 	for _, opt := range opts {
 		opt.apply(o)
 	}
-	o.cm = newConnManager(o.registry, o.ins, o.codec)
+	o.cm = newConnManager(o.registry, o.ins, o.codec, o.connStripes, o.maxInFlight)
 	return o
 }
 
@@ -338,6 +382,11 @@ func (o *ORB) Shutdown() {
 	o.accepted = make(map[transport.Channel]acceptedConn)
 	o.mu.Unlock()
 	for ch, ac := range accepted {
+		// Drained requests count as complete once their reply is queued on
+		// the writer; let the queue reach the transport before closing.
+		if ac.w != nil {
+			ac.w.waitIdle(time.Second)
+		}
 		// Orderly GIOP shutdown: tell the peer before closing so it can
 		// distinguish a drain from a failure.
 		if frame, err := ac.codec.MarshalCloseConnection(); err == nil {
@@ -422,13 +471,13 @@ func (o *ORB) endRequest() {
 
 // trackAccepted registers an inbound connection for shutdown; it reports
 // false when the ORB is already shutting down.
-func (o *ORB) trackAccepted(ch transport.Channel, codec Codec, cancel context.CancelFunc) bool {
+func (o *ORB) trackAccepted(ch transport.Channel, codec Codec, cancel context.CancelFunc, w *frameWriter) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.shutdown {
 		return false
 	}
-	o.accepted[ch] = acceptedConn{codec: codec, cancel: cancel}
+	o.accepted[ch] = acceptedConn{codec: codec, cancel: cancel, w: w}
 	return true
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cool/internal/cdr"
@@ -39,8 +40,11 @@ func (o *ORB) isShutdown() bool {
 	return o.shutdown
 }
 
-// serverConnState tracks per-connection request cancellation.
+// serverConnState tracks per-connection request cancellation and the
+// number of requests currently dispatched off the read loop (the flush
+// writer's gather hint: replies only coalesce while several are due).
 type serverConnState struct {
+	active   atomic.Int32
 	mu       sync.Mutex
 	canceled map[uint32]bool
 }
@@ -71,7 +75,7 @@ type serverTask struct {
 	o     *ORB
 	ctx   context.Context
 	codec Codec
-	ch    transport.Channel
+	w     *frameWriter
 	m     *giop.Message
 	state *serverConnState
 	wg    *sync.WaitGroup
@@ -79,7 +83,8 @@ type serverTask struct {
 
 func (t serverTask) run() {
 	defer t.wg.Done()
-	t.o.completeRequest(t.ctx, t.codec, t.ch, t.m, t.state)
+	t.o.completeRequest(t.ctx, t.codec, t.w, t.m, t.state)
+	t.state.active.Add(-1)
 	t.o.endRequest()
 }
 
@@ -120,11 +125,15 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 	// via Invocation.Ctx.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	if !o.trackAccepted(ch, codec, cancel) {
+	// All replies leave through one flush-coalescing writer, so concurrent
+	// dispatch workers batch their reply frames into vectored writes. A
+	// write failure closes the channel, which stops this read loop.
+	state := &serverConnState{}
+	w := newFrameWriter(ch, o.ins.serverFlushBatch, func() int { return int(state.active.Load()) }, func(error) { ch.Close() })
+	if !o.trackAccepted(ch, codec, cancel, w) {
 		return
 	}
 	defer o.untrackAccepted(ch)
-	state := &serverConnState{}
 	var dispatch sync.WaitGroup
 	defer dispatch.Wait()
 	for {
@@ -139,10 +148,10 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 			// not adopted by a message, so recycle it here.
 			transport.PutBuffer(frame)
 			if mef, merr := codec.MarshalMessageError(); merr == nil {
-				if ch.WriteMessage(mef) == nil {
-					o.ins.msgOut(giop.MsgMessageError, len(mef))
+				mlen := len(mef)
+				if w.send(mef) == nil {
+					o.ins.msgOut(giop.MsgMessageError, mlen)
 				}
-				transport.PutBuffer(mef)
 			}
 			return
 		}
@@ -151,16 +160,17 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 		case giop.MsgRequest:
 			if !o.beginRequest() {
 				// Draining: refuse so the peer can fail over or retry.
-				o.rejectRequest(codec, ch, m, giop.Transient(minorDraining))
+				o.rejectRequest(codec, w, m, giop.Transient(minorDraining))
 				continue
 			}
 			if e, ok := o.adapter.lookup(m.Request.ObjectKey); ok && e.inline {
-				o.completeRequest(ctx, codec, ch, m, state)
+				o.completeRequest(ctx, codec, w, m, state)
 				o.endRequest()
 				continue
 			}
 			dispatch.Add(1)
-			t := serverTask{o: o, ctx: ctx, codec: codec, ch: ch, m: m, state: state, wg: &dispatch}
+			state.active.Add(1)
+			t := serverTask{o: o, ctx: ctx, codec: codec, w: w, m: m, state: state, wg: &dispatch}
 			select {
 			case o.dispatchQ <- t:
 			default:
@@ -173,10 +183,10 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 			reply := o.handleLocate(codec, m)
 			codecRelease(codec, m)
 			if reply != nil {
-				if ch.WriteMessage(reply) == nil {
-					o.ins.msgOut(giop.MsgLocateReply, len(reply))
+				flen := len(reply)
+				if w.send(reply) == nil {
+					o.ins.msgOut(giop.MsgLocateReply, flen)
 				}
-				transport.PutBuffer(reply)
 			}
 		case giop.MsgCloseConnection:
 			codecRelease(codec, m)
@@ -193,18 +203,19 @@ func (o *ORB) serveConn(ch transport.Channel, codec Codec) {
 	}
 }
 
-// completeRequest dispatches one request, writes the reply (if any), and
-// recycles the request message and both frames. It owns m.
-func (o *ORB) completeRequest(ctx context.Context, codec Codec, ch transport.Channel, m *giop.Message, state *serverConnState) {
+// completeRequest dispatches one request and hands the reply (if any) to
+// the connection's flush-coalescing writer, which owns the frame from then
+// on. It owns m.
+func (o *ORB) completeRequest(ctx context.Context, codec Codec, w *frameWriter, m *giop.Message, state *serverConnState) {
 	reply := o.handleRequest(ctx, codec, m, state)
 	codecRelease(codec, m)
 	if reply == nil {
 		return
 	}
-	if ch.WriteMessage(reply) == nil {
-		o.ins.msgOut(giop.MsgReply, len(reply))
+	flen := len(reply)
+	if w.send(reply) == nil {
+		o.ins.msgOut(giop.MsgReply, flen)
 	}
-	transport.PutBuffer(reply)
 }
 
 // minorDraining is the TRANSIENT minor code for requests refused because
@@ -213,14 +224,14 @@ const minorDraining = 1
 
 // rejectRequest answers a request with a system exception without
 // dispatching it (used during drain). It owns m.
-func (o *ORB) rejectRequest(codec Codec, ch transport.Channel, m *giop.Message, exc *giop.SystemException) {
+func (o *ORB) rejectRequest(codec Codec, w *frameWriter, m *giop.Message, exc *giop.SystemException) {
 	if m.Request.ResponseExpected {
 		o.ins.exception(exc.Name())
 		if frame, err := marshalReply(codec, m, m.Request.RequestID, giop.ReplySystemException, exc.Encode); err == nil {
-			if ch.WriteMessage(frame) == nil {
-				o.ins.msgOut(giop.MsgReply, len(frame))
+			flen := len(frame)
+			if w.send(frame) == nil {
+				o.ins.msgOut(giop.MsgReply, flen)
 			}
-			transport.PutBuffer(frame)
 		}
 	}
 	codecRelease(codec, m)

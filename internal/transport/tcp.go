@@ -90,6 +90,11 @@ type tcpChannel struct {
 
 	writeMu sync.Mutex
 	wbuf    []byte
+	// pbuf holds the 4-octet length prefixes and iov the gather list for
+	// WriteMessages; both are reused across batches (and cleared after each
+	// write so recycled frames are not pinned by the backing array).
+	pbuf []byte
+	iov  net.Buffers
 
 	readMu sync.Mutex
 	// rbuf is the inbound staging buffer (lazily allocated); rpos..rlen is
@@ -121,6 +126,42 @@ func (c *tcpChannel) WriteMessage(p []byte) error {
 	copy(buf[4:], p)
 	if _, err := c.conn.Write(buf); err != nil {
 		return fmt.Errorf("transport: tcp write: %w", err)
+	}
+	return nil
+}
+
+// WriteMessages implements BatchChannel: all frames leave in one vectored
+// write (writev via net.Buffers), alternating reused length prefixes with
+// the callers' payloads, so a flush of N coalesced messages costs one
+// syscall instead of N.
+func (c *tcpChannel) WriteMessages(frames [][]byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if cap(c.pbuf) < 4*len(frames) {
+		c.pbuf = make([]byte, 4*len(frames))
+	}
+	pbuf := c.pbuf[:4*len(frames)]
+	iov := c.iov[:0]
+	for i, p := range frames {
+		pfx := pbuf[4*i : 4*i+4]
+		binary.BigEndian.PutUint32(pfx, uint32(len(p)))
+		iov = append(iov, pfx)
+		if len(p) > 0 {
+			iov = append(iov, p)
+		}
+	}
+	// WriteTo advances iov as it drains; keep the full slice so the backing
+	// array can be cleared afterwards — frames are recycled by the caller
+	// and must not stay reachable from the channel.
+	c.iov = iov
+	_, err := (&iov).WriteTo(c.conn)
+	clear(c.iov[:cap(c.iov)])
+	c.iov = c.iov[:0]
+	if err != nil {
+		return fmt.Errorf("transport: tcp writev: %w", err)
 	}
 	return nil
 }

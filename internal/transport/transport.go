@@ -91,6 +91,43 @@ type Channel interface {
 	RemoteAddr() string
 }
 
+// BatchChannel is an optional Channel extension for transports that can
+// transmit several messages in one carrier operation (TCP uses a single
+// vectored write via net.Buffers). Like WriteMessage, every frame is
+// borrowed for the duration of the call only: when WriteMessages returns
+// the transport holds no alias of any frame and the caller may recycle
+// them all. Frames are framed exactly as if written one by one, so peers
+// cannot tell coalesced writes from individual ones.
+type BatchChannel interface {
+	// WriteMessages sends the frames back to back. On error, frames may
+	// have been partially transmitted; the connection should be considered
+	// broken (same as a failed WriteMessage).
+	WriteMessages(frames [][]byte) error
+}
+
+// ChannelUnwrapper is implemented by channel decorators (instrumentation
+// wrappers) so capability probes can reach the underlying transport.
+type ChannelUnwrapper interface {
+	Unwrap() Channel
+}
+
+// AsBatchChannel probes ch — unwrapping decorators — for the BatchChannel
+// capability. It returns (nil, false) when the underlying transport writes
+// one message at a time.
+func AsBatchChannel(ch Channel) (BatchChannel, bool) {
+	for ch != nil {
+		if b, ok := ch.(BatchChannel); ok {
+			return b, true
+		}
+		u, ok := ch.(ChannelUnwrapper)
+		if !ok {
+			return nil, false
+		}
+		ch = u.Unwrap()
+	}
+	return nil, false
+}
+
 // Listener accepts inbound channels.
 type Listener interface {
 	Accept() (Channel, error)
