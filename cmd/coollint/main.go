@@ -58,19 +58,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *only != "" {
-		want := make(map[string]bool)
-		for _, n := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(n)] = true
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
 		}
 		var picked []*analysis.Analyzer
-		for _, a := range analyzers {
-			if want[a.Name] {
+		seen := make(map[string]bool)
+		var unknown []string
+		for _, n := range strings.Split(*only, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" || seen[n] {
+				continue
+			}
+			seen[n] = true
+			if a, ok := byName[n]; ok {
 				picked = append(picked, a)
-				delete(want, a.Name)
+			} else {
+				unknown = append(unknown, n)
 			}
 		}
-		for n := range want {
-			fmt.Fprintf(stderr, "coollint: unknown analyzer %q\n", n)
+		if len(unknown) > 0 {
+			valid := make([]string, len(analyzers))
+			for i, a := range analyzers {
+				valid[i] = a.Name
+			}
+			fmt.Fprintf(stderr, "coollint: unknown analyzer(s): %s (valid: %s)\n",
+				strings.Join(unknown, ", "), strings.Join(valid, ", "))
+			return 2
+		}
+		if len(picked) == 0 {
+			fmt.Fprintln(stderr, "coollint: -only selected no analyzers")
 			return 2
 		}
 		analyzers = picked

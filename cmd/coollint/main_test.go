@@ -54,12 +54,29 @@ func TestExitCodeLoadError(t *testing.T) {
 }
 
 func TestExitCodeUnknownAnalyzer(t *testing.T) {
-	code, _, stderr := runCmd(t, "-only", "nosuch", cleanPkg)
+	// All unknown names are collected into one error, alongside the valid
+	// name list.
+	code, _, stderr := runCmd(t, "-only", "nosuch,lockorder,alsobad", cleanPkg)
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 	if !strings.Contains(stderr, "unknown analyzer") {
 		t.Fatalf("stderr missing unknown-analyzer message:\n%s", stderr)
+	}
+	for _, want := range []string{"nosuch", "alsobad", "valid:"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+func TestOnlyEmptySelection(t *testing.T) {
+	code, _, stderr := runCmd(t, "-only", ", ,", cleanPkg)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "selected no analyzers") {
+		t.Fatalf("stderr missing empty-selection message:\n%s", stderr)
 	}
 }
 
@@ -68,7 +85,7 @@ func TestListNamesAllAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"poolpair", "lockhold", "framealias", "obsconst", "wiretaint", "bindstate", "goroleak"} {
+	for _, name := range []string{"poolpair", "lockhold", "framealias", "obsconst", "wiretaint", "bindstate", "goroleak", "ctxflow", "lockorder", "atomicfield", "chanliveness"} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout)
 		}
@@ -84,6 +101,23 @@ func TestOnlyRestrictsAnalyzers(t *testing.T) {
 	}
 	if code, _, _ := runCmd(t, "-only", "obsconst", fixture); code != 1 {
 		t.Fatalf("-only obsconst exit = %d, want 1", code)
+	}
+}
+
+func TestOnlyCommaSeparatedList(t *testing.T) {
+	// A multi-analyzer selection (with a stray trailing comma) runs every
+	// named analyzer: the obsconst fixture still trips obsconst, and the
+	// concurrency suite rides along clean.
+	code, stdout, _ := runCmd(t, "-only", "lockorder,atomicfield,chanliveness,", fixture)
+	if code != 0 {
+		t.Fatalf("concurrency-only exit = %d, want 0\nstdout:\n%s", code, stdout)
+	}
+	code, stdout, _ = runCmd(t, "-only", "goroleak,obsconst", fixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "obsconst") {
+		t.Fatalf("diagnostics missing obsconst findings:\n%s", stdout)
 	}
 }
 

@@ -45,6 +45,15 @@
 //   - ctxflow:    context threading — code holding a context.Context must
 //     invoke through the ...Ctx variants so deadlines reach the wire, and
 //     exported blocking proxy/pending methods must offer a ...Ctx sibling.
+//   - lockorder:  the module-wide lock-ordering graph (lock B acquired
+//     while lock A is held, through helpers too) has no cycles and no
+//     re-entrant self-edges — the ABBA deadlock class.
+//   - atomicfield: struct fields accessed via sync/atomic (raw calls or
+//     typed wrappers) have no plain reads/writes that are not guarded by
+//     the same mutex that guards the atomic sites.
+//   - chanliveness: sends on module-internal channels have a live receive
+//     path (not gated behind the sender's own lock), and no channel is
+//     closed twice.
 //
 // Intended exceptions are declared in the source with line annotations:
 //
@@ -82,7 +91,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{PoolPair, LockHold, FrameAlias, ObsConst, WireTaint, BindState, GoroLeak, CtxFlow}
+	return []*Analyzer{PoolPair, LockHold, FrameAlias, ObsConst, WireTaint, BindState, GoroLeak, CtxFlow, LockOrder, AtomicField, ChanLiveness}
 }
 
 // Pass carries one analyzer's view of one package.

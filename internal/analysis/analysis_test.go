@@ -106,6 +106,12 @@ func TestBindStateFixture(t *testing.T)  { runFixture(t, "bindstate", BindState)
 func TestGoroLeakFixture(t *testing.T)   { runFixture(t, "goroleak", GoroLeak) }
 func TestCtxFlowFixture(t *testing.T)    { runFixture(t, "ctxflow", CtxFlow) }
 
+// The concurrency suite: each fixture exercises at least one
+// interprocedural (through-helper) finding.
+func TestLockOrderFixture(t *testing.T)    { runFixture(t, "lockorder", LockOrder) }
+func TestAtomicFieldFixture(t *testing.T)  { runFixture(t, "atomicfield", AtomicField) }
+func TestChanLivenessFixture(t *testing.T) { runFixture(t, "chanliveness", ChanLiveness) }
+
 // TestInterprocFixture drives poolpair and framealias through helper
 // boundaries: acquires, releases and aliasing facts must flow via the
 // interprocedural summaries, not annotations.

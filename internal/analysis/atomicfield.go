@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+)
+
+// AtomicField flags mixed atomic/plain access to struct fields. The
+// interprocedural layer indexes every field reached through sync/atomic —
+// raw calls like atomic.AddUint64(&c.hits, 1) and typed-wrapper method
+// calls like c.inflight.Load() — together with the mutex classes provably
+// held at each site. A plain read or write of the same field is a data
+// race unless it is dominated by a mutex that also guards the atomic
+// sites; when the atomic sites run lockless (the common case), no mutex
+// can make a plain access safe and every one is flagged. This is exactly
+// the bug shape of the combiner writer's load-hint counters: one
+// forgotten atomic.Load turns a lock-free fast path into a torn read.
+//
+// Lock context is interprocedural: a plain access inside a *Locked helper
+// counts as guarded when every module call site of the helper holds the
+// guarding mutex.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic have no unguarded plain reads or writes",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil || len(prog.atomicFields) == 0 {
+		return
+	}
+
+	fields := make([]types.Object, 0, len(prog.atomicFields))
+	for obj := range prog.atomicFields {
+		fields = append(fields, obj)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+
+	for _, obj := range fields {
+		facts := prog.atomicFields[obj]
+		if len(facts.atomics) == 0 || len(facts.plains) == 0 {
+			continue
+		}
+		sort.Slice(facts.atomics, func(i, j int) bool { return facts.atomics[i].pos < facts.atomics[j].pos })
+		sort.Slice(facts.plains, func(i, j int) bool { return facts.plains[i].pos < facts.plains[j].pos })
+
+		// The guard set: mutex classes held at EVERY atomic site. Empty
+		// when any atomic site runs lockless.
+		var guard lockKeySet
+		for _, site := range facts.atomics {
+			eff := prog.effectiveHeld(site)
+			if guard == nil {
+				guard = eff
+			} else {
+				guard.intersect(eff)
+			}
+		}
+
+		sample := facts.atomics[0]
+		for _, site := range facts.plains {
+			pf := prog.funcOf(site.fn)
+			if pf == nil || pf.pkg.Types != pass.Pkg {
+				continue
+			}
+			if len(guard) > 0 && prog.effectiveHeld(site).intersects(guard) {
+				continue
+			}
+			access := "read of"
+			if site.write {
+				access = "write to"
+			}
+			if len(guard) > 0 {
+				pass.Reportf(site.pos, "plain %s %s races with atomic access at %s: the atomic sites are guarded by %s, which is not held here — use sync/atomic or hold the same mutex",
+					access, site.text, shortPos(pass.Fset, sample.pos), guardNames(guard))
+				continue
+			}
+			pass.Reportf(site.pos, "plain %s %s races with lockless atomic access at %s — use sync/atomic for every access to %s",
+				access, site.text, shortPos(pass.Fset, sample.pos), obj.Name())
+		}
+	}
+}
+
+// guardNames renders the guard set for diagnostics.
+func guardNames(s lockKeySet) string {
+	names := make([]string, 0, len(s))
+	for _, d := range s {
+		names = append(names, d)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range dedupSorted(names) {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanLiveness checks module-internal channels — struct fields and
+// package-level variables whose every endpoint the interprocedural layer
+// can see — for three liveness bugs:
+//
+//  1. A send with no receive or range anywhere in the module: the sender
+//     parks forever (or, buffered, until the buffer fills and then
+//     forever).
+//  2. A send performed while a mutex is held, where every module receive
+//     of the same channel is gated behind that mutex too — including
+//     receives inside *Locked helpers, via the called-under-lock
+//     fixpoint. The receiver can never run to drain the send: deadlock.
+//  3. Double close: two unguarded close() sites of the same channel where
+//     one is reachable from the other in the same function, or a
+//     function that closes a channel directly and also calls a helper
+//     whose summary closes it. close of a closed channel panics.
+//
+// Channels assigned from anything but a direct make(), or whose value is
+// copied, returned, or passed along, are skipped — their endpoints may
+// live behind aliases. Sends in a select with a default clause never
+// block and are skipped. Intended exceptions use //coollint:allow
+// chanliveness (guarded close-and-nil sites are recognized without any
+// annotation).
+var ChanLiveness = &Analyzer{
+	Name: "chanliveness",
+	Doc:  "module-internal channel sends have live receivers; no double close",
+	Run:  runChanLiveness,
+}
+
+func runChanLiveness(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil || len(prog.chans) == 0 {
+		return
+	}
+
+	objs := make([]types.Object, 0, len(prog.chans))
+	for obj := range prog.chans {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+
+	for _, obj := range objs {
+		f := prog.chans[obj]
+		sort.Slice(f.sends, func(i, j int) bool { return f.sends[i].pos < f.sends[j].pos })
+		sort.Slice(f.recvs, func(i, j int) bool { return f.recvs[i].pos < f.recvs[j].pos })
+		sort.Slice(f.closes, func(i, j int) bool { return f.closes[i].pos < f.closes[j].pos })
+
+		if f.made && !f.aliased {
+			checkSendLiveness(pass, obj, f)
+		}
+		checkDoubleClose(pass, obj, f)
+	}
+}
+
+// checkSendLiveness applies rules 1 and 2 to the send sites in this
+// package.
+func checkSendLiveness(pass *Pass, obj types.Object, f *chanFacts) {
+	prog := pass.Prog
+	for _, s := range f.sends {
+		pf := prog.funcOf(s.fn)
+		if pf == nil || pf.pkg.Types != pass.Pkg || s.polled {
+			continue
+		}
+		if len(f.recvs) == 0 {
+			pass.Reportf(s.pos, "send on %s can block forever: no receive or range of %s anywhere in the module", s.text, obj.Name())
+			continue
+		}
+		if f.buffered {
+			continue
+		}
+		held := prog.effectiveHeld(s)
+		if len(held) == 0 {
+			continue
+		}
+		allGated := true
+		common := held.clone()
+		for _, r := range f.recvs {
+			eff := prog.effectiveHeld(r)
+			if !eff.intersects(held) {
+				allGated = false
+				break
+			}
+			common.intersect(eff)
+		}
+		if !allGated {
+			continue
+		}
+		lockName := "the send-side locks"
+		if len(common) > 0 {
+			lockName = guardNames(common)
+		}
+		pass.Reportf(s.pos, "send on %s deadlocks: it runs while %s and every module receive of %s is gated behind %s too",
+			s.text, held.displays(), obj.Name(), lockName)
+	}
+}
+
+// checkDoubleClose applies rule 3.
+func checkDoubleClose(pass *Pass, obj types.Object, f *chanFacts) {
+	prog := pass.Prog
+
+	// Intra-function: two unguarded closes of the same expression where
+	// the second is reachable from the first.
+	for i, a := range f.closes {
+		if a.guarded {
+			continue
+		}
+		for j, b := range f.closes {
+			if i == j || b.guarded || a.fn != b.fn || a.text != b.text || a.pos >= b.pos {
+				continue
+			}
+			pf := prog.funcOf(b.fn)
+			if pf == nil || pf.pkg.Types != pass.Pkg {
+				continue
+			}
+			if closeReaches(pf, a.pos, b.pos) {
+				pass.Reportf(b.pos, "channel %s may already be closed: also closed at %s on a path reaching here — close of a closed channel panics",
+					b.text, shortPos(pass.Fset, a.pos))
+			}
+		}
+	}
+
+	// Interprocedural: a direct unguarded close in a function that also
+	// calls a helper whose summary closes the same channel.
+	for _, a := range f.closes {
+		if a.guarded {
+			continue
+		}
+		pf := prog.funcOf(a.fn)
+		if pf == nil || pf.pkg.Types != pass.Pkg {
+			continue
+		}
+		for _, callee := range pf.callees {
+			sum := prog.sums[callee]
+			if sum == nil || !sum.closes[obj] {
+				continue
+			}
+			pass.Reportf(a.pos, "channel %s is closed here and by the call to %s — close of a closed channel panics",
+				a.text, callee.Name())
+			break
+		}
+	}
+}
+
+// closeReaches reports whether the atom containing pos2 is reachable from
+// the atom containing pos1 in pf's CFG (strictly later in the same block,
+// or through successor edges).
+func closeReaches(pf *progFunc, pos1, pos2 token.Pos) bool {
+	g, ok := buildCFG(pf.decl.Body)
+	if !ok {
+		return true // unmodelled flow: assume reachable
+	}
+	var blk1, blk2 *cfgBlock
+	idx1, idx2 := -1, -1
+	for _, b := range g.blocks {
+		for i, at := range b.atoms {
+			n := atomNode(at)
+			if n == nil {
+				continue
+			}
+			if n.Pos() <= pos1 && pos1 < n.End() {
+				blk1, idx1 = b, i
+			}
+			if n.Pos() <= pos2 && pos2 < n.End() {
+				blk2, idx2 = b, i
+			}
+		}
+	}
+	if blk1 == nil || blk2 == nil {
+		return true
+	}
+	if blk1 == blk2 {
+		return idx1 < idx2
+	}
+	seen := map[*cfgBlock]bool{}
+	queue := []*cfgBlock{}
+	for _, e := range blk1.succs {
+		queue = append(queue, e.to)
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if b == blk2 {
+			return true
+		}
+		for _, e := range b.succs {
+			queue = append(queue, e.to)
+		}
+	}
+	return false
+}

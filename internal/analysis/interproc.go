@@ -33,6 +33,20 @@ type Program struct {
 	// call anywhere in the analyzed packages. goroleak treats a receive
 	// from such a channel as a stop edge.
 	closedChans map[types.Object]bool
+
+	// Concurrency facts (lockfacts.go), filled in by a post-summary pass:
+	// the module-wide lock-ordering edges, the lock context of every
+	// module-internal call site, the send/recv/close sites of every
+	// tracked channel object, the atomic/plain access sites of every
+	// field touched through sync/atomic, and the locks provably held at
+	// every call site of a function (the *Locked-helper fixpoint).
+	lockEdges    []lockEdge
+	callSites    map[*types.Func][]callSiteRec
+	chans        map[types.Object]*chanFacts
+	atomicFields map[types.Object]*atomicFacts
+	guardedBy    map[*types.Func]lockKeySet
+	// annots caches the per-file //coollint:allow index for allowedAt.
+	annots map[*token.File]map[int]map[string]bool
 }
 
 // progFunc is one function declaration in the module.
@@ -87,6 +101,27 @@ type Summary struct {
 	// aliasResults has bit j set when result j aliases memory reachable
 	// from the receiver or a parameter (frame-aliasing helpers).
 	aliasResults uint64
+
+	// locks is the set of mutex classes the function (or a callee) may
+	// acquire — released-before-return acquisitions included, since they
+	// still order against locks the caller holds across the call.
+	locks lockKeySet
+	// freshLocks is the subset of locks with at least one acquisition NOT
+	// dominated by a release of the same class. A class in locks but not
+	// here is only ever re-acquired after the function itself released it
+	// (the combiner "entered locked" protocol) — safe for callers already
+	// holding that class, so no self-edge is generated for it.
+	freshLocks lockKeySet
+	// blocks reports a potentially unbounded blocking operation reachable
+	// from the body on the calling goroutine: channel send/receive,
+	// select without default, sync Wait, range over a channel.
+	// blockDesc names the operation and its origin function for
+	// diagnostics ("channel receive in waitAdmission").
+	blocks    bool
+	blockDesc string
+	// closes records the tracked channel objects the function (or a
+	// callee) unconditionally closes — the input to double-close checks.
+	closes map[types.Object]bool
 }
 
 // summaryOf returns the summary for a callee, or nil for functions outside
@@ -125,9 +160,13 @@ func (p *Program) chanClosed(obj types.Object) bool {
 // bottom-up over the call-graph SCCs.
 func BuildProgram(pkgs []*Package) *Program {
 	prog := &Program{
-		funcs:       make(map[*types.Func]*progFunc),
-		sums:        make(map[*types.Func]*Summary),
-		closedChans: make(map[types.Object]bool),
+		funcs:        make(map[*types.Func]*progFunc),
+		sums:         make(map[*types.Func]*Summary),
+		closedChans:  make(map[types.Object]bool),
+		callSites:    make(map[*types.Func][]callSiteRec),
+		chans:        make(map[types.Object]*chanFacts),
+		atomicFields: make(map[types.Object]*atomicFacts),
+		guardedBy:    make(map[*types.Func]lockKeySet),
 	}
 	if len(pkgs) == 0 {
 		return prog
@@ -191,6 +230,10 @@ func BuildProgram(pkgs []*Package) *Program {
 			}
 		}
 	}
+
+	// Pass 4: concurrency facts — consumes the finished summaries, so it
+	// runs after the fixpoint.
+	collectConcurrencyFacts(prog)
 	return prog
 }
 
@@ -259,14 +302,25 @@ func newSummary(pf *progFunc) *Summary {
 		nResults:      sig.Results().Len(),
 		resultBits:    make([]uint64, sig.Results().Len()),
 		releasesParam: make([]string, len(pf.params)),
+		locks:         lockKeySet{},
+		freshLocks:    lockKeySet{},
+		closes:        make(map[types.Object]bool),
 	}
 }
 
 func (s *Summary) equal(o *Summary) bool {
 	if o == nil || s.guardsParam != o.guardsParam || s.sinkParam != o.sinkParam ||
 		s.joins != o.joins || s.loopsForever != o.loopsForever ||
-		s.acquires != o.acquires || s.aliasResults != o.aliasResults {
+		s.acquires != o.acquires || s.aliasResults != o.aliasResults ||
+		s.blocks != o.blocks || s.blockDesc != o.blockDesc ||
+		!s.locks.equal(o.locks) || !s.freshLocks.equal(o.freshLocks) ||
+		len(s.closes) != len(o.closes) {
 		return false
+	}
+	for obj := range s.closes {
+		if !o.closes[obj] {
+			return false
+		}
 	}
 	for i := range s.resultBits {
 		if s.resultBits[i] != o.resultBits[i] {
@@ -388,6 +442,7 @@ func summarize(prog *Program, pf *progFunc) *Summary {
 	leakSummarize(prog, pf, s)
 	poolSummarize(prog, pf, s)
 	aliasSummarize(prog, pf, s)
+	lockSummarize(prog, pf, s)
 	return s
 }
 

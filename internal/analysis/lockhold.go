@@ -4,25 +4,26 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // LockHold flags potentially blocking operations performed while a
 // sync.Mutex or sync.RWMutex is held: channel sends and receives, selects
-// without a default clause, and sync.WaitGroup.Wait / sync.Cond.Wait. A
-// goroutine parked on a channel while holding an ORB-internal lock stalls
-// every other invocation that needs the lock — the deadlock class the
-// zero-allocation hot path is most exposed to.
+// without a default clause, sync.WaitGroup.Wait / sync.Cond.Wait, and —
+// through the interprocedural summaries — calls to module-internal
+// helpers that themselves block. A goroutine parked on a channel while
+// holding an ORB-internal lock stalls every other invocation that needs
+// the lock — the deadlock class the zero-allocation hot path is most
+// exposed to.
 //
 // The analysis runs a lock-set dataflow over each function body: Lock and
 // RLock calls add the receiver to the held set, Unlock and RUnlock remove
 // it (deferred unlocks keep the lock held until return, which is the
 // point: blocking before the return still happens under the lock).
 // Selects where every communication is paired with a default never block
-// and are not reported.
+// and are not reported. Diagnostics name every held mutex expression.
 var LockHold = &Analyzer{
 	Name: "lockhold",
-	Doc:  "no blocking channel operation or Wait while a mutex is held",
+	Doc:  "no blocking channel operation, Wait, or blocking call while a mutex is held",
 	Run:  runLockHold,
 }
 
@@ -48,30 +49,6 @@ type lockHoldChecker struct {
 	reported map[reportKey]bool
 }
 
-// lockSet is the set of mutex objects possibly held, keyed by a stable
-// description of the receiver (object for identifiers, rendered path for
-// selector chains like c.mu).
-type lockSet map[string]bool
-
-func (s lockSet) clone() lockSet {
-	c := make(lockSet, len(s))
-	for k, v := range s {
-		c[k] = v
-	}
-	return c
-}
-
-func (s lockSet) union(o lockSet) (lockSet, bool) {
-	grew := false
-	for k := range o {
-		if !s[k] {
-			s[k] = true
-			grew = true
-		}
-	}
-	return s, grew
-}
-
 func (lh *lockHoldChecker) checkBody(body *ast.BlockStmt) {
 	g, ok := buildCFG(body)
 	if !ok {
@@ -79,13 +56,12 @@ func (lh *lockHoldChecker) checkBody(body *ast.BlockStmt) {
 	}
 	lh.reported = make(map[reportKey]bool)
 
-	entry := make(map[*cfgBlock]lockSet)
+	entry := make(map[*cfgBlock]lockKeySet)
 	type workItem struct {
 		blk   *cfgBlock
-		state lockSet
+		state lockKeySet
 	}
-	work := []workItem{{blk: g.entry, state: lockSet{}}}
-	visited := map[*cfgBlock]bool{g.entry: true}
+	work := []workItem{{blk: g.entry, state: lockKeySet{}}}
 
 	for len(work) > 0 {
 		item := work[len(work)-1]
@@ -98,16 +74,11 @@ func (lh *lockHoldChecker) checkBody(body *ast.BlockStmt) {
 			old, ok := entry[e.to]
 			if !ok {
 				entry[e.to] = state.clone()
-				if !visited[e.to] {
-					visited[e.to] = true
-				}
 				work = append(work, workItem{blk: e.to, state: state.clone()})
 				continue
 			}
-			merged, grew := old.union(state)
-			if grew {
-				entry[e.to] = merged
-				work = append(work, workItem{blk: e.to, state: merged.clone()})
+			if old.union(state) {
+				work = append(work, workItem{blk: e.to, state: old.clone()})
 			}
 		}
 	}
@@ -115,7 +86,7 @@ func (lh *lockHoldChecker) checkBody(body *ast.BlockStmt) {
 
 // transfer applies one atom: update the lock set for Lock/Unlock calls and
 // report blocking operations while the set is non-empty.
-func (lh *lockHoldChecker) transfer(at atom, state lockSet) lockSet {
+func (lh *lockHoldChecker) transfer(at atom, state lockKeySet) lockKeySet {
 	// Select headers carry no stmt/expr payload; check them directly.
 	if at.kind == atomSelect {
 		if len(state) > 0 {
@@ -143,21 +114,22 @@ func (lh *lockHoldChecker) transfer(at atom, state lockSet) lockSet {
 		if !ok {
 			return true
 		}
-		name, recv, ok := lh.mutexOp(call)
+		name, recv, ok := mutexMethodOf(lh.pass.Info, call)
 		if !ok {
 			return true
 		}
+		key, disp := lh.recvKey(recv)
 		switch name {
 		case "Lock", "RLock":
 			// A deferred Lock would be nonsense; only count direct calls.
 			if !inDefer(at.stmt, call) {
-				state[recv] = true
+				state[key] = disp
 			}
 		case "Unlock", "RUnlock":
 			// Deferred unlocks run at return: the lock stays held for the
 			// rest of the function, so leave the set alone.
 			if !inDefer(at.stmt, call) {
-				delete(state, recv)
+				delete(state, key)
 			}
 		}
 		return true
@@ -178,41 +150,23 @@ func inDefer(stmt ast.Stmt, call *ast.CallExpr) bool {
 	return containsNode(ds.Call, call)
 }
 
-// mutexOp decodes a call of the form x.Lock()/x.Unlock()/x.RLock()/
-// x.RUnlock() where the method is declared in package sync, returning the
-// method name and a stable key for the receiver.
-func (lh *lockHoldChecker) mutexOp(call *ast.CallExpr) (name, recv string, ok bool) {
-	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !okSel {
-		return "", "", false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	callee := calleeOf(lh.pass.Info, call)
-	fn, okFn := callee.(*types.Func)
-	if !okFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
-	}
-	return sel.Sel.Name, lh.recvKey(sel.X), true
-}
-
-// recvKey renders a stable identity for a mutex receiver expression.
-func (lh *lockHoldChecker) recvKey(e ast.Expr) string {
+// recvKey renders a stable identity and a display form for a mutex
+// receiver expression: the key is package-qualified for cross-file
+// stability, the display is the source expression ("c.mu").
+func (lh *lockHoldChecker) recvKey(e ast.Expr) (key, disp string) {
+	disp = exprText(e)
 	if id := rootIdent(e); id != nil {
 		if obj := objOf(lh.pass.Info, id); obj != nil && obj.Pkg() != nil {
-			return obj.Pkg().Path() + "." + exprText(e)
+			return obj.Pkg().Path() + "." + disp, disp
 		}
 	}
-	return exprText(e)
+	return disp, disp
 }
 
 // checkBlocking reports blocking operations in an atom while locks are
 // held.
-func (lh *lockHoldChecker) checkBlocking(at atom, node ast.Node, state lockSet) {
-	held := lh.heldNames(state)
+func (lh *lockHoldChecker) checkBlocking(at atom, node ast.Node, state lockKeySet) {
+	held := state.displays()
 
 	// Select headers: blocking only without a default clause.
 	if at.kind == atomSelect {
@@ -223,7 +177,7 @@ func (lh *lockHoldChecker) checkBlocking(at atom, node ast.Node, state lockSet) 
 			}
 		}
 		if !hasDefault {
-			lh.reportOnce(at.sel.Pos(), "select without default may block while %s is held", held)
+			lh.reportOnce(at.sel.Pos(), "select without default may block while %s", held)
 		}
 		return
 	}
@@ -238,18 +192,26 @@ func (lh *lockHoldChecker) checkBlocking(at atom, node ast.Node, state lockSet) 
 		case *ast.FuncLit:
 			return false
 		case *ast.SendStmt:
-			lh.reportOnce(x.Pos(), "channel send may block while %s is held", held)
+			lh.reportOnce(x.Pos(), "channel send may block while %s", held)
 			return true
 		case *ast.UnaryExpr:
-			if x.Op.String() == "<-" {
-				lh.reportOnce(x.Pos(), "channel receive may block while %s is held", held)
+			if x.Op == token.ARROW {
+				lh.reportOnce(x.Pos(), "channel receive may block while %s", held)
 			}
 			return true
 		case *ast.CallExpr:
-			if callee := calleeOf(lh.pass.Info, x); callee != nil {
-				if fn, ok := callee.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
-					lh.reportOnce(x.Pos(), "sync %s.Wait may block while %s is held", recvTypeName(fn), held)
-				}
+			callee := calleeOf(lh.pass.Info, x)
+			if callee == nil {
+				return true
+			}
+			if fn, ok := callee.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+				lh.reportOnce(x.Pos(), "sync %s.Wait may block while %s", recvTypeName(fn), held)
+				return true
+			}
+			// Interprocedural: a module-internal callee whose summary shows
+			// a blocking operation blocks this goroutine just the same.
+			if sum := lh.pass.Prog.summaryOf(callee); sum != nil && sum.blocks {
+				lh.reportOnce(x.Pos(), "call to %s may block (%s) while %s", callee.Name(), sum.blockDesc, held)
 			}
 			return true
 		}
@@ -266,23 +228,6 @@ func recvTypeName(fn *types.Func) string {
 		return n.Obj().Name()
 	}
 	return "WaitGroup"
-}
-
-// heldNames renders one representative held lock for diagnostics (the
-// lexically smallest key, for determinism), with the package-path prefix
-// stripped: "cool/internal/orb.c.mu" -> "c.mu".
-func (lh *lockHoldChecker) heldNames(state lockSet) string {
-	best := ""
-	for k := range state {
-		if best == "" || k < best {
-			best = k
-		}
-	}
-	slash := strings.LastIndexByte(best, '/')
-	if dot := strings.IndexByte(best[slash+1:], '.'); dot >= 0 {
-		return best[slash+1+dot+1:]
-	}
-	return best
 }
 
 func (lh *lockHoldChecker) reportOnce(pos token.Pos, format string, args ...any) {

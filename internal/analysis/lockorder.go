@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// LockOrder detects potential deadlocks from inconsistent lock-acquisition
+// order. The interprocedural layer records one edge per "lock B acquired
+// while lock A is held" observation — direct Lock calls and acquisitions
+// buried inside un-annotated helpers alike, with locks identified by
+// module-wide class (owning type + field for mutex fields, package + name
+// for package-level mutexes). A cycle in the resulting graph means two
+// goroutines can each hold one lock of the cycle while waiting for the
+// next: the classic ABBA deadlock. Self-edges mean a lock class can be
+// re-acquired while already held, which deadlocks immediately on a
+// non-reentrant sync.Mutex.
+//
+// Diagnostics show both acquisition paths: the edge being reported and
+// the counter-path that closes the cycle, with its source position.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition order is consistent module-wide (no deadlock cycles)",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil || len(prog.lockEdges) == 0 {
+		return
+	}
+
+	// Only report edges whose witness position lies in this package, so a
+	// module-wide cycle is diagnosed once per participating file rather
+	// than once per pass.
+	inPkg := passFileSet(pass)
+
+	// Dedupe observations to one edge per (from, to) pair, keeping the
+	// earliest witness, but remember every observation for counter-path
+	// rendering.
+	type edgeKey struct{ from, to string }
+	best := make(map[edgeKey]lockEdge)
+	order := []edgeKey{}
+	for _, e := range prog.lockEdges {
+		k := edgeKey{e.from, e.to}
+		if old, seen := best[k]; !seen || e.pos < old.pos {
+			if !seen {
+				order = append(order, k)
+			}
+			best[k] = e
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := best[order[i]], best[order[j]]
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		return a.from+a.to < b.from+b.to
+	})
+
+	succs := make(map[string][]string)
+	for _, k := range order {
+		succs[k.from] = append(succs[k.from], k.to)
+	}
+	scc := lockSCCs(succs)
+
+	for _, k := range order {
+		e := best[k]
+		if !inPkg[posFile(pass.Fset, e.pos)] {
+			continue
+		}
+		via := ""
+		if e.via != "" {
+			via = " via call to " + e.via
+		}
+		if e.from == e.to {
+			pass.Reportf(e.pos, "lock %s may be acquired%s while %s is already held — self-deadlock on a non-reentrant mutex",
+				e.toDisp, via, e.fromDisp)
+			continue
+		}
+		if scc[e.from] == 0 || scc[e.from] != scc[e.to] {
+			continue
+		}
+		// Find the counter-path: the shortest edge chain from e.to back to
+		// e.from, and show its first hop as the conflicting acquisition.
+		back := shortestLockPath(succs, e.to, e.from)
+		if len(back) < 2 {
+			continue
+		}
+		counter := best[edgeKey{back[0], back[1]}]
+		pass.Reportf(e.pos, "lock-order cycle: %s acquired while %s is held%s, but %s is acquired while %s is held at %s — concurrent callers can deadlock",
+			e.toDisp, e.fromDisp, via, counter.toDisp, counter.fromDisp, shortPos(pass.Fset, counter.pos))
+	}
+}
+
+// passFileSet indexes the *token.Files of the pass's own source files.
+func passFileSet(pass *Pass) map[*token.File]bool {
+	out := make(map[*token.File]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		if tf := pass.Fset.File(f.Pos()); tf != nil {
+			out[tf] = true
+		}
+	}
+	return out
+}
+
+func posFile(fset *token.FileSet, pos token.Pos) *token.File {
+	return fset.File(pos)
+}
+
+// shortPos renders "file.go:42" for a position.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// lockSCCs labels every node with a strongly-connected-component id;
+// nodes in single-node components without a self-edge get id 0 (not part
+// of any cycle). Iterative Tarjan over the string node set.
+func lockSCCs(succs map[string][]string) map[string]int {
+	nodes := make([]string, 0, len(succs))
+	seenNode := map[string]bool{}
+	addNode := func(n string) {
+		if !seenNode[n] {
+			seenNode[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range succs {
+		addNode(from)
+		for _, to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	lowlink := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, compID := 1, 0
+
+	type frame struct {
+		node string
+		ci   int
+	}
+	for _, root := range nodes {
+		if index[root] != 0 {
+			continue
+		}
+		frames := []frame{{node: root}}
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			n := f.node
+			if index[n] == 0 {
+				index[n] = next
+				lowlink[n] = next
+				next++
+				stack = append(stack, n)
+				onStack[n] = true
+			}
+			advanced := false
+			out := succs[n]
+			for f.ci < len(out) {
+				m := out[f.ci]
+				f.ci++
+				if index[m] == 0 {
+					frames = append(frames, frame{node: m})
+					advanced = true
+					break
+				}
+				if onStack[m] && index[m] < lowlink[n] {
+					lowlink[n] = index[m]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if lowlink[n] == index[n] {
+				var members []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					members = append(members, top)
+					if top == n {
+						break
+					}
+				}
+				if len(members) > 1 {
+					compID++
+					for _, m := range members {
+						comp[m] = compID
+					}
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].node
+				if lowlink[n] < lowlink[p] {
+					lowlink[p] = lowlink[n]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// shortestLockPath returns the node sequence of the shortest edge path
+// from src to dst (BFS), or nil when unreachable.
+func shortestLockPath(succs map[string][]string, src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out := append([]string(nil), succs[n]...)
+		sort.Strings(out)
+		for _, m := range out {
+			if _, seen := prev[m]; seen {
+				continue
+			}
+			prev[m] = n
+			if m == dst {
+				var path []string
+				for at := dst; at != src; at = prev[at] {
+					path = append(path, at)
+				}
+				path = append(path, src)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package atomicfield is a coollint test fixture: mixed atomic and plain
+// access to the same field, flagged unless one mutex guards both sides.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// --- violations: lockless atomic counters with stray plain access ---
+
+type counters struct {
+	hits uint64
+	n    atomic.Int64
+}
+
+func (c *counters) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) racyRead() uint64 {
+	return c.hits // want "plain read of c.hits races with lockless atomic access"
+}
+
+func (c *counters) racyWrite() {
+	c.hits = 0 // want "plain write to c.hits races with lockless atomic access"
+}
+
+func (c *counters) bump() {
+	c.n.Add(1)
+}
+
+func (c *counters) copyTyped() int64 {
+	v := c.n // want "plain read of c.n races with lockless atomic access"
+	return v.Load()
+}
+
+// --- interprocedural: a *Locked helper is only as guarded as its call
+// sites ---
+
+type seq struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (s *seq) next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return atomic.AddUint64(&s.n, 1)
+}
+
+// bumpLocked assumes s.mu, but bumpRacily calls it without: the plain
+// write loses its guard.
+func (s *seq) bumpLocked() {
+	s.n++ // want "plain write to s.n races with atomic access"
+}
+
+func (s *seq) bumpSafely() {
+	s.mu.Lock()
+	s.bumpLocked()
+	s.mu.Unlock()
+}
+
+func (s *seq) bumpRacily() {
+	s.bumpLocked()
+}
+
+// --- clean shapes ---
+
+// gauge: every atomic site and every plain access holds gauge.mu.
+type gauge struct {
+	mu  sync.Mutex
+	val uint64
+}
+
+func (g *gauge) set(v uint64) {
+	g.mu.Lock()
+	atomic.StoreUint64(&g.val, v)
+	g.mu.Unlock()
+}
+
+func (g *gauge) reset() {
+	g.mu.Lock()
+	g.val = 0
+	g.mu.Unlock()
+}
+
+// safeSeq: the *Locked helper is guarded at every call site.
+type safeSeq struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (s *safeSeq) next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return atomic.AddUint64(&s.n, 1)
+}
+
+func (s *safeSeq) bumpLocked() {
+	s.n++
+}
+
+func (s *safeSeq) bump() {
+	s.mu.Lock()
+	s.bumpLocked()
+	s.mu.Unlock()
+}
+
+func (s *safeSeq) bumpAgain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bumpLocked()
+}

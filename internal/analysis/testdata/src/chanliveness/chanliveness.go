@@ -1,0 +1,132 @@
+// Package chanliveness is a coollint test fixture: channel-liveness bugs
+// (dead sends, lock-gated receivers, double close) the chanliveness
+// analyzer must flag, plus shapes it must accept.
+package chanliveness
+
+import "sync"
+
+type worker struct {
+	mu   sync.Mutex
+	jobs chan int
+	acks chan int
+	done chan struct{}
+	out  chan int
+	res  chan int
+	idle chan struct{}
+	n    int
+}
+
+func newWorker() *worker {
+	return &worker{
+		jobs: make(chan int),
+		acks: make(chan int),
+		done: make(chan struct{}),
+		out:  make(chan int),
+		res:  make(chan int),
+		idle: make(chan struct{}),
+	}
+}
+
+// --- violations ---
+
+// post sends on a channel nothing in the module ever receives from.
+func (w *worker) post(v int) {
+	w.acks <- v // want "send on w.acks can block forever: no receive"
+}
+
+// enqueue sends while holding w.mu; the only receive lives in
+// drainLocked, which itself runs only under w.mu (through drain): the
+// receiver can never run to drain the send.
+func (w *worker) enqueue(v int) {
+	w.mu.Lock()
+	w.jobs <- v // want "send on w.jobs deadlocks"
+	w.mu.Unlock()
+}
+
+func (w *worker) drainLocked() int {
+	return <-w.jobs
+}
+
+func (w *worker) drain() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.drainLocked()
+}
+
+// stopTwice closes done on two sequential points of the same path.
+func (w *worker) stopTwice() {
+	close(w.done)
+	w.n++
+	close(w.done) // want "channel w.done may already be closed"
+}
+
+// shutdown closes out directly and again through finish.
+func (w *worker) finish() {
+	close(w.out)
+}
+
+func (w *worker) shutdown() {
+	w.finish()
+	close(w.out) // want "channel w.out is closed here and by the call to finish"
+}
+
+// --- clean shapes ---
+
+// produce/consume: the receive is lock-free, so even the locked send in
+// produceLocked has a live receiver.
+func (w *worker) produce(v int) {
+	w.res <- v
+}
+
+func (w *worker) produceLocked(v int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.res <- v
+}
+
+func (w *worker) consume() int {
+	return <-w.res
+}
+
+// tryPost polls: a send with a default clause never blocks.
+func (w *worker) tryPost(v int) bool {
+	select {
+	case w.acks <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// goIdle uses the guarded close-and-nil idiom; two such sites are not a
+// double close.
+func (w *worker) goIdle() {
+	w.mu.Lock()
+	if w.idle != nil {
+		close(w.idle)
+		w.idle = nil
+	}
+	w.mu.Unlock()
+}
+
+func (w *worker) goIdleAgain() {
+	w.mu.Lock()
+	if w.idle != nil {
+		close(w.idle)
+		w.idle = nil
+	}
+	w.mu.Unlock()
+}
+
+// relay's channel arrives from outside: endpoints unknown, skipped.
+type relay struct {
+	feed chan int
+}
+
+func newRelay(feed chan int) *relay {
+	return &relay{feed: feed}
+}
+
+func (r *relay) send(v int) {
+	r.feed <- v
+}

@@ -49,6 +49,19 @@ func blockAfterDeferredUnlock(b *box) {
 	b.ch <- 3 // want "channel send may block"
 }
 
+// blockingHelper is not annotated: the caller learns it can block from
+// its interprocedural summary.
+func blockingHelper(b *box) int {
+	return <-b.ch
+}
+
+func callsBlockingHelperUnderLock(b *box) int {
+	b.mu.Lock()
+	v := blockingHelper(b) // want "call to blockingHelper may block .* while b.mu is held"
+	b.mu.Unlock()
+	return v
+}
+
 // --- clean shapes ---
 
 func sendAfterUnlock(b *box) {

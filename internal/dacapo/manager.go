@@ -167,24 +167,28 @@ type qchannel struct {
 	closed  bool
 }
 
-// configureLocked (re)establishes the connection for the given requirements.
-func (c *qchannel) configureLocked(params qos.Set) error {
+// configureLocked (re)establishes the connection for the given
+// requirements. The previous runtime, if any, is returned for the caller
+// to retire with c.retire AFTER releasing c.mu: Runtime.Close waits for
+// the module goroutines to drain, which must not happen under the
+// channel lock (coollint: lockhold).
+func (c *qchannel) configureLocked(params qos.Set) (retired *Runtime, err error) {
 	if c.addr == "" {
 		// Accept-side channels cannot redial; reconfiguration happens by
 		// the client opening a new connection.
-		return fmt.Errorf("dacapo: cannot reconfigure an accepted connection")
+		return nil, fmt.Errorf("dacapo: cannot reconfigure an accepted connection")
 	}
 	spec, granted, err := Configure(params, c.mgr.linkCap)
 	if err != nil {
 		c.mgr.mon.rejected("qos", err)
-		return err
+		return nil, err
 	}
 	var res *Reservation
 	if c.mgr.rm != nil {
 		res, err = c.mgr.rm.Reserve(granted)
 		if err != nil {
 			c.mgr.mon.rejected("budget", err)
-			return err
+			return nil, err
 		}
 	}
 	inner, err := c.mgr.inner.Dial(c.addr)
@@ -193,7 +197,7 @@ func (c *qchannel) configureLocked(params qos.Set) error {
 			res.Release()
 		}
 		c.mgr.mon.rejected("transport", err)
-		return err
+		return nil, err
 	}
 	rt, remoteGranted, err := Connect(inner, c.mgr.reg, spec, granted)
 	if err != nil {
@@ -201,13 +205,10 @@ func (c *qchannel) configureLocked(params qos.Set) error {
 			res.Release()
 		}
 		c.mgr.mon.rejected("peer", err)
-		return err
+		return nil, err
 	}
-	// Tear down the previous configuration, if any.
-	if c.rt != nil {
-		c.rt.Close()
-		c.mgr.mon.untrack(c.rt)
-	}
+	// Hand the previous configuration to the caller for teardown.
+	retired = c.rt
 	if c.res != nil {
 		c.res.Release()
 	}
@@ -216,17 +217,27 @@ func (c *qchannel) configureLocked(params qos.Set) error {
 	c.applied = params.Clone()
 	c.res = res
 	c.mgr.mon.connected(rt, "dial")
-	return nil
+	return retired, nil
 }
 
-func (c *qchannel) ensureLocked() error {
+// retire tears down a runtime returned by configureLocked. Must be called
+// without c.mu held: Close blocks on the module goroutines.
+func (c *qchannel) retire(rt *Runtime) {
+	if rt == nil {
+		return
+	}
+	rt.Close()
+	c.mgr.mon.untrack(rt)
+}
+
+func (c *qchannel) ensureLocked() (retired *Runtime, err error) {
 	if c.closed {
-		return transport.ErrClosed
+		return nil, transport.ErrClosed
 	}
 	if c.rt == nil {
 		return c.configureLocked(nil)
 	}
-	return nil
+	return nil, nil
 }
 
 // SetQoSParameter performs Da CaPo's part of the unilateral negotiation:
@@ -234,17 +245,26 @@ func (c *qchannel) ensureLocked() error {
 // It returns the granted set.
 func (c *qchannel) SetQoSParameter(params qos.Set) (qos.Set, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, transport.ErrClosed
 	}
 	if c.rt != nil && c.applied.Equal(params) {
-		return c.granted.Clone(), nil // unchanged: keep the connection
+		granted := c.granted.Clone() // unchanged: keep the connection
+		c.mu.Unlock()
+		return granted, nil
 	}
-	if err := c.configureLocked(params); err != nil {
+	retired, err := c.configureLocked(params)
+	var granted qos.Set
+	if err == nil {
+		granted = c.granted.Clone()
+	}
+	c.mu.Unlock()
+	c.retire(retired)
+	if err != nil {
 		return nil, err
 	}
-	return c.granted.Clone(), nil
+	return granted, nil
 }
 
 // Granted returns the QoS granted at the last (re)configuration.
@@ -266,11 +286,17 @@ func (c *qchannel) Spec() Spec {
 
 func (c *qchannel) runtime() (*Runtime, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.ensureLocked(); err != nil {
+	retired, err := c.ensureLocked()
+	var rt *Runtime
+	if err == nil {
+		rt = c.rt
+	}
+	c.mu.Unlock()
+	c.retire(retired)
+	if err != nil {
 		return nil, err
 	}
-	return c.rt, nil
+	return rt, nil
 }
 
 func (c *qchannel) WriteMessage(p []byte) error {
@@ -291,17 +317,19 @@ func (c *qchannel) ReadMessage() ([]byte, error) {
 
 func (c *qchannel) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	if c.rt != nil {
-		c.rt.Close()
-		c.mgr.mon.untrack(c.rt)
-	}
-	if c.res != nil {
-		c.res.Release()
+	rt, res := c.rt, c.res
+	c.rt, c.res = nil, nil
+	c.mu.Unlock()
+	// Teardown outside the lock: Runtime.Close waits for the module
+	// goroutines to drain (coollint: lockhold).
+	c.retire(rt)
+	if res != nil {
+		res.Release()
 	}
 	return nil
 }

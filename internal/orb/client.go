@@ -213,7 +213,7 @@ func (o *Object) bind(ctx context.Context) (*binding, error) {
 		o.binding = b
 		return b, nil
 	}
-	conn, granted, err := o.orb.cm.get(ctx, profile, o.req)
+	conn, granted, err := o.orb.cm.get(ctx, profile, o.req) //coollint:allow lockhold -- o.mu serializes binding per proxy by design; the dial is ctx-bounded and cm.get takes no lock that can reach o.mu
 	if err != nil {
 		o.recordNegotiation(profile, "bind_failure", err.Error())
 		return nil, err
