@@ -16,7 +16,7 @@
 // A baseline snapshot freezes the current findings: -write-baseline
 // records them, and -baseline tolerates exactly the recorded findings,
 // failing only on new ones. -stats appends a summary of findings silenced
-// by //coollint:allow annotations.
+// by //coollint:allow annotations and per-analyzer wall time.
 package main
 
 import (
@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"flag"
 
@@ -109,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags, suppressed := analysis.RunAnalyzersDetail(pkgs, analyzers)
+	diags, suppressed, timings := analysis.RunAnalyzersTimed(pkgs, analyzers)
 
 	if *writeBaseline != "" {
 		if err := writeBaselineFile(*writeBaseline, loader.ModuleRoot, diags); err != nil {
@@ -144,6 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *stats {
 		printSuppressionStats(stdout, suppressed)
+		printTimingStats(stdout, timings)
 	}
 
 	if len(diags) > 0 {
@@ -232,6 +234,19 @@ func emitJSON(w io.Writer, root string, diags []analysis.Diagnostic) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// printTimingStats lists cumulative per-analyzer wall time in run order,
+// so a slow analyzer shows up in CI logs before it becomes a problem.
+func printTimingStats(w io.Writer, timings []analysis.AnalyzerTiming) {
+	var total time.Duration
+	for _, t := range timings {
+		total += t.Elapsed
+	}
+	fmt.Fprintf(w, "timings: %d analyzer(s), %s total\n", len(timings), total.Round(time.Microsecond))
+	for _, t := range timings {
+		fmt.Fprintf(w, "  %-12s %s\n", t.Name, t.Elapsed.Round(time.Microsecond))
+	}
 }
 
 // printSuppressionStats summarizes //coollint:allow usage per analyzer so

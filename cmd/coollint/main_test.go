@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -85,10 +86,41 @@ func TestListNamesAllAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"poolpair", "lockhold", "framealias", "obsconst", "wiretaint", "bindstate", "goroleak", "ctxflow", "lockorder", "atomicfield", "chanliveness"} {
+	for _, name := range []string{"poolpair", "lockhold", "framealias", "obsconst", "wiretaint", "bindstate", "goroleak", "ctxflow", "lockorder", "atomicfield", "chanliveness", "hotalloc"} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout)
 		}
+	}
+}
+
+func TestListOutputLocked(t *testing.T) {
+	// -list is part of the CLI surface scripts grep: one line per analyzer,
+	// name column then the one-line Doc, in registration order. Adding or
+	// renaming an analyzer must update this table deliberately.
+	want := []struct{ name, doc string }{
+		{"poolpair", "pooled objects are released exactly once on every path"},
+		{"lockhold", "no blocking channel operation, Wait, or blocking call while a mutex is held"},
+		{"framealias", "no storing frame-aliasing slices beyond the pooled message lifetime"},
+		{"obsconst", "metric and span names must not be built with function calls"},
+		{"wiretaint", "wire-derived sizes must be bounds-checked before allocation or loop use"},
+		{"bindstate", "explicit-binding lifecycle: no use after ORB shutdown, QoS errors checked, Pendings consumed"},
+		{"goroleak", "every go statement needs a join/stop edge or a //coollint:detached declaration"},
+		{"ctxflow", "context threading: ctx holders use ...Ctx invocation variants, exported blocking APIs offer one"},
+		{"lockorder", "lock acquisition order is consistent module-wide (no deadlock cycles)"},
+		{"atomicfield", "fields accessed via sync/atomic have no unguarded plain reads or writes"},
+		{"chanliveness", "module-internal channel sends have live receivers; no double close"},
+		{"hotalloc", "no unsanctioned heap allocation is reachable from a //coollint:hotpath root"},
+	}
+	var exp strings.Builder
+	for _, w := range want {
+		exp.WriteString(fmt.Sprintf("%-12s %s\n", w.name, w.doc))
+	}
+	code, stdout, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if stdout != exp.String() {
+		t.Fatalf("-list output drifted:\n--- want ---\n%s--- got ---\n%s", exp.String(), stdout)
 	}
 }
 
@@ -204,5 +236,8 @@ func TestSuppressionStats(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "framealias") || strings.Contains(stdout, "suppressions: none") {
 		t.Fatalf("suppression summary should count framealias sites:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "timings: 1 analyzer(s)") {
+		t.Fatalf("-stats missing per-analyzer wall time:\n%s", stdout)
 	}
 }

@@ -54,18 +54,28 @@
 //   - chanliveness: sends on module-internal channels have a live receive
 //     path (not gated behind the sender's own lock), and no channel is
 //     closed twice.
+//   - hotalloc:   no unsanctioned heap allocation (make/new, growing
+//     append, interface boxing, closures, goroutine spawns, string
+//     conversions, formatting calls, map writes) is reachable through
+//     synchronous calls from a //coollint:hotpath root; failure branches
+//     and the pooled arena allocators are exempt.
 //
 // Intended exceptions are declared in the source with line annotations:
 //
 //	//coollint:owner            this acquisition intentionally escapes
 //	//coollint:allow <analyzer> suppress one analyzer on this line
 //	//coollint:detached         this goroutine intentionally has no join
+//	//coollint:allocok <reason> this allocation is acceptable on the hot
+//	                            path for the stated reason
 //
 // and on function declarations:
 //
 //	//coollint:acquires <kind>  calls return an owned pool object
 //	                            (kind: encoder, message, or buffer)
 //	//coollint:releases         passing a tracked object releases it
+//	//coollint:hotpath          allocation-audit root: the warm spine
+//	//coollint:coldpath         off the latency path (setup, teardown)
+//	//coollint:allocator        sanctioned arena/pool machinery
 package analysis
 
 import (
@@ -75,6 +85,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one invariant checker. Run inspects a type-checked package
@@ -91,7 +102,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{PoolPair, LockHold, FrameAlias, ObsConst, WireTaint, BindState, GoroLeak, CtxFlow, LockOrder, AtomicField, ChanLiveness}
+	return []*Analyzer{PoolPair, LockHold, FrameAlias, ObsConst, WireTaint, BindState, GoroLeak, CtxFlow, LockOrder, AtomicField, ChanLiveness, HotAlloc}
 }
 
 // Pass carries one analyzer's view of one package.
@@ -280,7 +291,23 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // interprocedural Program is built once over all packages and shared by
 // every pass.
 func RunAnalyzersDetail(pkgs []*Package, analyzers []*Analyzer) (diags, suppressed []Diagnostic) {
+	diags, suppressed, _ = RunAnalyzersTimed(pkgs, analyzers)
+	return diags, suppressed
+}
+
+// AnalyzerTiming is the cumulative wall time one analyzer spent across
+// every package of a run.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunAnalyzersTimed is RunAnalyzersDetail plus per-analyzer wall time,
+// returned in the analyzers' run order. The shared Program build is not
+// attributed to any analyzer.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) (diags, suppressed []Diagnostic, timings []AnalyzerTiming) {
 	prog := BuildProgram(pkgs)
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		suppress := make(map[*token.File]map[int]map[string]bool)
 		for _, f := range pkg.Files {
@@ -288,7 +315,7 @@ func RunAnalyzersDetail(pkgs []*Package, analyzers []*Analyzer) (diags, suppress
 				suppress[tf] = annotationsFor(pkg.Fset, f, pkg.Src[tf.Name()])
 			}
 		}
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Analyzer:   a,
 				Fset:       pkg.Fset,
@@ -300,12 +327,17 @@ func RunAnalyzersDetail(pkgs []*Package, analyzers []*Analyzer) (diags, suppress
 				diags:      &diags,
 				suppressed: &suppressed,
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[i] += time.Since(start)
 		}
+	}
+	for i, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: elapsed[i]})
 	}
 	sortDiagnostics(suppressed)
 	sortDiagnostics(diags)
-	return diags, suppressed
+	return diags, suppressed, timings
 }
 
 func sortDiagnostics(diags []Diagnostic) {

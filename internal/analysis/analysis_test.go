@@ -112,6 +112,12 @@ func TestLockOrderFixture(t *testing.T)    { runFixture(t, "lockorder", LockOrde
 func TestAtomicFieldFixture(t *testing.T)  { runFixture(t, "atomicfield", AtomicField) }
 func TestChanLivenessFixture(t *testing.T) { runFixture(t, "chanliveness", ChanLiveness) }
 
+// TestHotAllocFixture drives the allocation analyzer: every warm site
+// kind, through-helper propagation (fill's sites carry the process ->
+// fill path), sanctioned allocators, cold branches, and the allocok /
+// coldpath / allocator directives.
+func TestHotAllocFixture(t *testing.T) { runFixture(t, "hotalloc", HotAlloc) }
+
 // TestInterprocFixture drives poolpair and framealias through helper
 // boundaries: acquires, releases and aliasing facts must flow via the
 // interprocedural summaries, not annotations.

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces the hot-path allocation discipline: from every
+// function annotated //coollint:hotpath (the warm invocation spine —
+// client invoke path, combiner drain, read loop, server dispatch, pooled
+// marshal/unmarshal), the analyzer walks synchronous module-internal
+// calls and reports every reachable warm allocation site with its full
+// root→site call path, the way lockorder prints acquisition paths.
+//
+// Cold regions are exempt (error/failure branches, panic exits,
+// sync.Once payloads, //coollint:coldpath functions), as are the
+// sanctioned arena/pool allocators (bufpool, AcquireEncoder,
+// UnmarshalPooled, interned operations, //coollint:allocator functions).
+// Reasoned per-site suppressions use //coollint:allocok <reason>.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no unsanctioned heap allocation is reachable from a //coollint:hotpath root",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil || len(prog.allocFacts) == 0 {
+		return
+	}
+
+	// BFS over warm synchronous call edges from every hotpath root,
+	// keeping the shortest root→function path. sortedFuncs keeps both the
+	// root order and the resulting paths deterministic.
+	paths := make(map[*types.Func][]string)
+	var queue []*types.Func
+	for _, pf := range prog.sortedFuncs() {
+		if facts := prog.allocFacts[pf.obj]; facts != nil && facts.hotRoot && !facts.coldFunc {
+			paths[pf.obj] = []string{funcDisplay(pf.obj)}
+			queue = append(queue, pf.obj)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		facts := prog.allocFacts[fn]
+		if facts == nil {
+			continue
+		}
+		for _, call := range facts.warmCalls {
+			if _, seen := paths[call.callee]; seen {
+				continue
+			}
+			// Prune: the summary bit says nothing warm is reachable
+			// through this callee, so there is nothing to report below.
+			if sum := prog.sums[call.callee]; sum == nil || !sum.warmAllocs {
+				continue
+			}
+			paths[call.callee] = append(append([]string(nil), paths[fn]...), funcDisplay(call.callee))
+			queue = append(queue, call.callee)
+		}
+	}
+
+	// Report only sites in this pass's own files, so a module-wide path
+	// is diagnosed once.
+	inPkg := passFileSet(pass)
+	for _, pf := range prog.sortedFuncs() {
+		path, hot := paths[pf.obj]
+		if !hot {
+			continue
+		}
+		facts := prog.allocFacts[pf.obj]
+		for _, s := range facts.warmSites {
+			if !inPkg[posFile(pass.Fset, s.pos)] {
+				continue
+			}
+			pass.Reportf(s.pos, "%s on hot path %s (%s) — restructure, use a pooled allocator, or annotate //coollint:allocok <reason>",
+				s.kind, strings.Join(path, " -> "), s.what)
+		}
+	}
+}

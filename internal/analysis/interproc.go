@@ -47,6 +47,12 @@ type Program struct {
 	guardedBy    map[*types.Func]lockKeySet
 	// annots caches the per-file //coollint:allow index for allowedAt.
 	annots map[*token.File]map[int]map[string]bool
+
+	// Allocation facts (allocfacts.go): per-function classified warm
+	// allocation sites and synchronous call edges for hotalloc, plus the
+	// per-file //coollint:allocok line index.
+	allocFacts map[*types.Func]*allocFuncFacts
+	allocOK    map[*token.File]map[int]string
 }
 
 // progFunc is one function declaration in the module.
@@ -122,6 +128,11 @@ type Summary struct {
 	// closes records the tracked channel objects the function (or a
 	// callee) unconditionally closes — the input to double-close checks.
 	closes map[types.Object]bool
+
+	// warmAllocs reports a warm, unsanctioned allocation site in the
+	// function or any synchronous callee (allocfacts.go) — hotalloc's
+	// bottom-up pruning bit.
+	warmAllocs bool
 }
 
 // summaryOf returns the summary for a callee, or nil for functions outside
@@ -167,6 +178,7 @@ func BuildProgram(pkgs []*Package) *Program {
 		chans:        make(map[types.Object]*chanFacts),
 		atomicFields: make(map[types.Object]*atomicFacts),
 		guardedBy:    make(map[*types.Func]lockKeySet),
+		allocFacts:   make(map[*types.Func]*allocFuncFacts),
 	}
 	if len(pkgs) == 0 {
 		return prog
@@ -313,6 +325,7 @@ func (s *Summary) equal(o *Summary) bool {
 		s.joins != o.joins || s.loopsForever != o.loopsForever ||
 		s.acquires != o.acquires || s.aliasResults != o.aliasResults ||
 		s.blocks != o.blocks || s.blockDesc != o.blockDesc ||
+		s.warmAllocs != o.warmAllocs ||
 		!s.locks.equal(o.locks) || !s.freshLocks.equal(o.freshLocks) ||
 		len(s.closes) != len(o.closes) {
 		return false
@@ -443,6 +456,7 @@ func summarize(prog *Program, pf *progFunc) *Summary {
 	poolSummarize(prog, pf, s)
 	aliasSummarize(prog, pf, s)
 	lockSummarize(prog, pf, s)
+	allocSummarize(prog, pf, s)
 	return s
 }
 

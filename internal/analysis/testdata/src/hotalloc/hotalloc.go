@@ -1,0 +1,79 @@
+// Package hotalloc exercises the hot-path allocation analyzer: warm
+// sites of every kind, through-helper propagation with root→site paths,
+// sanctioned pool allocators, cold-path exemption, and the allocok and
+// coldpath directives.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+
+	"cool/internal/bufpool"
+)
+
+type sink struct {
+	buf   []byte
+	cache map[string]int
+	quit  chan struct{}
+}
+
+var published any
+
+// process is the fixture's warm invocation spine.
+//
+//coollint:hotpath warm echo path of the fixture
+func (s *sink) process(n int, name string, err error) error {
+	if err != nil {
+		// Cold: the error branch is a failure exit, eager formatting
+		// here is off the latency path.
+		return fmt.Errorf("process %q: %w", name, err)
+	}
+	b := make([]byte, n)               // want "make"
+	s.buf = append(s.buf, b...)        // amortized self-append into a field: exempt
+	grown := append(b, 0x5a)           // want "growing append"
+	published = n                      // want "interface boxing"
+	s.cache[name] = len(grown)         // want "map write"
+	raw := []byte(name)                //coollint:allocok interning copies each op name at most once
+	pooled := bufpool.Get(64)          // sanctioned arena allocator: exempt
+	bufpool.Put(append(pooled, raw...)) // want "growing append"
+	s.fill(scratch(), name)
+	s.setup()
+	return nil
+}
+
+// fill is only reached from the root through a call edge: its sites must
+// be reported with the full process -> fill path.
+func (s *sink) fill(dst []byte, name string) {
+	s.buf = append(s.buf[:0], dst...) // reset-reuse self-append: exempt
+	_ = fmt.Sprintf("op=%s", name)    // want "formatting call"
+	_ = errors.New("eager")           // want "formatting call"
+	go s.drain()                      // want "goroutine creation"
+	f := func() { s.cache[name]++ }   // want "closure creation"
+	f()
+}
+
+// drain is a goroutine payload: never reached synchronously, so its
+// allocations are not on the warm path.
+func (s *sink) drain() {
+	huge := make([]byte, 1<<20)
+	_ = huge
+	<-s.quit
+}
+
+// scratch is part of the fixture's arena machinery: its internal make is
+// sanctioned and callers do not count the call as an allocation.
+//
+//coollint:allocator recycled fixture scratch
+func scratch() []byte {
+	return make([]byte, 0, 64)
+}
+
+// setup runs once per connection: exempted wholesale.
+//
+//coollint:coldpath once-per-connection setup
+func (s *sink) setup() {
+	if s.cache == nil {
+		s.cache = make(map[string]int)
+	}
+	s.quit = make(chan struct{})
+}

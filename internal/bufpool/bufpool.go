@@ -59,6 +59,8 @@ func classOf(n int) int {
 
 // Get returns a zero-length buffer with capacity at least n. The buffer is
 // exclusively owned by the caller until handed back via Put.
+//
+//coollint:allocator arena entry point; pool-miss makes are the arena filling itself
 func Get(n int) []byte {
 	if c := classFor(n); c >= 0 {
 		if h, _ := pools[c].Get().(*buf); h != nil {
@@ -78,6 +80,8 @@ func Get(n int) []byte {
 // Put returns b's storage to the arena. b may have come from Get or from
 // anywhere else; nil and tiny or oversized buffers are simply dropped. The
 // caller must not retain any alias of b after Put.
+//
+//coollint:allocator arena return point
 func Put(b []byte) {
 	c := classOf(cap(b))
 	if c < 0 || cap(b) > maxClass {

@@ -95,6 +95,8 @@ const minEncBuf = 2048
 
 // grow ensures room for need more bytes, moving the stream to a larger
 // pooled buffer instead of letting append reallocate outside the arena.
+//
+//coollint:allocator arena growth; recycled via bufpool
 func (e *Encoder) grow(need int) {
 	if cap(e.buf)-len(e.buf) >= need {
 		return
@@ -213,6 +215,8 @@ func (e *Encoder) WriteFloat(v float32) { e.WriteULong(math.Float32bits(v)) }
 // WriteDouble appends an IEEE 754 double-precision float aligned on 8.
 func (e *Encoder) WriteDouble(v float64) { e.WriteULongLong(math.Float64bits(v)) }
 
+//coollint:hotpath representative warm encode root; audits the Write helpers
+//
 // WriteString appends a CDR string: ulong length (including the terminating
 // NUL) followed by the octets and a NUL.
 func (e *Encoder) WriteString(s string) {
@@ -407,12 +411,14 @@ func (d *Decoder) ReadDouble() (float64, error) {
 }
 
 // ReadString consumes a CDR string and validates the NUL terminator.
+//
+//coollint:hotpath representative warm decode root; audits the Read helpers
 func (d *Decoder) ReadString() (string, error) {
 	raw, err := d.ReadStringBytes()
 	if err != nil {
 		return "", err
 	}
-	return string(raw), nil
+	return string(raw), nil //coollint:allocok string result must not alias the frame; interning callers use ReadStringBytes
 }
 
 // ReadStringBytes consumes a CDR string like ReadString but returns the

@@ -101,31 +101,37 @@ func DecodeSystemException(dec *cdr.Decoder) (*SystemException, error) {
 }
 
 // NoResources builds the QoS NACK exception.
+//coollint:coldpath exception constructors build failure replies only
 func NoResources(minor uint32) *SystemException {
 	return &SystemException{ID: RepoIDNoResources, Minor: minor, Completed: CompletedNo}
 }
 
 // BadOperation reports an unknown operation name.
+//coollint:coldpath exception constructors build failure replies only
 func BadOperation() *SystemException {
 	return &SystemException{ID: RepoIDBadOperation, Completed: CompletedNo}
 }
 
 // ObjectNotExist reports an unknown object key.
+//coollint:coldpath exception constructors build failure replies only
 func ObjectNotExist() *SystemException {
 	return &SystemException{ID: RepoIDObjectNotExist, Completed: CompletedNo}
 }
 
 // CommFailure reports a transport-level failure.
+//coollint:coldpath exception constructors build failure replies only
 func CommFailure(minor uint32) *SystemException {
 	return &SystemException{ID: RepoIDCommFailure, Minor: minor, Completed: CompletedMaybe}
 }
 
 // MarshalException reports a CDR encoding/decoding failure.
+//coollint:coldpath exception constructors build failure replies only
 func MarshalException() *SystemException {
 	return &SystemException{ID: RepoIDMarshal, Completed: CompletedNo}
 }
 
 // Transient reports a temporary failure the client may retry.
+//coollint:coldpath exception constructors build failure replies only
 func Transient(minor uint32) *SystemException {
 	return &SystemException{ID: RepoIDTransient, Minor: minor, Completed: CompletedNo}
 }
@@ -133,6 +139,7 @@ func Transient(minor uint32) *SystemException {
 // TimeoutException reports an invocation that exceeded its deadline (the
 // context's or the one derived from the QoS delay bound). Completion is
 // MAYBE: the request may have reached the servant before the bound fired.
+//coollint:coldpath exception constructors build failure replies only
 func TimeoutException() *SystemException {
 	return &SystemException{ID: RepoIDTimeout, Completed: CompletedMaybe}
 }
@@ -141,6 +148,7 @@ func TimeoutException() *SystemException {
 func (e *SystemException) IsTimeout() bool { return e.ID == RepoIDTimeout }
 
 // UnknownException wraps a servant-side failure with no better mapping.
+//coollint:coldpath exception constructors build failure replies only
 func UnknownException() *SystemException {
 	return &SystemException{ID: RepoIDUnknown, Completed: CompletedMaybe}
 }

@@ -169,6 +169,9 @@ type RequestHeader struct {
 	QoSFrag []byte
 	// Principal is the requesting_principal identity blob.
 	Principal []byte
+	// traceBuf backs the trace service-context entry built by TraceSC, so
+	// pooled headers carry trace context without a per-request slice.
+	traceBuf [traceContextLen]byte
 }
 
 // ReplyHeader is the header of a Reply message.
@@ -336,7 +339,7 @@ func decodeServiceContexts(dec *cdr.Decoder, scs []ServiceContext) ([]ServiceCon
 		if sc.Data, err = dec.ReadOctetSeq(); err != nil {
 			return nil, err
 		}
-		scs = append(scs, sc)
+		scs = append(scs, sc) //coollint:allocok amortized into the Message-owned scratch (scStore[:0])
 	}
 	return scs, nil
 }
@@ -348,6 +351,8 @@ func decodeServiceContexts(dec *cdr.Decoder, scs []ServiceContext) ([]ServiceCon
 // The returned frame is drawn from the shared buffer arena: once it has
 // been written to a transport (which copies or consumes it), hand it back
 // via ReleaseFrame so steady-state marshalling allocates nothing.
+//
+//coollint:hotpath request marshal, one per invocation
 func MarshalRequest(v Version, littleEndian bool, hdr *RequestHeader, body func(*cdr.Encoder)) ([]byte, error) {
 	if !v.Supported() {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
@@ -384,6 +389,8 @@ func MarshalRequest(v Version, littleEndian bool, hdr *RequestHeader, body func(
 // MarshalReply encodes a Reply message. Replies are version-independent;
 // the version is echoed so a QoS-aware exchange stays self-describing.
 // The returned frame is pooled; see MarshalRequest.
+//
+//coollint:hotpath reply marshal, one per dispatched request
 func MarshalReply(v Version, littleEndian bool, hdr *ReplyHeader, body func(*cdr.Encoder)) ([]byte, error) {
 	if !v.Supported() {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedVersion, v)
@@ -523,6 +530,18 @@ func UnmarshalPooled(frame []byte) (*Message, error) {
 	return m, nil
 }
 
+// decodeFail wraps a header-field decode error with the message type. A
+// package-level function, not a closure inside decodeInto: a closure
+// would capture the header and allocate on every decode, including the
+// ones that succeed.
+func decodeFail(t MsgType, err error) error {
+	return fmt.Errorf("giop: decode %v: %w", t, err)
+}
+
+// decodeInto is the single warm decode spine: both Unmarshal and
+// UnmarshalPooled land here.
+//
+//coollint:hotpath pooled unmarshal spine
 func decodeInto(m *Message, frame []byte) error {
 	h, err := DecodeHeader(frame)
 	if err != nil {
@@ -536,54 +555,51 @@ func decodeInto(m *Message, frame []byte) error {
 	dec := &m.bodyDec
 	dec.Reset(frame, h.LittleEndian, HeaderSize)
 
-	fail := func(err error) error {
-		return fmt.Errorf("giop: decode %v: %w", h.Type, err)
-	}
 	switch h.Type {
 	case MsgRequest:
 		m.reqStore = RequestHeader{}
 		rh := &m.reqStore
 		if rh.ServiceContext, err = decodeServiceContexts(dec, m.scStore[:0]); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		m.scStore = rh.ServiceContext[:0]
 		if rh.RequestID, err = dec.ReadULong(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		if rh.ResponseExpected, err = dec.ReadBoolean(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		if rh.ObjectKey, err = dec.ReadOctetSeq(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		var op []byte
 		if op, err = dec.ReadStringBytes(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		rh.Operation = internOp(op)
 		if h.Version.QoSExtended() {
 			if rh.QoS, err = qos.DecodeSetAppend(dec, m.qosStore[:0]); err != nil {
-				return fail(err)
+				return decodeFail(h.Type, err)
 			}
 			m.qosStore = rh.QoS[:0]
 		}
 		if rh.Principal, err = dec.ReadOctetSeq(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		m.Request = rh
 	case MsgReply:
 		m.replyStore = ReplyHeader{}
 		rh := &m.replyStore
 		if rh.ServiceContext, err = decodeServiceContexts(dec, m.scStore[:0]); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		m.scStore = rh.ServiceContext[:0]
 		if rh.RequestID, err = dec.ReadULong(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		var st uint32
 		if st, err = dec.ReadULong(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		rh.Status = ReplyStatus(st)
 		m.Reply = rh
@@ -591,28 +607,28 @@ func decodeInto(m *Message, frame []byte) error {
 		m.cancelStore = CancelRequestHeader{}
 		ch := &m.cancelStore
 		if ch.RequestID, err = dec.ReadULong(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		m.CancelRequest = ch
 	case MsgLocateRequest:
 		m.locReqStore = LocateRequestHeader{}
 		lh := &m.locReqStore
 		if lh.RequestID, err = dec.ReadULong(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		if lh.ObjectKey, err = dec.ReadOctetSeq(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		m.LocateRequest = lh
 	case MsgLocateReply:
 		m.locRepStore = LocateReplyHeader{}
 		lh := &m.locRepStore
 		if lh.RequestID, err = dec.ReadULong(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		var st uint32
 		if st, err = dec.ReadULong(); err != nil {
-			return fail(err)
+			return decodeFail(h.Type, err)
 		}
 		lh.Status = LocateStatus(st)
 		m.LocateReply = lh

@@ -21,6 +21,16 @@ func TraceContext(trace, span uint64) ServiceContext {
 	return ServiceContext{ID: TraceContextID, Data: data}
 }
 
+// TraceSC is TraceContext encoded into the header's own scratch storage:
+// pooled request headers attach trace context without allocating (the
+// entry's Data is consumed by MarshalRequest, which copies it into the
+// frame, before the header returns to its pool).
+func (h *RequestHeader) TraceSC(trace, span uint64) ServiceContext {
+	binary.BigEndian.PutUint64(h.traceBuf[0:8], trace)
+	binary.BigEndian.PutUint64(h.traceBuf[8:16], span)
+	return ServiceContext{ID: TraceContextID, Data: h.traceBuf[:]}
+}
+
 // DecodeTraceContext scans a service-context list for the trace entry and
 // returns the carried trace and span IDs. ok is false when the entry is
 // absent or malformed.

@@ -142,6 +142,8 @@ func sortedCaps(c qos.Capability) []capEntry {
 }
 
 // Decode reads a reference from a CDR stream.
+//
+//coollint:coldpath IOR decode happens at bind or forward, not per call
 func Decode(dec *cdr.Decoder) (Ref, error) {
 	var r Ref
 	var err error

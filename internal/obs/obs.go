@@ -103,7 +103,7 @@ func LatencyBuckets() []uint64 {
 
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
-	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v }) //coollint:allocok sort.Search predicate does not escape; stack-allocated
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
@@ -114,7 +114,7 @@ func (h *Histogram) Observe(v uint64) {
 // no trace context was minted into the log). Zero allocations: a binary
 // search, three atomic adds and one atomic store.
 func (h *Histogram) ObserveTrace(v uint64, trace TraceID) {
-	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v }) //coollint:allocok sort.Search predicate does not escape; stack-allocated
 	h.buckets[i].Add(1)
 	if trace != 0 {
 		h.exemplars[i].Store(uint64(trace))

@@ -176,6 +176,8 @@ func (o *Object) Colocated() (bool, error) {
 // encodeQoSFrag renders s in its GIOP wire form starting from a 4-aligned
 // origin (the encoding holds only 4-byte values, so it is valid at any
 // 4-aligned splice point).
+//
+//coollint:coldpath encoded once per binding, cached as QoSFrag
 func encodeQoSFrag(s qos.Set) []byte {
 	enc := cdr.AcquireEncoder(cdr.BigEndian)
 	qos.EncodeSet(enc, s)
@@ -208,7 +210,7 @@ func (o *Object) bind(ctx context.Context) (*binding, error) {
 		frag = encodeQoSFrag(reqQoS)
 	}
 	if o.orb.isLocal(profile) {
-		b := &binding{colocated: true, codec: codec, profile: profile,
+		b := &binding{colocated: true, codec: codec, profile: profile, //coollint:allocok one binding per (re)bind, cached on the proxy
 			granted: o.req.Clone(), reqQoS: reqQoS, qosFrag: frag}
 		o.binding = b
 		return b, nil
@@ -218,7 +220,7 @@ func (o *Object) bind(ctx context.Context) (*binding, error) {
 		o.recordNegotiation(profile, "bind_failure", err.Error())
 		return nil, err
 	}
-	b := &binding{conn: conn, codec: codec, profile: profile, granted: granted,
+	b := &binding{conn: conn, codec: codec, profile: profile, granted: granted, //coollint:allocok one binding per (re)bind, cached on the proxy
 		reqKey: o.req.Key(), reqQoS: reqQoS, qosFrag: frag}
 	o.binding = b
 	result := "ack"
@@ -293,7 +295,7 @@ func (o *Object) buildRequest(b *binding, id uint32, op string, expectReply bool
 		// attached when an observer is installed: otherwise nothing reads
 		// it and the encoding would be pure overhead.
 		hdr.ServiceContext = append(hdr.ServiceContext[:0],
-			giop.TraceContext(uint64(span.Trace), uint64(span.ID)))
+			hdr.TraceSC(uint64(span.Trace), uint64(span.ID)))
 	} else {
 		hdr.ServiceContext = hdr.ServiceContext[:0]
 	}
@@ -368,6 +370,8 @@ func classifyOutcome(err error) (outcome, detail string, nack bool) {
 // crosses no extra goroutines beyond the connection's reader. The context
 // (and the QoS delay bound, see deadlineFor) bounds the dial and the wait
 // for the reply.
+//
+//coollint:hotpath client invocation spine
 func (o *Object) invokeOnce(ctx context.Context, op string, args func(*cdr.Encoder), out func(*cdr.Decoder) error) error {
 	b, err := o.bind(ctx)
 	if err != nil {
@@ -482,7 +486,7 @@ func (o *Object) sendCancel(b *binding, id uint32) {
 func (o *Object) finishInvoke(b *binding, stats *clientOp, span obs.Span, m *giop.Message, out func(*cdr.Decoder) error) error {
 	var err error
 	if m.Reply == nil {
-		err = fmt.Errorf("orb: expected Reply, got %v", m.Header.Type)
+		err = fmt.Errorf("orb: expected Reply, got %v", m.Header.Type) //coollint:allocok protocol violation; the connection is about to fail
 	} else {
 		err = decodeReply(m, out)
 	}
@@ -599,30 +603,47 @@ func decodeReply(m *giop.Message, out func(*cdr.Decoder) error) error {
 		}
 		return exc
 	case giop.ReplyUserException:
-		dec := m.BodyDecoder()
-		id, err := dec.ReadString()
-		if err != nil {
-			return fmt.Errorf("orb: undecodable user exception: %w", err)
-		}
-		data, err := dec.ReadOctetSeq()
-		if err != nil {
-			return fmt.Errorf("orb: undecodable user exception body: %w", err)
-		}
-		return &giop.UserException{ID: id, Data: append([]byte(nil), data...)}
+		return decodeUserException(m.BodyDecoder())
 	case giop.ReplyLocationForward:
-		ref, err := ior.Decode(m.BodyDecoder())
-		if err != nil {
-			return fmt.Errorf("orb: undecodable forward reference: %w", err)
-		}
-		// Deep-copy the object keys: they alias the reply frame, which is
-		// recycled once this reply is released.
-		for i := range ref.Profiles {
-			ref.Profiles[i].ObjectKey = append([]byte(nil), ref.Profiles[i].ObjectKey...)
-		}
-		return &forwardError{ref: ref}
+		return decodeForward(m.BodyDecoder())
 	default:
 		return fmt.Errorf("orb: unknown reply status %v", m.Reply.Status)
 	}
+}
+
+// decodeUserException copies a USER_EXCEPTION reply body out of the
+// pooled frame. A user exception is a failure outcome; its deep copies
+// are off the steady-state reply path.
+//
+//coollint:coldpath user-exception replies are failure outcomes
+func decodeUserException(dec *cdr.Decoder) error {
+	id, err := dec.ReadString()
+	if err != nil {
+		return fmt.Errorf("orb: undecodable user exception: %w", err)
+	}
+	data, err := dec.ReadOctetSeq()
+	if err != nil {
+		return fmt.Errorf("orb: undecodable user exception body: %w", err)
+	}
+	return &giop.UserException{ID: id, Data: append([]byte(nil), data...)}
+}
+
+// decodeForward copies a LOCATION_FORWARD target out of the pooled frame.
+// A forward triggers a rebind, so its copies amortize over the new
+// binding's calls.
+//
+//coollint:coldpath forwards trigger a rebind, not a per-call event
+func decodeForward(dec *cdr.Decoder) error {
+	ref, err := ior.Decode(dec)
+	if err != nil {
+		return fmt.Errorf("orb: undecodable forward reference: %w", err)
+	}
+	// Deep-copy the object keys: they alias the reply frame, which is
+	// recycled once this reply is released.
+	for i := range ref.Profiles {
+		ref.Profiles[i].ObjectKey = append([]byte(nil), ref.Profiles[i].ObjectKey...)
+	}
+	return &forwardError{ref: ref}
 }
 
 // forwardError carries a LOCATION_FORWARD target internally.

@@ -91,6 +91,10 @@ func newClientConn(ch transport.Channel, codec Codec, granted qos.Set, ins *inst
 	return c
 }
 
+// readLoop drains replies for the whole connection; every reply crosses
+// it once.
+//
+//coollint:hotpath client reply path
 func (c *clientConn) readLoop() {
 	for {
 		frame, err := c.ch.ReadMessage()
@@ -118,7 +122,7 @@ func (c *clientConn) readLoop() {
 			return
 		case giop.MsgMessageError:
 			codecRelease(c.codec, m)
-			c.teardown(errors.New("orb: server reported a GIOP message error"))
+			c.teardown(errors.New("orb: server reported a GIOP message error")) //coollint:allocok connection teardown, once per connection
 			return
 		default:
 			// Requests flowing to a client are a protocol violation. Read
@@ -126,7 +130,7 @@ func (c *clientConn) readLoop() {
 			// repopulated by another connection concurrently.
 			t := m.Header.Type
 			codecRelease(c.codec, m)
-			c.teardown(fmt.Errorf("orb: unexpected %v from server", t))
+			c.teardown(fmt.Errorf("orb: unexpected %v from server", t)) //coollint:allocok connection teardown, once per connection
 			return
 		}
 	}
@@ -218,7 +222,7 @@ func (c *clientConn) register(ctx context.Context, deadline time.Time) (uint32, 
 		return 0, nil, err
 	}
 	if c.limit > 0 && (len(c.pending) >= c.limit || len(c.waiters) > 0) {
-		fw := &flowWaiter{ready: make(chan struct{})}
+		fw := &flowWaiter{ready: make(chan struct{})} //coollint:allocok only under max-in-flight backpressure, already off the fast path
 		c.waiters = append(c.waiters, fw)
 		c.mu.Unlock()
 		return c.waitAdmission(ctx, deadline, fw)
@@ -246,9 +250,9 @@ func (c *clientConn) admitLocked() (uint32, *replySlot) {
 		c.free[n-1] = nil
 		c.free = c.free[:n-1]
 	} else {
-		slot = &replySlot{ch: make(chan *giop.Message, 1)}
+		slot = &replySlot{ch: make(chan *giop.Message, 1)} //coollint:allocok freelist miss; slots recycle for the connection lifetime
 	}
-	c.pending[id] = slot
+	c.pending[id] = slot //coollint:allocok bucket reuse: ids retire as fast as they admit, the map stops growing at the in-flight high-water mark
 	c.outstanding.Add(1)
 	if c.ins != nil {
 		c.ins.inflight.Inc()
@@ -383,6 +387,8 @@ func (c *clientConn) releaseSlot(slot *replySlot) {
 // error hook — send may return nil for a frame that later fails inside
 // another caller's batch, in which case the failure surfaces to the waiter
 // through teardown.
+//
+//coollint:hotpath frame hand-off into the write combiner
 func (c *clientConn) send(frame []byte) error {
 	return c.w.send(frame)
 }

@@ -199,6 +199,8 @@ func (ins *instruments) serverSlowBound(reqQoS qos.Set) time.Duration {
 // slowCall records one slow invocation: counter bump plus a structured ring
 // record. Only ever called after a call has blown its bound, so the
 // formatting cost is off the fast path.
+//
+//coollint:coldpath runs only after a call has blown its QoS bound
 func (ins *instruments) slowCall(c obs.SlowCall) {
 	if c.Side == "client" {
 		ins.slowClient.Inc()
@@ -212,7 +214,9 @@ func (ins *instruments) slowCall(c obs.SlowCall) {
 // orphanReply counts one reply that found no registered waiter.
 func (ins *instruments) orphanReply() { ins.orphanReplies.Inc() }
 
-// client returns the cached client-side handles for an operation.
+// client returns the cached client-side handles for an operation. The
+// steady-state path is the read-locked cache hit; registration cost is
+// paid once per operation name in newClientOp.
 func (ins *instruments) client(op string) *clientOp {
 	ins.mu.RLock()
 	c, ok := ins.clientOps[op]
@@ -220,12 +224,19 @@ func (ins *instruments) client(op string) *clientOp {
 	if ok {
 		return c
 	}
+	return ins.newClientOp(op)
+}
+
+// newClientOp registers the handles on first sight of an operation.
+//
+//coollint:coldpath once per operation name, amortized over all its calls
+func (ins *instruments) newClientOp(op string) *clientOp {
 	ins.mu.Lock()
 	defer ins.mu.Unlock()
-	if c, ok = ins.clientOps[op]; ok {
+	if c, ok := ins.clientOps[op]; ok {
 		return c
 	}
-	c = &clientOp{
+	c := &clientOp{
 		op:       op,
 		calls:    ins.reg.Counter(mClientCalls + "{op=" + op + "}"),
 		latency:  ins.reg.Histogram(mClientLatency+"{op="+op+"}", obs.LatencyBuckets()),
@@ -235,7 +246,9 @@ func (ins *instruments) client(op string) *clientOp {
 	return c
 }
 
-// server returns the cached server-side handles for an operation.
+// server returns the cached server-side handles for an operation; like
+// client, the miss path is split out so the dispatch spine stays
+// allocation-free.
 func (ins *instruments) server(op string) *serverOp {
 	ins.mu.RLock()
 	s, ok := ins.serverOps[op]
@@ -243,12 +256,19 @@ func (ins *instruments) server(op string) *serverOp {
 	if ok {
 		return s
 	}
+	return ins.newServerOp(op)
+}
+
+// newServerOp registers the handles on first sight of an operation.
+//
+//coollint:coldpath once per operation name, amortized over all its calls
+func (ins *instruments) newServerOp(op string) *serverOp {
 	ins.mu.Lock()
 	defer ins.mu.Unlock()
-	if s, ok = ins.serverOps[op]; ok {
+	if s, ok := ins.serverOps[op]; ok {
 		return s
 	}
-	s = &serverOp{
+	s := &serverOp{
 		op:       op,
 		requests: ins.reg.Counter(mServerReqs + "{op=" + op + "}"),
 		dispatch: ins.reg.Histogram(mServerLatency+"{op="+op+"}", obs.LatencyBuckets()),
@@ -264,14 +284,23 @@ func (ins *instruments) exception(name string) {
 	c, ok := ins.excs[name]
 	ins.mu.RUnlock()
 	if !ok {
-		ins.mu.Lock()
-		if c, ok = ins.excs[name]; !ok {
-			c = ins.reg.Counter(mServerExc + "{type=" + name + "}")
-			ins.excs[name] = c
-		}
-		ins.mu.Unlock()
+		c = ins.newExc(name)
 	}
 	c.Inc()
+}
+
+// newExc registers an exception counter on first sight of a type.
+//
+//coollint:coldpath once per exception type
+func (ins *instruments) newExc(name string) *obs.Counter {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	c, ok := ins.excs[name]
+	if !ok {
+		c = ins.reg.Counter(mServerExc + "{type=" + name + "}")
+		ins.excs[name] = c
+	}
+	return c
 }
 
 // qosOutcome bumps a negotiation-outcome counter (metric is mClientQoS or
@@ -282,14 +311,23 @@ func (ins *instruments) qosOutcome(metric, result string) {
 	c, ok := ins.qos[key]
 	ins.mu.RUnlock()
 	if !ok {
-		ins.mu.Lock()
-		if c, ok = ins.qos[key]; !ok {
-			c = ins.reg.Counter(key)
-			ins.qos[key] = c
-		}
-		ins.mu.Unlock()
+		c = ins.newQoSOutcome(key)
 	}
 	c.Inc()
+}
+
+// newQoSOutcome registers an outcome counter on first sight of a key.
+//
+//coollint:coldpath once per (metric, result) pair
+func (ins *instruments) newQoSOutcome(key string) *obs.Counter {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	c, ok := ins.qos[key]
+	if !ok {
+		c = ins.reg.Counter(key)
+		ins.qos[key] = c
+	}
+	return c
 }
 
 // msgIn counts one inbound message frame.

@@ -278,6 +278,8 @@ func (o *ORB) failReply(codec Codec, m *giop.Message, span obs.Span, exc *giop.S
 // or nil when no reply is due (oneway or canceled requests). The returned
 // frame is pooled; the caller recycles it after writing. ctx reaches the
 // servant as Invocation.Ctx.
+//
+//coollint:hotpath server dispatch spine
 func (o *ORB) handleRequest(ctx context.Context, codec Codec, m *giop.Message, state *serverConnState) []byte {
 	req := m.Request
 	ins := o.ins
@@ -343,7 +345,7 @@ func (o *ORB) handleRequest(ctx context.Context, codec Codec, m *giop.Message, s
 	if bound := ins.serverSlowBound(req.QoS); bound > 0 && dispatchDur > bound {
 		c := obs.SlowCall{
 			Side: "server", Op: stats.op,
-			Peer:  string(req.Principal),
+			Peer:  string(req.Principal), //coollint:allocok post-bound-blown slow-call record
 			Bound: bound, Dur: dispatchDur, Trace: span.Trace,
 		}
 		if len(req.QoS) > 0 {
@@ -384,7 +386,7 @@ func (o *ORB) handleRequest(ctx context.Context, codec Codec, m *giop.Message, s
 		}
 		var userErr *UserError
 		if errors.As(err, &userErr) {
-			frame, merr := marshalReply(codec, m, req.RequestID, giop.ReplyUserException, func(enc *cdr.Encoder) {
+			frame, merr := marshalReply(codec, m, req.RequestID, giop.ReplyUserException, func(enc *cdr.Encoder) { //coollint:allocok user-exception reply, failure outcome
 				enc.WriteString(userErr.ID)
 				var data []byte
 				if userErr.Body != nil {

@@ -83,6 +83,8 @@ func (w *frameWriter) send(frame []byte) error {
 // flush is the combiner loop: repeatedly swap out the queued batch, write
 // it, recycle the frames, and go idle once the queue stays empty. Entered
 // holding w.mu with w.writing set; returns unlocked.
+//
+//coollint:hotpath combiner drain; every outbound frame crosses it
 func (w *frameWriter) flush() error {
 	for {
 		if w.err != nil {

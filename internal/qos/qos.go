@@ -164,6 +164,7 @@ func (p Parameter) Accepts(granted uint32) bool {
 	return true
 }
 
+//coollint:coldpath diagnostic formatting (slow-call log, ops endpoint)
 func (p Parameter) String() string {
 	max := "∞"
 	if p.Max != NoLimit {
@@ -235,22 +236,25 @@ func (s Set) Clone() Set {
 	if s == nil {
 		return nil
 	}
-	out := make(Set, len(s))
+	out := make(Set, len(s)) //coollint:allocok deep copy by contract; callers cache the clone per binding
 	copy(out, s)
 	return out
 }
 
-// Validate checks every parameter and rejects duplicate dimensions.
+// Validate checks every parameter and rejects duplicate dimensions. Sets
+// hold at most one entry per QoS dimension (a handful), so duplicate
+// detection is a quadratic scan, not a map: Validate runs inside
+// Negotiate on the server dispatch path and must not allocate.
 func (s Set) Validate() error {
-	seen := make(map[ParamType]bool, len(s))
-	for _, p := range s {
+	for i, p := range s {
 		if err := p.Validate(); err != nil {
 			return err
 		}
-		if seen[p.Type] {
-			return fmt.Errorf("qos: duplicate parameter %s", p.Type)
+		for _, q := range s[:i] {
+			if q.Type == p.Type {
+				return fmt.Errorf("qos: duplicate parameter %s", p.Type)
+			}
 		}
-		seen[p.Type] = true
 	}
 	return nil
 }
@@ -272,6 +276,8 @@ func (s Set) Equal(o Set) bool {
 
 // Key returns a canonical string for the set, usable as a map key when
 // caching connections per (endpoint, QoS) pair.
+//
+//coollint:coldpath connection-cache key, computed once per binding
 func (s Set) Key() string {
 	if len(s) == 0 {
 		return ""
@@ -284,6 +290,7 @@ func (s Set) Key() string {
 	return strings.Join(parts, ",")
 }
 
+//coollint:coldpath diagnostic formatting (slow-call log, ops endpoint)
 func (s Set) String() string {
 	parts := make([]string, len(s))
 	for i, p := range s {
@@ -372,18 +379,18 @@ func Negotiate(request Set, cap Capability) (Set, error) {
 	if err := request.Validate(); err != nil {
 		return nil, err
 	}
-	granted := make(Set, 0, len(request))
+	granted := make(Set, 0, len(request)) //coollint:allocok granted set escapes into the invocation; sized once below
 	var failed []FailedParam
 	for _, p := range request {
 		offer, ok := cap[p.Type].grant(p)
 		if !ok {
-			failed = append(failed, FailedParam{Param: p, Offer: offer})
+			failed = append(failed, FailedParam{Param: p, Offer: offer}) //coollint:allocok NACK collection, failure path
 			continue
 		}
-		granted = append(granted, Parameter{Type: p.Type, Request: offer, Max: p.Max, Min: p.Min})
+		granted = append(granted, Parameter{Type: p.Type, Request: offer, Max: p.Max, Min: p.Min}) //coollint:allocok capacity reserved at entry; never grows
 	}
 	if len(failed) > 0 {
-		return nil, &NegotiationError{Failed: failed}
+		return nil, &NegotiationError{Failed: failed} //coollint:allocok NACK failure path
 	}
 	return granted, nil
 }

@@ -53,7 +53,7 @@ func DecodeSetAppend(dec *cdr.Decoder, s Set) (Set, error) {
 		if p.Min, err = dec.ReadLong(); err != nil {
 			return nil, fmt.Errorf("qos: min value: %w", err)
 		}
-		s = append(s, p)
+		s = append(s, p) //coollint:allocok amortized into the caller's pooled scratch (qosStore[:0])
 	}
 	return s, nil
 }

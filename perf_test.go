@@ -89,6 +89,67 @@ func TestWarmEchoAllocBudget(t *testing.T) {
 	}
 }
 
+// TestCombinerGatherAllocBudget pins the allocation count of the batched
+// send path when several callers share one connection's write combiner.
+// Persistent worker goroutines (spawned once, outside the measured region)
+// are released in lockstep so their frames gather into shared vectored
+// writes; the combiner itself must add nothing per frame — batches drain
+// into the recycled spare queue array, so the whole round stays within the
+// per-invocation warm-echo budget times the caller count.
+func TestCombinerGatherAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budget measured without -race")
+	}
+	if bufpool.DebugEnabled {
+		t.Skip("pooldebug bookkeeping allocates; budget measured without -tags pooldebug")
+	}
+	_, obj := echoEnv(t)
+	const callers = 4
+	payload := bytes.Repeat([]byte{0xa5}, 64)
+	work := make(chan struct{}, callers)
+	done := make(chan error, callers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			args := func(enc *cdr.Encoder) { enc.WriteOctetSeq(payload) }
+			out := func(dec *cdr.Decoder) error {
+				_, err := dec.ReadOctetSeq()
+				return err
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				case <-work:
+					done <- obj.Invoke("echo", args, out)
+				}
+			}
+		}()
+	}
+	t.Cleanup(func() { close(stop); wg.Wait() })
+	round := func() {
+		for i := 0; i < callers; i++ {
+			work <- struct{}{}
+		}
+		for i := 0; i < callers; i++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 64; i++ { // warm pools, reply-slot freelist, pending map
+		round()
+	}
+	allocs := testing.AllocsPerRun(200, round)
+	if allocs > 2*callers {
+		t.Errorf("gathered round of %d invokes allocated %.2f objects, budget is %d",
+			callers, allocs, 2*callers)
+	}
+}
+
 // TestDeferredConcurrencyStress hammers one multiplexed connection with
 // concurrent InvokeDeferred/Poll/Cancel/Wait from many goroutines,
 // including Wait racing Cancel on the same Pending. Run under -race it
