@@ -13,6 +13,9 @@
 //	                                   # open loop (arrivals/second);
 //	                                   # -load-json for machine output
 //	multebench -experiment pipeline    # E10: high-RTT request pipelining
+//	multebench -experiment reconfig    # E12: mid-stream module-graph
+//	                                   # renegotiation under load (no
+//	                                   # loss, no duplication)
 //	multebench -quick                  # smaller sample counts
 //	multebench -stats                  # metrics snapshot + recent trace
 //	                                   # events after each run
@@ -46,7 +49,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("multebench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "experiment to run: fig9|giop|negotiation|transport|config|marshal|obs|load|pipeline|all")
+	exp := fs.String("experiment", "all", "experiment to run: fig9|giop|negotiation|transport|config|marshal|obs|load|pipeline|reconfig|all")
 	quick := fs.Bool("quick", false, "smaller sample counts (noisier, faster)")
 	stats := fs.Bool("stats", false, "print a metrics snapshot and recent trace events after each run")
 	jsonOut := fs.Bool("json", false, "emit the perf-regression set (transport, marshal, giop) as JSON")
@@ -96,6 +99,7 @@ func run(args []string) error {
 		"obs":         func() error { return runObs(n / 8) },
 		"load":        func() error { return runLoad(loadOpts, *loadJSON) },
 		"pipeline":    func() error { return runPipeline(*quick, *loadJSON) },
+		"reconfig":    func() error { return runReconfig(*quick) },
 	}
 	if *exp != "all" {
 		fn, ok := runs[*exp]
@@ -104,7 +108,7 @@ func run(args []string) error {
 		}
 		return fn()
 	}
-	for _, name := range []string{"fig9", "giop", "negotiation", "transport", "config", "marshal", "obs", "load", "pipeline"} {
+	for _, name := range []string{"fig9", "giop", "negotiation", "transport", "config", "marshal", "obs", "load", "pipeline", "reconfig"} {
 		if err := runs[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -371,6 +375,30 @@ func runPipeline(quick, asJSON bool) error {
 		res.RTTms, res.Conc, res.Invocations, res.SequentialRPS, res.PipelinedRPS, res.Speedup, res.FlushBatchP99)
 	w.Flush()
 	fmt.Printf("\n   (one striped connection; concurrent callers overlap RTTs and share writev batches)\n")
+	return nil
+}
+
+func runReconfig(quick bool) error {
+	opts := experiments.DefaultReconfigOptions()
+	if quick {
+		opts = experiments.QuickReconfigOptions()
+	}
+	header(fmt.Sprintf("E12 — mid-stream reconfiguration under load (%d msgs × %d B, %d splices)",
+		opts.Messages, opts.MsgSize, opts.Splices))
+	res, err := experiments.RunReconfig(opts)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "msgs\tsplices\tMbit/s\tlost\tdup\tinitiator s/c/a\tresponder s/c/a\t")
+	fmt.Fprintf(w, "%d\t%d\t%.1f\t%d\t%d\t%d/%d/%d\t%d/%d/%d\t\n",
+		res.Messages, res.Splices, res.Mbps, res.Lost, res.Duplicated,
+		res.Initiator[0], res.Initiator[1], res.Initiator[2],
+		res.Responder[0], res.Responder[1], res.Responder[2])
+	w.Flush()
+	fmt.Printf("\n   (cipher+crc32 ↔ rle+crc16 alternated mid-flood; strict sequence check: any\n" +
+		"    loss, duplication or reorder across a splice fails the run; measured in " +
+		res.Elapsed.Round(time.Millisecond).String() + ")\n")
 	return nil
 }
 

@@ -88,6 +88,7 @@ func Connect(tch transport.Channel, reg *Registry, spec Spec, requested qos.Set)
 	switch kind {
 	case sigOK:
 		granted, err := qos.DecodeSet(dec)
+		transport.PutBuffer(answer)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: granted qos: %v", ErrBadSignal, err)
 		}
@@ -101,12 +102,14 @@ func Connect(tch transport.Channel, reg *Registry, spec Spec, requested qos.Set)
 		return rt, granted, nil
 	case sigReject:
 		reason, rerr := dec.ReadString()
+		transport.PutBuffer(answer)
 		tch.Close()
 		if rerr != nil {
 			reason = "(no reason)"
 		}
 		return nil, nil, fmt.Errorf("%w: %s", ErrRejected, reason)
 	default:
+		transport.PutBuffer(answer)
 		tch.Close()
 		return nil, nil, fmt.Errorf("%w: unexpected signal %d", ErrBadSignal, kind)
 	}
@@ -134,9 +137,11 @@ func Accept(tch transport.Channel, reg *Registry, policy AcceptPolicy) (*Runtime
 	}
 	spec, err := DecodeSpec(dec)
 	if err != nil {
+		transport.PutBuffer(msg)
 		return nil, nil, fmt.Errorf("%w: spec: %v", ErrBadSignal, err)
 	}
 	requested, err := qos.DecodeSet(dec)
+	transport.PutBuffer(msg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: qos: %v", ErrBadSignal, err)
 	}
@@ -166,6 +171,9 @@ func Accept(tch transport.Channel, reg *Registry, policy AcceptPolicy) (*Runtime
 	if err != nil {
 		return nil, nil, err
 	}
+	// Mid-stream proposals go through the same admission policy as the
+	// original bring-up.
+	rt.SetReconfigPolicy(policy)
 	if err := rt.Start(); err != nil {
 		return nil, nil, err
 	}

@@ -90,18 +90,25 @@ func (l *qlistener) Accept() (transport.Channel, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt, granted, res, err := l.acceptOne(ch)
+	// The channel exists before the handshake so mid-stream
+	// reconfiguration callbacks registered during acceptOne can swap its
+	// reservation once a splice completes.
+	qc := &qchannel{mgr: l.mgr}
+	rt, granted, res, err := l.acceptOne(ch, qc)
 	if err != nil {
 		// A single bad handshake must not kill the accept loop; report it
 		// as a channel-level error by retrying is the server loop's call.
 		return nil, err
 	}
+	qc.mu.Lock()
+	qc.rt, qc.granted, qc.res = rt, granted, res
+	qc.mu.Unlock()
 	l.mgr.mon.connected(rt, "accept")
-	return &qchannel{mgr: l.mgr, rt: rt, granted: granted, res: res}, nil
+	return qc, nil
 }
 
-func (l *qlistener) acceptOne(ch transport.Channel) (*Runtime, qos.Set, *Reservation, error) {
-	var reservation *Reservation
+func (l *qlistener) acceptOne(ch transport.Channel, qc *qchannel) (*Runtime, qos.Set, *Reservation, error) {
+	var pendingRes *Reservation
 	rejectReason := ""
 	policy := func(spec Spec, requested qos.Set) (qos.Set, error) {
 		// Unilateral transport-level admission: grant what the link plus
@@ -128,14 +135,14 @@ func (l *qlistener) acceptOne(ch transport.Channel) (*Runtime, qos.Set, *Reserva
 				rejectReason = "budget"
 				return nil, err
 			}
-			reservation = res
+			pendingRes = res
 		}
 		return granted, nil
 	}
 	rt, granted, err := Accept(ch, l.mgr.reg, policy)
 	if err != nil {
-		if reservation != nil {
-			reservation.Release()
+		if pendingRes != nil {
+			pendingRes.Release()
 		}
 		if rejectReason == "" {
 			if errors.Is(err, ErrRejected) {
@@ -147,7 +154,26 @@ func (l *qlistener) acceptOne(ch transport.Channel) (*Runtime, qos.Set, *Reserva
 		l.mgr.mon.rejected(rejectReason, err)
 		return nil, nil, nil, err
 	}
-	return rt, granted, reservation, nil
+	res := pendingRes
+	pendingRes = nil
+	// Mid-stream reconfigurations run the same admission policy; a
+	// completed splice swaps in the reservation that policy made. Policy
+	// and callback both run on the reader goroutine, so pendingRes needs
+	// no lock. (A proposal that fails after the policy granted leaks its
+	// reservation until Close — accepted skew on a rare failure path.)
+	rt.OnReconfigured(func(_ Spec, g qos.Set) {
+		nres := pendingRes
+		pendingRes = nil
+		qc.mu.Lock()
+		old := qc.res
+		qc.res = nres
+		qc.granted = g.Clone()
+		qc.mu.Unlock()
+		if old != nil {
+			old.Release()
+		}
+	})
+	return rt, granted, res, nil
 }
 
 func (l *qlistener) Addr() string { return l.inner.Addr() }
@@ -242,7 +268,11 @@ func (c *qchannel) ensureLocked() (retired *Runtime, err error) {
 
 // SetQoSParameter performs Da CaPo's part of the unilateral negotiation:
 // map the requirements to a protocol configuration and resources, or fail.
-// It returns the granted set.
+// On a running connection it first attempts a mid-stream reconfiguration —
+// the control-plane splice that renegotiates the module graph without
+// tearing the transport down — and falls back to redialling when the
+// splice is unsupported (blocking modules), rejected, or the runtime is
+// poisoned. It returns the granted set.
 func (c *qchannel) SetQoSParameter(params qos.Set) (qos.Set, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -254,7 +284,19 @@ func (c *qchannel) SetQoSParameter(params qos.Set) (qos.Set, error) {
 		c.mu.Unlock()
 		return granted, nil
 	}
-	retired, err := c.configureLocked(params)
+	rt := c.rt
+	c.mu.Unlock()
+	if rt != nil && c.addr != "" {
+		if granted, ok := c.reconfigureInPlace(rt, params); ok {
+			return granted, nil
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	retired, err := c.configureLocked(params) //coollint:allow lockhold -- the only Close reachable here tears down a freshly dialled runtime on its own failure path; nothing it waits on takes c.mu
 	var granted qos.Set
 	if err == nil {
 		granted = c.granted.Clone()
@@ -265,6 +307,48 @@ func (c *qchannel) SetQoSParameter(params qos.Set) (qos.Set, error) {
 		return nil, err
 	}
 	return granted, nil
+}
+
+// reconfigureInPlace attempts the control-plane splice on a running
+// connection. ok=false means the caller should fall back to redialling:
+// unsupported (blocking modules on either side), busy, rejected by the
+// peer, or the runtime already poisoned — configureLocked replaces a
+// poisoned runtime the same way it replaces an outgrown one.
+func (c *qchannel) reconfigureInPlace(rt *Runtime, params qos.Set) (qos.Set, bool) {
+	spec, granted, err := Configure(params, c.mgr.linkCap)
+	if err != nil {
+		return nil, false
+	}
+	var res *Reservation
+	if c.mgr.rm != nil {
+		if res, err = c.mgr.rm.Reserve(granted); err != nil {
+			return nil, false
+		}
+	}
+	remote, err := rt.Reconfigure(spec, granted)
+	if err != nil {
+		if res != nil {
+			res.Release()
+		}
+		return nil, false
+	}
+	c.mu.Lock()
+	if c.closed || c.rt != rt {
+		c.mu.Unlock()
+		if res != nil {
+			res.Release()
+		}
+		return nil, false
+	}
+	old := c.res
+	c.granted = remote
+	c.applied = params.Clone()
+	c.res = res
+	c.mu.Unlock()
+	if old != nil {
+		old.Release()
+	}
+	return remote.Clone(), true
 }
 
 // Granted returns the QoS granted at the last (re)configuration.
@@ -286,7 +370,7 @@ func (c *qchannel) Spec() Spec {
 
 func (c *qchannel) runtime() (*Runtime, error) {
 	c.mu.Lock()
-	retired, err := c.ensureLocked()
+	retired, err := c.ensureLocked() //coollint:allow lockhold -- the only Close reachable here tears down a freshly dialled runtime on its own failure path; nothing it waits on takes c.mu
 	var rt *Runtime
 	if err == nil {
 		rt = c.rt
@@ -305,6 +389,17 @@ func (c *qchannel) WriteMessage(p []byte) error {
 		return err
 	}
 	return rt.Send(p)
+}
+
+// WriteMessages sends a batch of frames through the stack in one pass
+// (transport.BatchChannel); the orb combiner uses this for vectored
+// flushes.
+func (c *qchannel) WriteMessages(frames [][]byte) error {
+	rt, err := c.runtime()
+	if err != nil {
+		return err
+	}
+	return rt.SendBatch(frames)
 }
 
 func (c *qchannel) ReadMessage() ([]byte, error) {

@@ -3,10 +3,12 @@ package dacapo_test
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"cool/internal/dacapo"
 	"cool/internal/dacapo/modules"
 	"cool/internal/netsim"
+	"cool/internal/obs"
 	"cool/internal/qos"
 	"cool/internal/transport"
 )
@@ -217,6 +219,173 @@ func TestManagerReconfiguration(t *testing.T) {
 	}
 	if got, err := client.ReadMessage(); err != nil || string(got) != "two" {
 		t.Fatalf("echo 2: %q, %v", got, err)
+	}
+}
+
+// TestManagerInPlaceReconfiguration proves that an inline→inline QoS
+// change splices the running connection instead of redialling: the server
+// accepts exactly once and echoes on that single channel forever, so a
+// redial (which needs a second Accept) would hang the post-change echo.
+func TestManagerInPlaceReconfiguration(t *testing.T) {
+	cm, sm := newManagerPair(t, 0, netsim.LAN().Capability())
+	l, err := sm.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// One Accept, then echo on that channel until it dies. No accept
+	// loop: a second connection attempt has nowhere to land.
+	serverDone := make(chan struct{})
+	go func() {
+		defer close(serverDone)
+		ch, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer ch.Close()
+		for {
+			msg, err := ch.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := ch.WriteMessage(msg); err != nil {
+				return
+			}
+		}
+	}()
+
+	client, err := cm.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	echo := func(payload string) {
+		t.Helper()
+		type rd struct {
+			msg []byte
+			err error
+		}
+		done := make(chan rd, 1)
+		go func() {
+			if err := client.WriteMessage([]byte(payload)); err != nil {
+				done <- rd{nil, err}
+				return
+			}
+			msg, err := client.ReadMessage()
+			done <- rd{msg, err}
+		}()
+		select {
+		case r := <-done:
+			if r.err != nil || string(r.msg) != payload {
+				t.Fatalf("echo %q: got %q, %v", payload, r.msg, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("echo %q timed out: connection dead or redial attempted", payload)
+		}
+	}
+
+	// First configuration: an inline cipher stack.
+	req := qos.Set{{Type: qos.Confidentiality, Request: 1, Max: 1, Min: 1}}
+	if _, err := client.SetQoSParameter(req); err != nil {
+		t.Fatal(err)
+	}
+	echo("ciphered")
+
+	// Drop confidentiality: inline→inline, must splice in place.
+	if _, err := client.SetQoSParameter(nil); err != nil {
+		t.Fatal(err)
+	}
+	echo("plain after splice")
+
+	spec := client.(interface{ Spec() dacapo.Spec }).Spec()
+	if len(spec.Modules) != 0 {
+		t.Fatalf("post-splice spec = %v, want empty stack", spec)
+	}
+
+	select {
+	case <-serverDone:
+		t.Fatal("server channel died: the reconfiguration tore down the connection")
+	default:
+	}
+}
+
+// TestManagerReconfigMetrics: the reconfiguration counters of live
+// runtimes surface through the snapshot-time collector under the
+// documented names, alongside the segment gauges.
+func TestManagerReconfigMetrics(t *testing.T) {
+	cm, sm := newManagerPair(t, 0, netsim.LAN().Capability())
+	reg := obs.NewRegistry()
+	cm.Instrument(reg, obs.NewTracer())
+
+	l, err := sm.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		ch, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer ch.Close()
+		for {
+			msg, err := ch.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := ch.WriteMessage(msg); err != nil {
+				return
+			}
+		}
+	}()
+
+	client, err := cm.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	req := qos.Set{{Type: qos.Confidentiality, Request: 1, Max: 1, Min: 1}}
+	if _, err := client.SetQoSParameter(req); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("dacapo.reconfig.started"); got != 0 {
+		t.Fatalf("reconfig.started before splice = %d", got)
+	}
+	if got := snap.Gauge("dacapo.segments.inline"); got < 1 {
+		t.Fatalf("segments.inline = %d, want >= 1", got)
+	}
+	if got := snap.Gauge("dacapo.conns.active"); got != 1 {
+		t.Fatalf("conns.active = %d", got)
+	}
+
+	// Splice to the empty stack and check the counters moved.
+	if _, err := client.SetQoSParameter(nil); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counter("dacapo.reconfig.started"); got != 1 {
+		t.Fatalf("reconfig.started = %d, want 1", got)
+	}
+	if got := snap.Counter("dacapo.reconfig.completed"); got != 1 {
+		t.Fatalf("reconfig.completed = %d, want 1", got)
+	}
+	if got := snap.Counter("dacapo.reconfig.aborted"); got != 0 {
+		t.Fatalf("reconfig.aborted = %d, want 0", got)
+	}
+
+	// Counters stay monotonic across connection churn: close the channel
+	// and the totals fold into the closed-runtime bucket.
+	client.Close()
+	snap = reg.Snapshot()
+	if got := snap.Counter("dacapo.reconfig.completed"); got != 1 {
+		t.Fatalf("reconfig.completed after close = %d, want 1", got)
+	}
+	if got := snap.Gauge("dacapo.conns.active"); got != 0 {
+		t.Fatalf("conns.active after close = %d", got)
 	}
 }
 

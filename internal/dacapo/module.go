@@ -32,28 +32,61 @@ func (d Direction) String() string {
 
 // Module is one protocol mechanism in a module graph: the unified module
 // interface that "allows free and unconstrained combination of modules to
-// protocols" (§5.1). Implementations run on a single goroutine owned by the
-// runtime; handlers never run concurrently with each other, so modules need
-// no internal locking.
+// protocols" (§5.1).
 //
 // Handlers receive packets and either forward them (ctx.EmitDown/EmitUp),
 // absorb them (ACKs, duplicates), or emit additional ones (retransmissions,
-// fragments). Modules exchange timer and local control events through
-// HandleEvent.
+// fragments).
+//
+// Execution contract. By default a module is scheduled *inline*: its
+// HandleDown runs run-to-completion on the down-direction executor (the
+// sender, or the pump of the nearest blocking module above) and its
+// HandleUp on the up-direction executor (the receiver, or the pump of the
+// nearest blocking module below). Per direction, handlers never run
+// concurrently — but HandleDown and HandleUp of the *same* inline module
+// may, so inline modules must keep their down-state and up-state in
+// disjoint fields, must not block, and must not use PauseDown/After/Post
+// (the runtime panics if they do). An inline module must also never
+// EmitDown from its up path. Down-direction packets may wrap borrowed
+// caller memory and must never be retained past handler return — in-place
+// payload transforms go through Packet.WritableBytes/SetPayload, which
+// migrate borrowed memory before writing;
+// up-direction packets are pool-owned and may be retained (reassembly)
+// as long as Stop releases whatever is still held.
+//
+// A module that needs any of those — flow-control pauses, timers, posted
+// events, down-emission from the up path (ACKs) — declares it by
+// implementing Blocker. Blocking modules keep the classic threaded
+// scheduling: a dedicated pump goroutine owns both directions plus events,
+// so their handlers never run concurrently at all and need no internal
+// locking. The runtime splits the module graph into inline segments at
+// blocking-module boundaries; packet batches flow across the boundaries.
 type Module interface {
 	// Name returns the mechanism name this instance was built from.
 	Name() string
-	// Start runs on the module goroutine before any packet is handled.
+	// Start runs before any packet is handled (synchronously during
+	// Runtime.Start, before any executor is live).
 	Start(ctx *Context) error
 	// HandleDown processes a packet moving toward the transport.
 	HandleDown(ctx *Context, p *Packet) error
 	// HandleUp processes a packet moving toward the application.
 	HandleUp(ctx *Context, p *Packet) error
 	// HandleEvent processes a timer or control event posted via
-	// ctx.After or ctx.Post.
+	// ctx.After or ctx.Post (blocking modules only).
 	HandleEvent(ctx *Context, ev any) error
-	// Stop runs on the module goroutine during shutdown.
+	// Stop runs during shutdown, after all executors have quiesced.
 	Stop(ctx *Context) error
+}
+
+// Blocker marks a Module that needs threaded scheduling: it pauses intake
+// (PauseDown), arms timers (After), posts events (Post), or emits
+// down-direction packets from its up path. The runtime gives each such
+// module a pump goroutine of its own and splits the surrounding graph
+// into inline segments at its boundaries.
+type Blocker interface {
+	Module
+	// Blocking is a marker; implementations do nothing.
+	Blocking()
 }
 
 // BaseModule provides no-op implementations of the optional Module methods;
@@ -74,16 +107,31 @@ func (BaseModule) Stop(*Context) error { return nil }
 var ErrStopped = errors.New("dacapo: runtime stopped")
 
 // Context is a module's interface to the runtime: its position in the
-// graph, its queues to the neighbour modules, and its timer facility.
+// graph, the continuation to the neighbour modules, and (for blocking
+// modules) its timer facility.
 type Context struct {
 	rt  *Runtime
 	idx int
+	// stages is the generation of the module graph this context belongs
+	// to; a mid-stream reconfiguration splices in a new generation with
+	// fresh contexts, so packets in flight finish on the graph they
+	// entered.
+	stages []*stage
+	// threaded reports pump scheduling (Blocker modules).
+	threaded bool
+	// downEx/upEx are the executors that run this module's handlers in
+	// each direction; emissions gather into the executor's batch buffers.
+	downEx, upEx *executor
 
 	// downPaused suspends intake of packets from the module above; it is
-	// read and written only on the module goroutine.
+	// read and written only on the module's pump goroutine.
 	downPaused bool
 
-	// stats are written by the module goroutine and snapshotted by
+	// batchHist, when instrumented, observes the size of packet batches
+	// handed to this module's pump.
+	batchHist batchObserver
+
+	// stats are written by the executing goroutine and snapshotted by
 	// Runtime.Stats from other goroutines, hence the atomics.
 	downPkts, downBytes uint64
 	upPkts, upBytes     uint64
@@ -92,12 +140,23 @@ type Context struct {
 
 // PauseDown stops the runtime from delivering further down-direction
 // packets to this module until ResumeDown. Used by flow-control modules
-// whose send window is full. Must be called from a handler.
-func (c *Context) PauseDown() { c.downPaused = true }
+// whose send window is full. Must be called from a handler of a blocking
+// module.
+func (c *Context) PauseDown() {
+	c.mustBlock("PauseDown")
+	c.downPaused = true
+}
 
 // ResumeDown re-enables down-direction intake. Must be called from a
 // handler.
 func (c *Context) ResumeDown() { c.downPaused = false }
+
+func (c *Context) mustBlock(op string) {
+	if !c.threaded {
+		panic("dacapo: inline module " + c.rt.moduleName(c) + " called Context." + op +
+			"; declare Blocking() to get threaded scheduling")
+	}
+}
 
 // EmitDown hands a packet to the next module toward the transport (or to
 // the transport itself from the lowest module). It blocks for backpressure
@@ -105,7 +164,7 @@ func (c *Context) ResumeDown() { c.downPaused = false }
 func (c *Context) EmitDown(p *Packet) error {
 	atomic.AddUint64(&c.downPkts, 1)
 	atomic.AddUint64(&c.downBytes, uint64(p.Len()))
-	return c.rt.emitDown(c.idx, p)
+	return c.rt.downFrom(c.stages, c.idx+1, p, c.downEx)
 }
 
 // EmitUp hands a packet to the next module toward the application (or to
@@ -113,27 +172,33 @@ func (c *Context) EmitDown(p *Packet) error {
 func (c *Context) EmitUp(p *Packet) error {
 	atomic.AddUint64(&c.upPkts, 1)
 	atomic.AddUint64(&c.upBytes, uint64(p.Len()))
-	return c.rt.emitUp(c.idx, p)
+	return c.rt.upFrom(c.stages, c.idx-1, p, c.upEx)
 }
 
 // Drop records an absorbed packet (failed checksum, duplicate, ACK).
 func (c *Context) Drop(p *Packet) {
 	atomic.AddUint64(&c.drops, 1)
-	c.rt.pool.Put(p)
+	putPacket(p)
 }
 
 // After schedules ev for delivery to this module's HandleEvent after d.
-// The returned stop function cancels the timer (best effort).
+// The returned stop function cancels the timer (best effort). Blocking
+// modules only.
 func (c *Context) After(d time.Duration, ev any) (stop func()) {
-	t := time.AfterFunc(d, func() { c.rt.postEvent(c.idx, ev) })
+	c.mustBlock("After")
+	t := time.AfterFunc(d, func() { c.rt.postEvent(c, ev) })
 	return func() { t.Stop() }
 }
 
-// Post delivers ev to this module's HandleEvent asynchronously.
-func (c *Context) Post(ev any) { c.rt.postEvent(c.idx, ev) }
+// Post delivers ev to this module's HandleEvent asynchronously. Blocking
+// modules only.
+func (c *Context) Post(ev any) {
+	c.mustBlock("Post")
+	c.rt.postEvent(c, ev)
+}
 
-// Pool returns the runtime's shared packet pool.
-func (c *Context) Pool() *Pool { return c.rt.pool }
+// Pool returns the shared packet pool.
+func (c *Context) Pool() *Pool { return &sharedPool }
 
 // Factory builds a module instance from its spec arguments.
 type Factory func(args Args) (Module, error)

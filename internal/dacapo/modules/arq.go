@@ -62,6 +62,10 @@ func newIRQ(args dacapo.Args) (dacapo.Module, error) {
 
 func (m *irq) Name() string { return "irq" }
 
+// Blocking marks irq for threaded scheduling: it pauses intake, arms
+// retransmission timers, and emits ACKs down from its up path.
+func (m *irq) Blocking() {}
+
 func (m *irq) HandleDown(ctx *dacapo.Context, p *dacapo.Packet) error {
 	putArqHdr(p.Prepend(arqHdrLen), arqData, m.sendSeq)
 	m.outstanding = p.Clone()
@@ -87,6 +91,7 @@ func (m *irq) HandleUp(ctx *dacapo.Context, p *dacapo.Packet) error {
 		if m.awaiting && seq == m.sendSeq {
 			m.stopTimer()
 			m.awaiting = false
+			ctx.Pool().Put(m.outstanding)
 			m.outstanding = nil
 			m.sendSeq++
 			ctx.ResumeDown()
@@ -135,8 +140,12 @@ func (m *irq) HandleEvent(ctx *dacapo.Context, ev any) error {
 	return nil
 }
 
-func (m *irq) Stop(*dacapo.Context) error {
+func (m *irq) Stop(ctx *dacapo.Context) error {
 	m.stopTimer()
+	if m.outstanding != nil {
+		ctx.Pool().Put(m.outstanding)
+		m.outstanding = nil
+	}
 	return nil
 }
 
@@ -202,6 +211,10 @@ func newWindow(args dacapo.Args) (dacapo.Module, error) {
 
 func (m *window) Name() string { return "window" }
 
+// Blocking marks window for threaded scheduling: it pauses intake when
+// the window fills, arms timers, and ACKs down from its up path.
+func (m *window) Blocking() {}
+
 func (m *window) HandleDown(ctx *dacapo.Context, p *dacapo.Packet) error {
 	seq := m.next
 	putArqHdr(p.Prepend(arqHdrLen), arqData, seq)
@@ -260,7 +273,10 @@ func (m *window) handleAck(ctx *dacapo.Context, ack uint32) {
 		return // stale or bogus
 	}
 	for s := m.base; s <= ack; s++ {
-		delete(m.buf, s)
+		if pkt, ok := m.buf[s]; ok {
+			ctx.Pool().Put(pkt)
+			delete(m.buf, s)
+		}
 	}
 	m.base = ack + 1
 	m.retries = 0
@@ -295,8 +311,12 @@ func (m *window) HandleEvent(ctx *dacapo.Context, ev any) error {
 	return nil
 }
 
-func (m *window) Stop(*dacapo.Context) error {
+func (m *window) Stop(ctx *dacapo.Context) error {
 	m.stopTimer()
+	for s, pkt := range m.buf {
+		ctx.Pool().Put(pkt)
+		delete(m.buf, s)
+	}
 	return nil
 }
 

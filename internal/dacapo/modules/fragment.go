@@ -23,7 +23,9 @@ type fragment struct {
 }
 
 type fragGroup struct {
-	parts [][]byte
+	// parts retains the fragment packets until the group completes; they
+	// are released on reassembly, eviction, or Stop.
+	parts []*dacapo.Packet
 	got   int
 }
 
@@ -98,42 +100,63 @@ func (m *fragment) HandleUp(ctx *dacapo.Context, p *dacapo.Packet) error {
 
 	g, ok := m.pending[id]
 	if !ok {
-		g = &fragGroup{parts: make([][]byte, count)}
+		g = &fragGroup{parts: make([]*dacapo.Packet, count)}
 		m.pending[id] = g
 		m.order = append(m.order, id)
-		m.evict()
+		m.evict(ctx)
 	}
 	if len(g.parts) != count || g.parts[idx] != nil {
 		ctx.Drop(p) // inconsistent or duplicate fragment
 		return nil
 	}
-	part := make([]byte, p.Len())
-	copy(part, p.Bytes())
-	g.parts[idx] = part
+	g.parts[idx] = p
 	g.got++
-	ctx.Pool().Put(p)
 	if g.got < count {
 		return nil
 	}
-	// Complete: reassemble in order.
+	// Complete: reassemble in order, one copy per fragment into a pooled
+	// packet sized for the whole payload.
 	delete(m.pending, id)
 	total := 0
 	for _, part := range g.parts {
-		total += len(part)
+		total += part.Len()
 	}
-	whole := make([]byte, 0, total)
-	for _, part := range g.parts {
-		whole = append(whole, part...)
+	whole := ctx.Pool().GetSized(total)
+	for i, part := range g.parts {
+		whole.Append(part.Bytes())
+		ctx.Pool().Put(part)
+		g.parts[i] = nil
 	}
-	return ctx.EmitUp(ctx.Pool().Get(whole))
+	return ctx.EmitUp(whole)
 }
 
 // evict bounds the reassembly table: when over capacity the oldest
 // incomplete group is discarded (its fragments were lost anyway).
-func (m *fragment) evict() {
+func (m *fragment) evict(ctx *dacapo.Context) {
 	for len(m.pending) > maxPendingGroups && len(m.order) > 0 {
 		victim := m.order[0]
 		m.order = m.order[1:]
-		delete(m.pending, victim)
+		if g, ok := m.pending[victim]; ok {
+			releaseParts(ctx, g)
+			delete(m.pending, victim)
+		}
+	}
+}
+
+// Stop releases fragments of groups that never completed.
+func (m *fragment) Stop(ctx *dacapo.Context) error {
+	for id, g := range m.pending {
+		releaseParts(ctx, g)
+		delete(m.pending, id)
+	}
+	return nil
+}
+
+func releaseParts(ctx *dacapo.Context, g *fragGroup) {
+	for i, part := range g.parts {
+		if part != nil {
+			ctx.Pool().Put(part)
+			g.parts[i] = nil
+		}
 	}
 }

@@ -57,6 +57,19 @@ func TestFragmentRejectsOversizedCount(t *testing.T) {
 	}}
 	ra, rb := startStacks(t, fragSpec, a, b)
 
+	// The inline receive path is caller-driven: a Recv must be in flight
+	// to pull the forged frame through the stack. It blocks past the drop
+	// until the healthy follow-up message arrives.
+	type recvResult struct {
+		msg []byte
+		err error
+	}
+	delivered := make(chan recvResult, 1)
+	go func() {
+		msg, err := rb.Recv()
+		delivered <- recvResult{msg, err}
+	}()
+
 	if err := ra.Send([]byte("poisoned")); err != nil {
 		t.Fatal(err)
 	}
@@ -75,11 +88,15 @@ func TestFragmentRejectsOversizedCount(t *testing.T) {
 	if err := ra.Send(want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := rb.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Fatalf("post-attack message corrupted: %q", got)
+	select {
+	case res := <-delivered:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if !bytes.Equal(res.msg, want) {
+			t.Fatalf("post-attack message corrupted: %q", res.msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-attack message never delivered")
 	}
 }

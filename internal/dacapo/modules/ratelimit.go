@@ -44,6 +44,18 @@ func newRateLimit(args dacapo.Args) (dacapo.Module, error) {
 
 func (m *rateLimit) Name() string { return "ratelimit" }
 
+// Blocking marks ratelimit for threaded scheduling: it holds packets past
+// handler return and wakes on refill timers.
+func (m *rateLimit) Blocking() {}
+
+func (m *rateLimit) Stop(ctx *dacapo.Context) error {
+	if m.waiting != nil {
+		ctx.Pool().Put(m.waiting)
+		m.waiting = nil
+	}
+	return nil
+}
+
 func (m *rateLimit) Start(*dacapo.Context) error {
 	m.tokens = m.burst
 	m.last = time.Now()

@@ -72,7 +72,7 @@ func newXORCipher(args dacapo.Args) (dacapo.Module, error) {
 func (m *xorCipher) Name() string { return "xorcipher" }
 
 func (m *xorCipher) apply(p *dacapo.Packet) {
-	data := p.Bytes()
+	data := p.WritableBytes()
 	for i := range data {
 		data[i] ^= m.key[i%len(m.key)]
 	}

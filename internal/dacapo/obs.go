@@ -2,25 +2,49 @@ package dacapo
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"cool/internal/obs"
+	"cool/internal/qos"
 )
 
+// batchObserver is an atomically swappable histogram slot: runtimes start
+// uninstrumented (nil) and the monitor arms the slot after bring-up and
+// after every reconfiguration splice, without racing the executors.
+type batchObserver = atomic.Pointer[obs.Histogram]
+
+// batchSizeBuckets are the bounds for the per-stage batch-size
+// histograms: powers of two up to the boundary-queue burst ceiling.
+func batchSizeBuckets() []uint64 {
+	return []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+}
+
+// segCounts remembers a runtime's segment split for gauge bookkeeping.
+type segCounts struct {
+	inline   int
+	threaded int
+}
+
 // monitor is a Manager's observability wiring: admission counters and
-// events, the active-connection gauge, the per-connection stack counter,
-// and a snapshot-time collector aggregating per-module packet/byte stats
-// over live and closed runtimes. A nil *monitor (uninstrumented manager)
-// is valid; every method no-ops on it.
+// events, the active-connection and segment gauges, per-stage batch-size
+// histograms, reconfiguration counters, and a snapshot-time collector
+// aggregating per-module packet/byte stats over live and closed runtimes.
+// A nil *monitor (uninstrumented manager) is valid; every method no-ops on
+// it.
 type monitor struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
 
-	accepted *obs.Counter
-	active   *obs.Gauge
+	accepted    *obs.Counter
+	active      *obs.Gauge
+	segInline   *obs.Gauge
+	segThreaded *obs.Gauge
 
 	mu     sync.Mutex
-	live   map[*Runtime]struct{}
+	live   map[*Runtime]segCounts
 	totals map[string]ModuleStats // closed-runtime stats, keyed by module name
+	// closed-runtime reconfiguration totals (started, completed, aborted)
+	rcClosed [3]uint64
 }
 
 // Instrument connects the manager to an ORB's metric registry and tracer.
@@ -29,20 +53,23 @@ type monitor struct {
 // selected module stacks, and live per-module counters through them.
 func (m *Manager) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
 	mon := &monitor{
-		reg:      reg,
-		tracer:   tracer,
-		accepted: reg.Counter("dacapo.admission.accepted"),
-		active:   reg.Gauge("dacapo.conns.active"),
-		live:     make(map[*Runtime]struct{}),
-		totals:   make(map[string]ModuleStats),
+		reg:         reg,
+		tracer:      tracer,
+		accepted:    reg.Counter("dacapo.admission.accepted"),
+		active:      reg.Gauge("dacapo.conns.active"),
+		segInline:   reg.Gauge("dacapo.segments.inline"),
+		segThreaded: reg.Gauge("dacapo.segments.threaded"),
+		live:        make(map[*Runtime]segCounts),
+		totals:      make(map[string]ModuleStats),
 	}
 	reg.RegisterCollector(mon.collect)
 	m.mon = mon
 }
 
 // connected records a successful admission (side is "dial" or "accept"):
-// the accepted counter, the per-stack counter, the active gauge, the live
-// runtime for the module-stat collector, and an admission event.
+// the accepted counter, the per-stack counter, the active and segment
+// gauges, the live runtime for the module-stat collector, batch-size
+// instrumentation, and an admission event.
 func (mon *monitor) connected(rt *Runtime, side string) {
 	if mon == nil || rt == nil {
 		return
@@ -51,15 +78,50 @@ func (mon *monitor) connected(rt *Runtime, side string) {
 	mon.accepted.Inc()
 	mon.reg.Counter("dacapo.stack.selected{stack=" + spec + "}").Inc()
 	mon.active.Inc()
+	seg := segCounts{}
+	seg.inline, seg.threaded = rt.Segments()
+	mon.segInline.Add(int64(seg.inline))
+	mon.segThreaded.Add(int64(seg.threaded))
 	mon.mu.Lock()
-	mon.live[rt] = struct{}{}
+	mon.live[rt] = seg
 	mon.mu.Unlock()
+	mon.instrumentBatches(rt)
 	mon.tracer.Emit(obs.Event{
 		Kind:    "dacapo.admission",
 		Name:    spec,
 		Outcome: "accept",
 		Detail:  side,
 	})
+}
+
+// instrumentBatches arms the runtime's batch-size histogram slots — the
+// wire flush and every stage — and re-arms the stage slots across
+// reconfiguration splices (new generations start unarmed).
+func (mon *monitor) instrumentBatches(rt *Runtime) {
+	rt.wireHist.Store(mon.reg.Histogram("dacapo.batch.size{stage=wire}", batchSizeBuckets()))
+	mon.armStageHists(rt)
+	rt.OnReconfigured(func(Spec, qos.Set) { mon.armStageHists(rt) })
+}
+
+func (mon *monitor) armStageHists(rt *Runtime) {
+	rt.statsLock.Lock()
+	stages := rt.statsStages
+	rt.statsLock.Unlock()
+	for _, s := range stages {
+		// Only blocking stages have boundary queues, and only pumps observe
+		// batch intake — inline stages run packets to completion with no
+		// batch to measure (the wire flush histogram covers their output).
+		// Registering a series for them would just publish a dead zero.
+		if !s.blocking {
+			continue
+		}
+		// One registration per stage per generation, not per observation;
+		// the name call is hoisted so the registry argument stays a pure
+		// concatenation.
+		stageName := s.mod.Name()
+		h := mon.reg.Histogram("dacapo.batch.size{stage="+stageName+"}", batchSizeBuckets())
+		s.ctx.batchHist.Store(h)
+	}
 }
 
 // rejected records a failed admission under a coarse reason: "qos" (no
@@ -84,14 +146,16 @@ func (mon *monitor) rejected(reason string, err error) {
 	})
 }
 
-// untrack retires a runtime: its final module stats fold into the closed
-// totals so collector output stays monotonic across connection churn.
+// untrack retires a runtime: its final module stats and reconfiguration
+// counts fold into the closed totals so collector output stays monotonic
+// across connection churn.
 func (mon *monitor) untrack(rt *Runtime) {
 	if mon == nil || rt == nil {
 		return
 	}
 	mon.mu.Lock()
-	if _, ok := mon.live[rt]; !ok {
+	seg, ok := mon.live[rt]
+	if !ok {
 		mon.mu.Unlock()
 		return
 	}
@@ -106,18 +170,26 @@ func (mon *monitor) untrack(rt *Runtime) {
 		t.Drops += s.Drops
 		mon.totals[s.Name] = t
 	}
+	started, completed, aborted := rt.ReconfigCounts()
+	mon.rcClosed[0] += started
+	mon.rcClosed[1] += completed
+	mon.rcClosed[2] += aborted
 	mon.mu.Unlock()
 	mon.active.Dec()
+	mon.segInline.Add(-int64(seg.inline))
+	mon.segThreaded.Add(-int64(seg.threaded))
 }
 
-// collect emits the per-module packet/byte counters: closed-runtime totals
-// plus a live snapshot of every open runtime.
+// collect emits the per-module packet/byte counters (closed-runtime totals
+// plus a live snapshot of every open runtime) and the reconfiguration
+// counters.
 func (mon *monitor) collect(emit func(name string, value uint64)) {
 	mon.mu.Lock()
 	agg := make(map[string]ModuleStats, len(mon.totals))
 	for name, s := range mon.totals {
 		agg[name] = s
 	}
+	rcStarted, rcCompleted, rcAborted := mon.rcClosed[0], mon.rcClosed[1], mon.rcClosed[2]
 	for rt := range mon.live {
 		for _, s := range rt.Stats() {
 			t := agg[s.Name]
@@ -129,6 +201,10 @@ func (mon *monitor) collect(emit func(name string, value uint64)) {
 			t.Drops += s.Drops
 			agg[s.Name] = t
 		}
+		s, c, a := rt.ReconfigCounts()
+		rcStarted += s
+		rcCompleted += c
+		rcAborted += a
 	}
 	mon.mu.Unlock()
 	for name, s := range agg {
@@ -139,4 +215,7 @@ func (mon *monitor) collect(emit func(name string, value uint64)) {
 		emit("dacapo.module.up_bytes"+label, s.UpBytes)
 		emit("dacapo.module.drops"+label, s.Drops)
 	}
+	emit("dacapo.reconfig.started", rcStarted)
+	emit("dacapo.reconfig.completed", rcCompleted)
+	emit("dacapo.reconfig.aborted", rcAborted)
 }

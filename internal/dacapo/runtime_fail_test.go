@@ -37,13 +37,16 @@ func (m *failModule) HandleUp(ctx *dacapo.Context, p *dacapo.Packet) error {
 	return ctx.EmitUp(p)
 }
 
-// eventModule forwards packets and records events.
+// eventModule forwards packets and records events. It uses After/Post, so
+// it declares Blocking to get threaded scheduling.
 type eventModule struct {
 	dacapo.BaseModule
 	events chan any
 }
 
 func (m *eventModule) Name() string { return "eventer" }
+
+func (m *eventModule) Blocking() {}
 
 func (m *eventModule) HandleDown(ctx *dacapo.Context, p *dacapo.Packet) error {
 	return ctx.EmitDown(p)
@@ -83,24 +86,16 @@ func TestModuleStartFailureKillsRuntime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.Start(); err != nil {
-		t.Fatal(err)
+	// Start hooks run synchronously before any executor is live, so the
+	// failure surfaces immediately and poisons the runtime.
+	if err := rt.Start(); err == nil || !strings.Contains(err.Error(), "start exploded") {
+		t.Fatalf("Start() = %v, want start failure", err)
 	}
-	defer rt.Close()
-	// The failure is asynchronous; Send eventually observes it.
-	deadline := time.After(2 * time.Second)
-	for {
-		if err := rt.Send([]byte("x")); err != nil {
-			if !strings.Contains(rt.Err().Error(), "start exploded") {
-				t.Fatalf("Err() = %v", rt.Err())
-			}
-			return
-		}
-		select {
-		case <-deadline:
-			t.Fatal("runtime never failed")
-		case <-time.After(time.Millisecond):
-		}
+	if err := rt.Send([]byte("x")); err == nil {
+		t.Fatal("Send succeeded on a runtime whose Start failed")
+	}
+	if err := rt.Err(); err == nil || !strings.Contains(err.Error(), "start exploded") {
+		t.Fatalf("Err() = %v", err)
 	}
 }
 
@@ -186,6 +181,9 @@ func TestStatsCountDrops(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
+	// The inline receive path is caller-driven: a Recv must be in flight
+	// for the corrupt frame to reach the module and be dropped.
+	go rt.Recv()
 	// Write a frame with a bad parity octet directly.
 	if err := a.WriteMessage([]byte{1, 2, 3, 0xEE}); err != nil {
 		t.Fatal(err)

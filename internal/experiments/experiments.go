@@ -127,6 +127,7 @@ func MeasureStackThroughput(spec dacapo.Spec, link netsim.Params, msgSize, msgCo
 		if len(msg) != msgSize {
 			return 0, fmt.Errorf("experiments: message size %d, want %d", len(msg), msgSize)
 		}
+		transport.PutBuffer(msg) // frames are arena-owned; recycle at line rate
 		received++
 	}
 	elapsed := time.Since(start)

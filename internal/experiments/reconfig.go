@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"cool/internal/dacapo"
+	"cool/internal/dacapo/modules"
+	"cool/internal/netsim"
+	"cool/internal/transport"
+)
+
+// ReconfigOptions scales the E12 mid-stream reconfiguration experiment.
+type ReconfigOptions struct {
+	// MsgSize is the payload size in octets (≥ 8: the sequence number).
+	MsgSize int
+	// Messages is the total flood volume.
+	Messages int
+	// Splices is how many times the module graph is renegotiated while the
+	// flood is running.
+	Splices int
+}
+
+// DefaultReconfigOptions returns the defaults used by cmd/multebench.
+func DefaultReconfigOptions() ReconfigOptions {
+	return ReconfigOptions{MsgSize: 4 << 10, Messages: 4096, Splices: 8}
+}
+
+// QuickReconfigOptions returns a fast variant for tests.
+func QuickReconfigOptions() ReconfigOptions {
+	return ReconfigOptions{MsgSize: 1 << 10, Messages: 512, Splices: 3}
+}
+
+// ReconfigResult reports the mid-stream reconfiguration run. Lost and
+// Duplicated are always zero on success — any sequence violation fails the
+// run — and are carried explicitly so the table states the claim.
+type ReconfigResult struct {
+	Messages int
+	MsgSize  int
+	Splices  int
+	Mbps     float64
+	Elapsed  time.Duration
+	// Initiator / responder reconfiguration counters (started, completed,
+	// aborted).
+	Initiator [3]uint64
+	Responder [3]uint64
+	Lost      int
+	Duplicated int
+}
+
+// reconfigSpecs are the two module graphs the experiment alternates
+// between: an inline cipher+CRC32 stack and an inline RLE+CRC16 stack.
+func reconfigSpecs() (a, b dacapo.Spec) {
+	a = dacapo.Spec{Modules: []dacapo.ModuleSpec{{Name: "xorcipher"}, {Name: "crc32"}}}
+	b = dacapo.Spec{Modules: []dacapo.ModuleSpec{{Name: "rle"}, {Name: "crc16"}}}
+	return a, b
+}
+
+// RunReconfig runs E12: a sender floods sequence-numbered packets over a
+// lossless simulated LAN while the module graph is renegotiated
+// Splices times mid-stream. The receiver verifies that every sequence
+// number arrives exactly once, in order, across all generation switches;
+// any loss, duplication or reordering fails the run.
+func RunReconfig(opts ReconfigOptions) (ReconfigResult, error) {
+	if opts.MsgSize < 8 {
+		return ReconfigResult{}, fmt.Errorf("experiments: reconfig message size %d < 8", opts.MsgSize)
+	}
+	link := Fig9Link() // lossless 155 Mbit/s LAN, FIFO per direction
+	l := netsim.NewLink(link)
+	defer l.Close()
+	ea, eb := l.Endpoints()
+
+	specA, specB := reconfigSpecs()
+	lib := modules.NewLibrary()
+	ra, err := dacapo.NewRuntime(specA, lib, ea)
+	if err != nil {
+		return ReconfigResult{}, err
+	}
+	rb, err := dacapo.NewRuntime(specA, lib, eb)
+	if err != nil {
+		return ReconfigResult{}, err
+	}
+	if err := ra.Start(); err != nil {
+		return ReconfigResult{}, err
+	}
+	if err := rb.Start(); err != nil {
+		return ReconfigResult{}, err
+	}
+	defer ra.Close()
+	defer rb.Close()
+
+	n := opts.Messages
+	payload := make([]byte, opts.MsgSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	sendDone := make(chan error, 1)
+	recvDone := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		for i := 0; i < n; i++ {
+			binary.BigEndian.PutUint64(payload[:8], uint64(i))
+			if err := ra.Send(payload); err != nil {
+				sendDone <- fmt.Errorf("send %d: %w", i, err)
+				return
+			}
+		}
+		sendDone <- nil
+	}()
+	go func() {
+		for i := 0; i < n; i++ {
+			msg, err := rb.Recv()
+			if err != nil {
+				recvDone <- fmt.Errorf("recv %d: %w", i, err)
+				return
+			}
+			if len(msg) != opts.MsgSize {
+				recvDone <- fmt.Errorf("message %d: %d octets, want %d", i, len(msg), opts.MsgSize)
+				return
+			}
+			if got := binary.BigEndian.Uint64(msg[:8]); got != uint64(i) {
+				recvDone <- fmt.Errorf("sequence violation: got %d, want %d (lost or duplicated across splice)", got, i)
+				return
+			}
+			transport.PutBuffer(msg)
+		}
+		recvDone <- nil
+		// Keep the responder's receive path alive: control frames trailing
+		// the flood (a late COMMIT mirror) are handled inside Recv.
+		for {
+			if _, err := rb.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Splice the module graph while the flood runs, alternating between
+	// the two stacks. Each Reconfigure blocks until the initiator side has
+	// committed; the responder finishes asynchronously on its next Recv.
+	next := specB
+	other := specA
+	for k := 0; k < opts.Splices; k++ {
+		if _, err := ra.Reconfigure(next, nil); err != nil {
+			return ReconfigResult{}, fmt.Errorf("splice %d: %w", k, err)
+		}
+		next, other = other, next
+	}
+
+	if err := <-sendDone; err != nil {
+		return ReconfigResult{}, err
+	}
+	if err := <-recvDone; err != nil {
+		return ReconfigResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	// The responder completes each splice after mailing its COMMIT mirror;
+	// wait for its counters to converge before reading them.
+	deadline := time.Now().Add(2 * time.Second)
+	var rs, rc, rx uint64
+	for {
+		rs, rc, rx = rb.ReconfigCounts()
+		if rc >= uint64(opts.Splices) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	is, ic, ix := ra.ReconfigCounts()
+	if ic != uint64(opts.Splices) || ix != 0 {
+		return ReconfigResult{}, fmt.Errorf("initiator counters started=%d completed=%d aborted=%d, want %d completed", is, ic, ix, opts.Splices)
+	}
+	if rc != uint64(opts.Splices) || rx != 0 {
+		return ReconfigResult{}, fmt.Errorf("responder counters started=%d completed=%d aborted=%d, want %d completed", rs, rc, rx, opts.Splices)
+	}
+
+	bits := float64(n) * float64(opts.MsgSize) * 8
+	return ReconfigResult{
+		Messages:  n,
+		MsgSize:   opts.MsgSize,
+		Splices:   opts.Splices,
+		Mbps:      bits / elapsed.Seconds() / 1e6,
+		Elapsed:   elapsed,
+		Initiator: [3]uint64{is, ic, ix},
+		Responder: [3]uint64{rs, rc, rx},
+	}, nil
+}

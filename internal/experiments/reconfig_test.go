@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestRunReconfigNoLossNoDup: the E1b harness itself enforces the claim —
+// strict per-message sequence verification across every splice and exact
+// completed-splice counters on both ends — so a clean return is the
+// assertion.
+func TestRunReconfigNoLossNoDup(t *testing.T) {
+	opts := QuickReconfigOptions()
+	res, err := RunReconfig(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 || res.Duplicated != 0 {
+		t.Fatalf("lost=%d dup=%d", res.Lost, res.Duplicated)
+	}
+	if res.Initiator[1] != uint64(opts.Splices) || res.Responder[1] != uint64(opts.Splices) {
+		t.Fatalf("completed splices initiator=%d responder=%d, want %d",
+			res.Initiator[1], res.Responder[1], opts.Splices)
+	}
+	if res.Mbps <= 0 {
+		t.Fatalf("throughput %f", res.Mbps)
+	}
+}
+
+func TestRunReconfigRejectsTinyMessages(t *testing.T) {
+	if _, err := RunReconfig(ReconfigOptions{MsgSize: 4, Messages: 8, Splices: 1}); err == nil {
+		t.Fatal("message size below the sequence header should fail")
+	}
+}
